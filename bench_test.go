@@ -1,0 +1,385 @@
+// Benchmarks regenerating the paper's tables and figures, one testing.B
+// target per artifact. Each bench exercises the exact code path of the
+// corresponding experiment at a reduced, per-iteration-affordable scale;
+// run `go run ./cmd/imexp all` for the full tables with CSV output.
+package goinfmax_test
+
+import (
+	"testing"
+	"time"
+
+	goinfmax "github.com/sigdata/goinfmax"
+	"github.com/sigdata/goinfmax/internal/algo/rank"
+	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/diffusion"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// benchGraph memoizes weighted graphs across benchmark targets.
+var benchGraphs = map[string]*graph.Graph{}
+
+func benchGraph(b *testing.B, dataset string, scale int64, scheme goinfmax.Scheme) *graph.Graph {
+	b.Helper()
+	key := dataset + scheme.Name()
+	if g, ok := benchGraphs[key]; ok {
+		return g
+	}
+	g := scheme.Apply(goinfmax.Dataset(dataset, scale, 1))
+	benchGraphs[key] = g
+	return g
+}
+
+func benchSelect(b *testing.B, algName string, g *graph.Graph, model goinfmax.Model, k int, param float64) {
+	b.Helper()
+	alg, err := goinfmax.NewAlgorithm(algName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := core.NewContext(g, model, k, uint64(i)+1)
+		ctx.ParamValue = param
+		seeds, err := alg.Select(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(seeds) != k {
+			b.Fatalf("%d seeds", len(seeds))
+		}
+	}
+}
+
+// BenchmarkFig1a_IMM measures the Figure 1a contrast: IMM's selection cost
+// under IC(0.1) vs WC on the orkut stand-in.
+func BenchmarkFig1a_IMM(b *testing.B) {
+	b.Run("IC", func(b *testing.B) {
+		g := benchGraph(b, "orkut", 512, goinfmax.ICConstant{P: 0.1})
+		benchSelect(b, "IMM", g, goinfmax.IC, 10, 0.5)
+	})
+	b.Run("WC", func(b *testing.B) {
+		g := benchGraph(b, "orkut", 512, goinfmax.WeightedCascade{})
+		benchSelect(b, "IMM", g, goinfmax.IC, 10, 0.5)
+	})
+}
+
+// BenchmarkFig1bc_IMMvsEaSyIM measures the Figure 1b-c pair on youtube.
+func BenchmarkFig1bc_IMMvsEaSyIM(b *testing.B) {
+	g := benchGraph(b, "youtube", 256, goinfmax.ICConstant{P: 0.1})
+	b.Run("IMM", func(b *testing.B) { benchSelect(b, "IMM", g, goinfmax.IC, 10, 0.5) })
+	b.Run("EaSyIM", func(b *testing.B) { benchSelect(b, "EaSyIM", g, goinfmax.IC, 10, 0) })
+}
+
+// BenchmarkTable2_ParamSearch measures the §5.1.1 parameter-selection
+// procedure (one sweep of IMM's ε spectrum).
+func BenchmarkTable2_ParamSearch(b *testing.B) {
+	g := benchGraph(b, "hepph", 16, goinfmax.WeightedCascade{})
+	alg, err := goinfmax.NewAlgorithm("IMM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps := goinfmax.ParamSearch{
+			Ks:     []int{10},
+			Config: goinfmax.RunConfig{K: 10, Model: goinfmax.IC, Seed: 1, EvalSims: 200},
+		}
+		choice := ps.Search(alg, g)
+		if choice.Optimal <= 0 {
+			b.Fatal("no optimal found")
+		}
+	}
+}
+
+// BenchmarkFig5_IMRankRounds measures one IMRank run per scoring-round
+// setting, the Figure 5 sweep.
+func BenchmarkFig5_IMRankRounds(b *testing.B) {
+	g := benchGraph(b, "hepph", 16, goinfmax.ICConstant{P: 0.1})
+	for i := 0; i < b.N; i++ {
+		for rounds := 1.0; rounds <= 10; rounds++ {
+			ctx := core.NewContext(g, goinfmax.IC, 10, 1)
+			ctx.ParamValue = rounds
+			if _, err := (rank.IMRank{L: 1}).Select(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6_Quality measures the quality-grid cell (selection +
+// decoupled evaluation) for each technique family representative.
+func BenchmarkFig6_Quality(b *testing.B) {
+	wc := benchGraph(b, "nethept", 8, goinfmax.WeightedCascade{})
+	lt := benchGraph(b, "nethept", 8, goinfmax.LTUniform{})
+	cells := []struct {
+		alg   string
+		g     *graph.Graph
+		model goinfmax.Model
+		param float64
+	}{
+		{"CELF", wc, goinfmax.IC, 30},
+		{"IMM", wc, goinfmax.IC, 0.3},
+		{"PMC", wc, goinfmax.IC, 50},
+		{"EaSyIM", wc, goinfmax.IC, 0},
+		{"LDAG", lt, goinfmax.LT, 0},
+		{"IMRank1", wc, goinfmax.IC, 5},
+	}
+	for _, c := range cells {
+		b.Run(c.alg, func(b *testing.B) {
+			alg, err := goinfmax.NewAlgorithm(c.alg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := goinfmax.RunConfig{K: 10, Model: c.model, Seed: uint64(i) + 1,
+					ParamValue: c.param, EvalSims: 200}
+				res := goinfmax.Run(alg, c.g, cfg)
+				if res.Status != goinfmax.StatusOK {
+					b.Fatalf("%v", res.Status)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7_SelectionTime isolates pure seed-selection time per family
+// (the Figure 7 measurement, no evaluation).
+func BenchmarkFig7_SelectionTime(b *testing.B) {
+	wc := benchGraph(b, "dblp", 64, goinfmax.WeightedCascade{})
+	lt := benchGraph(b, "dblp", 64, goinfmax.LTUniform{})
+	b.Run("IMM", func(b *testing.B) { benchSelect(b, "IMM", wc, goinfmax.IC, 20, 0.3) })
+	b.Run("TIM+", func(b *testing.B) { benchSelect(b, "TIM+", wc, goinfmax.IC, 20, 0.3) })
+	b.Run("PMC", func(b *testing.B) { benchSelect(b, "PMC", wc, goinfmax.IC, 20, 50) })
+	b.Run("StaticGreedy", func(b *testing.B) { benchSelect(b, "StaticGreedy", wc, goinfmax.IC, 20, 50) })
+	b.Run("IRIE", func(b *testing.B) { benchSelect(b, "IRIE", wc, goinfmax.IC, 20, 0) })
+	b.Run("EaSyIM", func(b *testing.B) { benchSelect(b, "EaSyIM", wc, goinfmax.IC, 20, 0) })
+	b.Run("LDAG", func(b *testing.B) { benchSelect(b, "LDAG", lt, goinfmax.LT, 20, 0) })
+	b.Run("SIMPATH", func(b *testing.B) { benchSelect(b, "SIMPATH", lt, goinfmax.LT, 20, 0) })
+}
+
+// BenchmarkFig8_Memory reports the accounted data-structure bytes per
+// technique as a custom metric (the Figure 8 measurement).
+func BenchmarkFig8_Memory(b *testing.B) {
+	wc := benchGraph(b, "dblp", 64, goinfmax.WeightedCascade{})
+	for _, name := range []string{"IMM", "PMC", "StaticGreedy", "EaSyIM", "IRIE"} {
+		b.Run(name, func(b *testing.B) {
+			alg, err := goinfmax.NewAlgorithm(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var bytesUsed int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx := core.NewContext(wc, goinfmax.IC, 10, uint64(i)+1)
+				if _, err := alg.Select(ctx); err != nil {
+					b.Fatal(err)
+				}
+				bytesUsed = ctx.MemUsed()
+			}
+			b.ReportMetric(float64(bytesUsed), "acct-bytes")
+		})
+	}
+}
+
+// BenchmarkTable3_Large measures the four scalable techniques on a larger
+// (still laptop-affordable) stand-in, the Table 3 cell shape.
+func BenchmarkTable3_Large(b *testing.B) {
+	wc := benchGraph(b, "livejournal", 256, goinfmax.WeightedCascade{})
+	for _, name := range []string{"PMC", "IMM", "TIM+", "EaSyIM"} {
+		b.Run(name, func(b *testing.B) {
+			param := 0.0
+			switch name {
+			case "IMM", "TIM+":
+				param = 0.3
+			case "PMC":
+				param = 50
+			}
+			benchSelect(b, name, wc, goinfmax.IC, 20, param)
+		})
+	}
+}
+
+// BenchmarkFig9_CELFvsCELFpp measures the M1 pair at identical simulation
+// counts (Figures 9a-b).
+func BenchmarkFig9_CELFvsCELFpp(b *testing.B) {
+	wc := benchGraph(b, "nethept", 16, goinfmax.WeightedCascade{})
+	b.Run("CELF", func(b *testing.B) { benchSelect(b, "CELF", wc, goinfmax.IC, 10, 50) })
+	b.Run("CELF++", func(b *testing.B) { benchSelect(b, "CELF++", wc, goinfmax.IC, 10, 50) })
+}
+
+// BenchmarkFig9ce_CELFQuality measures CELF at the simulation ladder of
+// Figures 9c-e.
+func BenchmarkFig9ce_CELFQuality(b *testing.B) {
+	wc := benchGraph(b, "nethept", 16, goinfmax.WeightedCascade{})
+	for _, r := range []float64{10, 50, 200} {
+		b.Run(nameOfSims(r), func(b *testing.B) {
+			benchSelect(b, "CELF", wc, goinfmax.IC, 10, r)
+		})
+	}
+}
+
+func nameOfSims(r float64) string {
+	switch r {
+	case 10:
+		return "r=10"
+	case 50:
+		return "r=50"
+	default:
+		return "r=200"
+	}
+}
+
+// BenchmarkFig10_Extrapolation measures the M4 cell: an IMM run plus the
+// MC evaluation it under-reports.
+func BenchmarkFig10_Extrapolation(b *testing.B) {
+	wc := benchGraph(b, "nethept", 16, goinfmax.ICConstant{P: 0.1})
+	alg, err := goinfmax.NewAlgorithm("IMM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := goinfmax.RunConfig{K: 10, Model: goinfmax.IC, Seed: uint64(i) + 1,
+			ParamValue: 0.8, EvalSims: 200}
+		res := goinfmax.Run(alg, wc, cfg)
+		if res.EstimatedSpread < 0 {
+			b.Fatal("no extrapolated spread")
+		}
+	}
+}
+
+// BenchmarkTable4_LDAGvsSIMPATH measures the M5 pair under LT-uniform.
+func BenchmarkTable4_LDAGvsSIMPATH(b *testing.B) {
+	lt := benchGraph(b, "nethept", 8, goinfmax.LTUniform{})
+	b.Run("LDAG", func(b *testing.B) { benchSelect(b, "LDAG", lt, goinfmax.LT, 20, 0) })
+	b.Run("SIMPATH", func(b *testing.B) { benchSelect(b, "SIMPATH", lt, goinfmax.LT, 20, 0) })
+}
+
+// BenchmarkFig10f_IMRankConvergence measures both convergence criteria
+// (the M7 contrast).
+func BenchmarkFig10f_IMRankConvergence(b *testing.B) {
+	wc := benchGraph(b, "hepph", 16, goinfmax.WeightedCascade{})
+	for _, mode := range []rank.ConvergenceMode{rank.TopKSetStable, rank.FixedRounds} {
+		name := "corrected"
+		if mode == rank.TopKSetStable {
+			name = "incorrect"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx := core.NewContext(wc, goinfmax.IC, 50, uint64(i)+1)
+				ctx.ParamValue = 10
+				if _, err := (rank.IMRank{L: 1, Mode: mode}).Select(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12_MCSpreadEvaluation measures the uniform spread evaluator
+// at the Figure 12 simulation counts.
+func BenchmarkFig12_MCSpreadEvaluation(b *testing.B) {
+	wc := benchGraph(b, "nethept", 8, goinfmax.WeightedCascade{})
+	seeds := []goinfmax.NodeID{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	for _, sims := range []int{100, 1000} {
+		name := "r=100"
+		if sims == 1000 {
+			name = "r=1000"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				est := goinfmax.EstimateSpread(wc, goinfmax.IC, seeds, sims, uint64(i))
+				if est.Mean <= 0 {
+					b.Fatal("zero spread")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11_Skyline measures the classification + decision tree.
+func BenchmarkFig11_Skyline(b *testing.B) {
+	// Synthesize a plausible results grid once.
+	var results []core.Result
+	for _, algName := range []string{"IMM", "TIM+", "PMC", "EaSyIM", "CELF"} {
+		for k := 1; k <= 50; k += 7 {
+			r := core.Result{Algorithm: algName, Dataset: "d", K: k, Status: core.OK,
+				SelectionTime: time.Duration(k) * time.Millisecond, PeakMemBytes: int64(k) * 1024}
+			r.Spread.Mean = float64(100 + k)
+			results = append(results, r)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		placement := core.ClassifyResults(results, 0.05, 10, 10)
+		if len(placement) == 0 {
+			b.Fatal("empty placement")
+		}
+		if rec, _ := core.Recommend(core.Scenario{Model: weights.LT}); rec == "" {
+			b.Fatal("no recommendation")
+		}
+	}
+}
+
+// BenchmarkTable5_Support measures registry support-matrix generation.
+func BenchmarkTable5_Support(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sm := core.Default().SupportMatrix()
+		if len(sm) < 15 {
+			b.Fatalf("matrix has %d techniques", len(sm))
+		}
+	}
+}
+
+// BenchmarkExt_Exclusions measures the techniques behind the paper's §4
+// exclusion claims (the `exclusions` extension experiment).
+func BenchmarkExt_Exclusions(b *testing.B) {
+	wc := benchGraph(b, "nethept", 16, goinfmax.WeightedCascade{})
+	b.Run("PMIA", func(b *testing.B) { benchSelect(b, "PMIA", wc, goinfmax.IC, 10, 0) })
+	b.Run("DegreeDiscount", func(b *testing.B) { benchSelect(b, "DegreeDiscount", wc, goinfmax.IC, 10, 0) })
+	b.Run("IRIE", func(b *testing.B) { benchSelect(b, "IRIE", wc, goinfmax.IC, 10, 0) })
+	b.Run("SKIM", func(b *testing.B) { benchSelect(b, "SKIM", wc, goinfmax.IC, 10, 16) })
+	b.Run("RIS", func(b *testing.B) { benchSelect(b, "RIS", wc, goinfmax.IC, 10, 0.5) })
+}
+
+// BenchmarkDiffusion_SingleCascade measures the core IC simulation kernel,
+// the unit of everything the MC family does.
+func BenchmarkDiffusion_SingleCascade(b *testing.B) {
+	wc := benchGraph(b, "dblp", 64, goinfmax.WeightedCascade{})
+	sim := diffusion.NewSimulator(wc, weights.IC)
+	seeds := []goinfmax.NodeID{0, 1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est := sim.EstimateSpread(seeds, 10, uint64(i))
+		if est.Mean <= 0 {
+			b.Fatal("zero")
+		}
+	}
+}
+
+// BenchmarkDiffusion_RRSet measures RR-set sampling, the unit of the
+// TIM+/IMM family, under both weight regimes of Figure 1a.
+func BenchmarkDiffusion_RRSet(b *testing.B) {
+	b.Run("WC", func(b *testing.B) {
+		g := benchGraph(b, "dblp", 64, goinfmax.WeightedCascade{})
+		s := diffusion.NewRRSampler(g, weights.IC)
+		r := core.NewContext(g, weights.IC, 1, 1).RNG
+		var buf []goinfmax.NodeID
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = s.SampleUniformRoot(r, buf[:0])
+		}
+	})
+	b.Run("IC01", func(b *testing.B) {
+		g := benchGraph(b, "dblp", 64, goinfmax.ICConstant{P: 0.1})
+		s := diffusion.NewRRSampler(g, weights.IC)
+		r := core.NewContext(g, weights.IC, 1, 1).RNG
+		var buf []goinfmax.NodeID
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = s.SampleUniformRoot(r, buf[:0])
+		}
+	})
+}

@@ -1,0 +1,123 @@
+// Command imbench runs one instrumented benchmark cell: a single
+// (algorithm, dataset, model, k) combination, printing the selected seeds,
+// the decoupled MC spread, running time, memory footprint and lookups.
+//
+// Usage:
+//
+//	imbench -algo IMM -dataset nethept -model WC -k 50
+//	imbench -algo CELF -dataset hepph -model LT -k 10 -param 100
+//	imbench -algo PMC -file my_graph.txt -directed -model IC -k 20
+//
+// Models: IC (constant 0.1), WC (weighted cascade), LT (uniform); or use
+// -icp to change the IC constant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	goinfmax "github.com/sigdata/goinfmax"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/metrics"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "imbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("imbench", flag.ContinueOnError)
+	algoName := fs.String("algo", "IMM", "algorithm name (see -listalgos)")
+	dataset := fs.String("dataset", "nethept", "synthetic dataset name")
+	file := fs.String("file", "", "load an edge-list file instead of a synthetic dataset")
+	directed := fs.Bool("directed", false, "treat the edge-list file as directed")
+	scale := fs.Int64("scale", 0, "dataset scale divisor (0 = default)")
+	model := fs.String("model", "WC", "model configuration: IC, WC or LT")
+	icp := fs.Float64("icp", 0.1, "constant probability for the IC model")
+	k := fs.Int("k", 50, "number of seeds")
+	param := fs.Float64("param", 0, "external parameter value (0 = algorithm default)")
+	seed := fs.Uint64("seed", 42, "random seed")
+	evalSims := fs.Int("evalsims", 10000, "MC simulations for spread evaluation")
+	budget := fs.Duration("budget", 0, "time budget for seed selection (0 = unlimited)")
+	memBudget := fs.Int64("membudget", 0, "memory budget in bytes (0 = unlimited)")
+	listAlgos := fs.Bool("listalgos", false, "list registered algorithms and exit")
+	listData := fs.Bool("listdatasets", false, "list synthetic datasets and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *listAlgos {
+		for _, n := range goinfmax.Algorithms() {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	if *listData {
+		for _, n := range goinfmax.Datasets() {
+			fmt.Println(n)
+		}
+		return nil
+	}
+
+	var base *graph.Graph
+	var err error
+	if *file != "" {
+		base, err = graph.LoadEdgeListFile(*file, *directed)
+		if err != nil {
+			return err
+		}
+	} else {
+		base = goinfmax.Dataset(*dataset, *scale, *seed)
+	}
+
+	var scheme weights.Scheme
+	var m weights.Model
+	switch *model {
+	case "IC":
+		scheme, m = weights.ICConstant{P: *icp}, weights.IC
+	case "WC":
+		scheme, m = weights.WeightedCascade{}, weights.IC
+	case "LT":
+		scheme, m = weights.LTUniform{}, weights.LT
+	default:
+		return fmt.Errorf("unknown model %q (want IC, WC or LT)", *model)
+	}
+	g := scheme.Apply(base)
+
+	alg, err := goinfmax.NewAlgorithm(*algoName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s: n=%d arcs=%d, scheme %s, algorithm %s, k=%d\n",
+		base.Name(), g.N(), g.M(), scheme.Name(), alg.Name(), *k)
+
+	cfg := goinfmax.RunConfig{
+		K: *k, Model: m, Seed: *seed, ParamValue: *param,
+		EvalSims: *evalSims, TimeBudget: *budget, MemBudgetBytes: *memBudget,
+	}
+	start := time.Now()
+	res := goinfmax.Run(alg, g, cfg)
+	fmt.Printf("status:    %s\n", res.Status)
+	if res.Err != nil {
+		fmt.Printf("error:     %v\n", res.Err)
+	}
+	fmt.Printf("selection: %s\n", metrics.HumanDuration(res.SelectionTime))
+	fmt.Printf("eval:      %s (%d sims)\n", metrics.HumanDuration(res.EvalTime), *evalSims)
+	fmt.Printf("memory:    %s\n", metrics.HumanBytes(res.PeakMemBytes))
+	fmt.Printf("lookups:   %d\n", res.Lookups)
+	if res.Status == goinfmax.StatusOK {
+		fmt.Printf("spread:    %s (%.2f%% of nodes)\n", res.Spread, res.SpreadPercent(g.N()))
+		if res.EstimatedSpread >= 0 {
+			fmt.Printf("algorithm-reported (extrapolated) spread: %.1f\n", res.EstimatedSpread)
+		}
+		fmt.Printf("seeds:     %v\n", res.Seeds)
+	}
+	fmt.Printf("total:     %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	goinfmax "github.com/sigdata/goinfmax"
+)
+
+func TestListFlags(t *testing.T) {
+	if err := run([]string{"-listalgos"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-listdatasets"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleCell(t *testing.T) {
+	err := run([]string{"-algo", "IMM", "-dataset", "nethept", "-scale", "256",
+		"-model", "WC", "-k", "3", "-evalsims", "50"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLTModel(t *testing.T) {
+	err := run([]string{"-algo", "LDAG", "-dataset", "nethept", "-scale", "256",
+		"-model", "LT", "-k", "3", "-evalsims", "50"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestICConstantModel(t *testing.T) {
+	err := run([]string{"-algo", "PMC", "-dataset", "nethept", "-scale", "256",
+		"-model", "IC", "-icp", "0.05", "-k", "3", "-evalsims", "50", "-param", "20"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g := goinfmax.Dataset("nethept", 256, 1)
+	if err := g.SaveEdgeListFile(path); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-algo", "HighDegree", "-file", path, "-directed",
+		"-model", "WC", "-k", "2", "-evalsims", "20"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{"-model", "XX"}); err == nil {
+		t.Fatal("expected model error")
+	}
+	if err := run([]string{"-algo", "bogus"}); err == nil {
+		t.Fatal("expected algorithm error")
+	}
+	if err := run([]string{"-file", "/nonexistent"}); err == nil {
+		t.Fatal("expected file error")
+	}
+}

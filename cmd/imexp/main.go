@@ -1,0 +1,97 @@
+// Command imexp regenerates the paper's tables and figures on the
+// synthetic stand-in datasets.
+//
+// Usage:
+//
+//	imexp [flags] <experiment>... | all | list
+//
+// Experiments: fig1, params, fig5, quality, runtime, memory, large,
+// myth1, myth2, myth3, myth4, myth5, myth7, mcconv, skyline, support.
+//
+// Flags:
+//
+//	-quick        quick mode: tiny datasets, CI-scale budgets (default true)
+//	-out DIR      write one CSV per table under DIR (default "results")
+//	-seed N       master seed (default 42)
+//	-evalsims N   MC simulations for spread evaluation
+//	-budget DUR   per-cell time budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "imexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("imexp", flag.ContinueOnError)
+	quick := fs.Bool("quick", true, "quick mode: tiny datasets and budgets")
+	out := fs.String("out", "results", "CSV output directory (empty to disable)")
+	seed := fs.Uint64("seed", 42, "master random seed")
+	evalSims := fs.Int("evalsims", 0, "MC simulations for spread evaluation (0 = mode default)")
+	budget := fs.Duration("budget", 0, "per-cell time budget (0 = mode default)")
+	scale := fs.Int64("scale", 0, "extra dataset scale divisor (0 = mode default; larger = smaller graphs)")
+	archive := fs.String("archive", "", "write raw grid results as JSON to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := fs.Args()
+	if len(names) == 0 {
+		names = []string{"list"}
+	}
+
+	cfg := experiments.Standard()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+	cfg.OutDir = *out
+	cfg.W = os.Stdout
+	if *evalSims > 0 {
+		cfg.EvalSims = *evalSims
+	}
+	if *budget > 0 {
+		cfg.CellBudget = *budget
+	}
+	if *scale > 0 {
+		cfg.ExtraScale = *scale
+	}
+	cfg.ArchivePath = *archive
+
+	if names[0] == "list" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-10s %-28s %s\n", e.Name, e.Artifact, e.Desc)
+		}
+		return nil
+	}
+	if names[0] == "all" {
+		names = nil
+		for _, e := range experiments.All() {
+			names = append(names, e.Name)
+		}
+	}
+	for _, name := range names {
+		exp, err := experiments.Lookup(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== running %s (%s) ===\n", exp.Name, exp.Artifact)
+		start := time.Now()
+		if err := exp.Run(cfg); err != nil {
+			return fmt.Errorf("%s: %w", exp.Name, err)
+		}
+		fmt.Printf("=== %s done in %v ===\n\n", exp.Name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

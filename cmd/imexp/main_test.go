@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(nil); err != nil { // defaults to list
+		t.Fatal(err)
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-quick", "-out", dir, "-evalsims", "50", "support"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+}

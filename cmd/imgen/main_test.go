@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateAndWrite(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.txt")
+	if err := run([]string{"-dataset", "nethept", "-scale", "256", "-stats", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty edge list")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("expected error without -dataset")
+	}
+	if err := run([]string{"-dataset", "bogus"}); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+}

@@ -1,0 +1,126 @@
+// Command implot renders the CSV artifacts produced by imexp as terminal
+// line charts — the paper's figures, re-plottable without leaving the
+// shell.
+//
+// Usage:
+//
+//	implot -csv results/fig7_runtime.csv -x k -y 'Time(s)' -group Algorithm \
+//	       -filter Dataset=nethept -filter Model=WC -logy
+//
+// Rows whose x or y cells are non-numeric (DNF/Crashed markers) are
+// skipped, matching how the paper's plots omit failed cells.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/sigdata/goinfmax/internal/metrics"
+)
+
+// filterFlags collects repeated -filter column=value pairs.
+type filterFlags []string
+
+func (f *filterFlags) String() string { return strings.Join(*f, ",") }
+func (f *filterFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("filter %q must be column=value", v)
+	}
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "implot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("implot", flag.ContinueOnError)
+	path := fs.String("csv", "", "CSV file produced by imexp")
+	xCol := fs.String("x", "k", "x-axis column")
+	yCol := fs.String("y", "", "y-axis column")
+	group := fs.String("group", "Algorithm", "comma-separated series-name columns")
+	logy := fs.Bool("logy", false, "log-scale y axis (the paper's usual scale)")
+	width := fs.Int("width", 72, "plot width in columns")
+	height := fs.Int("height", 18, "plot height in rows")
+	var filters filterFlags
+	fs.Var(&filters, "filter", "row filter column=value (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" || *yCol == "" {
+		return fmt.Errorf("need -csv and -y (e.g. -csv results/fig7_runtime.csv -y 'Time(s)')")
+	}
+
+	f, err := os.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", *path, err)
+	}
+	if len(records) < 2 {
+		return fmt.Errorf("%s has no data rows", *path)
+	}
+
+	tbl := metrics.NewTable(*path, records[0]...)
+	colIdx := map[string]int{}
+	for i, h := range records[0] {
+		colIdx[h] = i
+	}
+	type cond struct {
+		col int
+		val string
+	}
+	var conds []cond
+	for _, flt := range filters {
+		parts := strings.SplitN(flt, "=", 2)
+		ci, ok := colIdx[parts[0]]
+		if !ok {
+			return fmt.Errorf("filter column %q not in header %v", parts[0], records[0])
+		}
+		conds = append(conds, cond{ci, parts[1]})
+	}
+rows:
+	for _, rec := range records[1:] {
+		for _, c := range conds {
+			if c.col >= len(rec) || rec[c.col] != c.val {
+				continue rows
+			}
+		}
+		cells := make([]interface{}, len(rec))
+		for i, v := range rec {
+			cells[i] = v
+		}
+		tbl.AddRow(cells...)
+	}
+	if len(tbl.Rows) == 0 {
+		return fmt.Errorf("no rows left after filters %v", filters)
+	}
+
+	var groups []string
+	for _, g := range strings.Split(*group, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			groups = append(groups, g)
+		}
+	}
+	chart, err := metrics.ChartFromTable(tbl, *xCol, *yCol, groups...)
+	if err != nil {
+		return err
+	}
+	chart.LogY = *logy
+	chart.Width = *width
+	chart.Height = *height
+	if len(filters) > 0 {
+		chart.Title = fmt.Sprintf("%s [%s]", *path, filters.String())
+	}
+	return chart.Render(out)
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeCSV(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sample = `Dataset,Model,Algorithm,k,Status,Time(s)
+nethept,WC,IMM,1,OK,0.1
+nethept,WC,IMM,50,OK,0.5
+nethept,WC,CELF,1,OK,1.0
+nethept,WC,CELF,50,DNF,DNF
+hepph,WC,IMM,1,OK,0.3
+`
+
+func TestPlotBasic(t *testing.T) {
+	path := writeCSV(t, sample)
+	err := run([]string{"-csv", path, "-y", "Time(s)", "-filter", "Dataset=nethept"}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlotLogY(t *testing.T) {
+	path := writeCSV(t, sample)
+	if err := run([]string{"-csv", path, "-y", "Time(s)", "-logy"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	path := writeCSV(t, sample)
+	cases := [][]string{
+		{},             // missing -csv/-y
+		{"-csv", path}, // missing -y
+		{"-csv", "/nonexistent", "-y", "Time(s)"},
+		{"-csv", path, "-y", "nope"}, // unknown column
+		{"-csv", path, "-y", "Time(s)", "-filter", "nocol=1"},
+		{"-csv", path, "-y", "Time(s)", "-filter", "Dataset=absent"},
+		{"-csv", path, "-y", "Time(s)", "-filter", "malformed"},
+	}
+	for _, args := range cases {
+		if err := run(args, os.Stdout); err == nil {
+			t.Fatalf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestPlotEmptyCSV(t *testing.T) {
+	path := writeCSV(t, "a,b\n")
+	if err := run([]string{"-csv", path, "-y", "b"}, os.Stdout); err == nil {
+		t.Fatal("expected no-data error")
+	}
+}

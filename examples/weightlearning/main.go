@@ -1,0 +1,59 @@
+// Weight learning: estimate influence probabilities from cascade logs and
+// check that IM survives the estimation error.
+//
+// The paper's benchmark assigns edge weights by model (WC, constant, …)
+// because public graphs ship no action logs, while noting that ideally
+// weights "should be learned from some training data" (§2.1). This example
+// closes that loop on synthetic data: ground-truth IC weights generate a
+// cascade log, the log is fed to the frequentist estimator with
+// credit-distribution, and IMM selects seeds on BOTH graphs — showing how
+// much spread survives the learning noise.
+//
+//	go run ./examples/weightlearning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	goinfmax "github.com/sigdata/goinfmax"
+	"github.com/sigdata/goinfmax/internal/analysis"
+	"github.com/sigdata/goinfmax/internal/learn"
+)
+
+func main() {
+	// Ground truth: a collaboration-style graph under IC(0.1).
+	truth := goinfmax.ICConstant{P: 0.1}.Apply(goinfmax.Dataset("nethept", 16, 21))
+	fmt.Printf("ground-truth network: %d nodes, %d arcs, IC(0.1)\n", truth.N(), truth.M())
+
+	for _, numCascades := range []int{200, 2000, 20000} {
+		logs := learn.GenerateLog(truth, numCascades, 5)
+		learned, st := learn.Estimate(truth, logs, 0.05)
+		mae, err := learn.MeanAbsError(truth, learned)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		alg, err := goinfmax.NewAlgorithm("IMM")
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := goinfmax.DefaultRunConfig(goinfmax.IC, 20)
+		cfg.EvalSims = 2000
+		onTruth := goinfmax.Run(alg, truth, cfg)
+		onLearned := goinfmax.Run(alg, learned, cfg)
+
+		// Evaluate the learned-graph seeds on the TRUE dynamics: the only
+		// spread that matters in deployment.
+		deployed := goinfmax.EstimateSpread(truth, goinfmax.IC, onLearned.Seeds, 2000, 9)
+
+		fmt.Printf("\n%d cascades: %d arcs observed, weight MAE %.4f\n",
+			numCascades, st.ArcsObserved, mae)
+		fmt.Printf("  seeds on true weights     → spread %.1f\n", onTruth.Spread.Mean)
+		fmt.Printf("  seeds on learned weights  → spread %.1f under true dynamics\n", deployed.Mean)
+		fmt.Printf("  seed overlap (Jaccard)    → %.2f\n",
+			analysis.Jaccard(onTruth.Seeds, onLearned.Seeds))
+	}
+	fmt.Println("\ntakeaway: with enough observed cascades, learned weights recover")
+	fmt.Println("nearly all of the achievable spread even when individual seed sets differ.")
+}

@@ -1,0 +1,3 @@
+module github.com/sigdata/goinfmax
+
+go 1.22

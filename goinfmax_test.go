@@ -1,0 +1,181 @@
+package goinfmax_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	goinfmax "github.com/sigdata/goinfmax"
+	"github.com/sigdata/goinfmax/internal/experiments"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+func TestAlgorithmsRegistered(t *testing.T) {
+	names := goinfmax.Algorithms()
+	want := []string{"CELF", "CELF++", "TIM+", "IMM", "StaticGreedy", "PMC",
+		"LDAG", "SIMPATH", "IRIE", "EaSyIM", "IMRank1", "IMRank2",
+		"GREEDY", "RIS", "DegreeDiscount", "HighDegree", "PageRank", "Random"}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Fatalf("missing algorithm %q in %v", w, names)
+		}
+	}
+	if _, err := goinfmax.NewAlgorithm("nope"); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestDatasetsAvailable(t *testing.T) {
+	ds := goinfmax.Datasets()
+	if len(ds) < 8 {
+		t.Fatalf("datasets %v", ds)
+	}
+	g := goinfmax.Dataset("nethept", 32, 1)
+	if g.N() == 0 || g.M() == 0 {
+		t.Fatal("empty dataset")
+	}
+}
+
+// TestEndToEndAllAlgorithms runs every registered technique end to end on
+// a tiny graph under every model it supports and checks the full contract:
+// k valid seeds, successful evaluation, deterministic repeat.
+func TestEndToEndAllAlgorithms(t *testing.T) {
+	base := goinfmax.Dataset("nethept", 128, 3)
+	configs := []struct {
+		label  string
+		scheme goinfmax.Scheme
+		model  goinfmax.Model
+	}{
+		{"IC", goinfmax.ICConstant{P: 0.1}, goinfmax.IC},
+		{"WC", goinfmax.WeightedCascade{}, goinfmax.IC},
+		{"LT", goinfmax.LTUniform{}, goinfmax.LT},
+	}
+	const k = 5
+	for _, c := range configs {
+		g := c.scheme.Apply(base)
+		for _, name := range goinfmax.Algorithms() {
+			alg, err := goinfmax.NewAlgorithm(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := goinfmax.RunConfig{
+				K: k, Model: c.model, Seed: 9, EvalSims: 100,
+				TimeBudget: time.Minute,
+			}
+			if name == "GREEDY" || name == "CELF" || name == "CELF++" || name == "UBLF" {
+				cfg.ParamValue = 20
+			}
+			res := goinfmax.Run(alg, g, cfg)
+			if !alg.Supports(c.model) {
+				if res.Status != goinfmax.StatusUnsupported {
+					t.Fatalf("%s/%s: status %v want N/A", name, c.label, res.Status)
+				}
+				continue
+			}
+			if res.Status != goinfmax.StatusOK {
+				t.Fatalf("%s/%s: status %v err %v", name, c.label, res.Status, res.Err)
+			}
+			if len(res.Seeds) != k {
+				t.Fatalf("%s/%s: %d seeds", name, c.label, len(res.Seeds))
+			}
+			if res.Spread.Mean < float64(k) {
+				t.Fatalf("%s/%s: spread %v below seed count", name, c.label, res.Spread.Mean)
+			}
+			// Determinism.
+			res2 := goinfmax.Run(alg, g, cfg)
+			for i := range res.Seeds {
+				if res.Seeds[i] != res2.Seeds[i] {
+					t.Fatalf("%s/%s: nondeterministic seeds", name, c.label)
+				}
+			}
+		}
+	}
+}
+
+// TestQualityOrderingSanity: on a WC stand-in, every quality technique must
+// clearly beat Random, and beat-or-match HighDegree.
+func TestQualityOrderingSanity(t *testing.T) {
+	g := goinfmax.WeightedCascade{}.Apply(goinfmax.Dataset("nethept", 64, 5))
+	spread := func(name string, param float64) float64 {
+		alg, err := goinfmax.NewAlgorithm(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := goinfmax.RunConfig{K: 10, Model: goinfmax.IC, Seed: 7, ParamValue: param, EvalSims: 2000}
+		res := goinfmax.Run(alg, g, cfg)
+		if res.Status != goinfmax.StatusOK {
+			t.Fatalf("%s: %v", name, res.Status)
+		}
+		return res.Spread.Mean
+	}
+	random := spread("Random", 0)
+	for _, name := range []string{"IMM", "TIM+", "PMC", "CELF"} {
+		param := 0.0
+		if name == "CELF" {
+			param = 100
+		}
+		s := spread(name, param)
+		if s < 1.5*random {
+			t.Fatalf("%s spread %v not clearly above Random %v", name, s, random)
+		}
+	}
+}
+
+func TestEstimateSpreadPublicAPI(t *testing.T) {
+	g := goinfmax.WeightedCascade{}.Apply(goinfmax.Dataset("nethept", 128, 1))
+	est := goinfmax.EstimateSpread(g, goinfmax.IC, []goinfmax.NodeID{0, 1}, 500, 3)
+	if est.Mean < 2 {
+		t.Fatalf("spread %v below seed count", est.Mean)
+	}
+	if est.Runs != 500 {
+		t.Fatalf("runs %d", est.Runs)
+	}
+}
+
+func TestRecommendPublicAPI(t *testing.T) {
+	rec, trace := goinfmax.Recommend(goinfmax.Scenario{Model: weights.LT})
+	if rec != "TIM+" || len(trace) == 0 {
+		t.Fatalf("rec %q trace %v", rec, trace)
+	}
+}
+
+// TestExperimentsQuickSubset runs a fast subset of the experiment harness
+// end to end, writing CSVs to a temp dir — the integration test for
+// cmd/imexp's machinery.
+func TestExperimentsQuickSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness subset is not -short")
+	}
+	cfg := experiments.Quick()
+	cfg.ExtraScale = 256
+	cfg.EvalSims = 100
+	cfg.Ks = []int{1, 5}
+	cfg.OutDir = t.TempDir()
+	var sb strings.Builder
+	cfg.W = &sb
+	for _, name := range []string{"support", "fig5", "myth3", "myth4", "myth7", "mcconv", "fig1"} {
+		exp, err := experiments.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := exp.Run(cfg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 5", "Figure 5", "Figure 10f", "Figure 12", "Figure 1a"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+	if _, err := experiments.Lookup("bogus"); err == nil {
+		t.Fatal("expected lookup error")
+	}
+	if len(experiments.All()) != 20 {
+		t.Fatalf("have %d experiments want 20", len(experiments.All()))
+	}
+}

@@ -1,0 +1,110 @@
+package proxy
+
+import (
+	"testing"
+
+	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+func selectSeeds(t *testing.T, alg core.Algorithm, g *graph.Graph, k int) []graph.NodeID {
+	t.Helper()
+	ctx := core.NewContext(g, weights.IC, k, 29)
+	seeds, err := alg.Select(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != k {
+		t.Fatalf("%s: %d seeds want %d", alg.Name(), len(seeds), k)
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, s := range seeds {
+		if s < 0 || s >= g.N() || seen[s] {
+			t.Fatalf("%s: bad seeds %v", alg.Name(), seeds)
+		}
+		seen[s] = true
+	}
+	return seeds
+}
+
+func TestHighDegreeOrder(t *testing.T) {
+	b := graph.NewBuilder(6, true)
+	// Degrees: 0→3 arcs, 1→2 arcs, 2→1 arc.
+	for v := graph.NodeID(3); v < 6; v++ {
+		_ = b.AddEdge(0, v, 1)
+	}
+	_ = b.AddEdge(1, 3, 1)
+	_ = b.AddEdge(1, 4, 1)
+	_ = b.AddEdge(2, 3, 1)
+	g := b.Build()
+	seeds := selectSeeds(t, HighDegree{}, g, 3)
+	if seeds[0] != 0 || seeds[1] != 1 || seeds[2] != 2 {
+		t.Fatalf("seeds %v want [0 1 2]", seeds)
+	}
+}
+
+func TestHighDegreeTiesDeterministic(t *testing.T) {
+	b := graph.NewBuilder(4, true)
+	_ = b.AddEdge(2, 0, 1)
+	_ = b.AddEdge(3, 1, 1)
+	g := b.Build()
+	a := selectSeeds(t, HighDegree{}, g, 2)
+	bseeds := selectSeeds(t, HighDegree{}, g, 2)
+	if a[0] != bseeds[0] || a[1] != bseeds[1] {
+		t.Fatal("tie-break nondeterministic")
+	}
+	if a[0] != 2 || a[1] != 3 {
+		t.Fatalf("ties must break by id: %v", a)
+	}
+}
+
+func TestPageRankFindsAuthority(t *testing.T) {
+	// 0 influences a chain that feeds many nodes; node 0 should rank top
+	// on the reversed-graph PageRank.
+	b := graph.NewBuilder(8, true)
+	for v := graph.NodeID(1); v < 8; v++ {
+		_ = b.AddEdge(0, v, 0.5)
+	}
+	_ = b.AddEdge(1, 2, 0.5)
+	g := b.Build()
+	seeds := selectSeeds(t, PageRank{}, g, 1)
+	if seeds[0] != 0 {
+		t.Fatalf("PageRank picked %v want source hub 0", seeds)
+	}
+}
+
+func TestRandomIsSeedDeterministic(t *testing.T) {
+	r := rng.New(1)
+	b := graph.NewBuilder(50, true)
+	for i := 0; i < 100; i++ {
+		u, v := graph.NodeID(r.Int31n(50)), graph.NodeID(r.Int31n(50))
+		if u != v {
+			_ = b.AddEdge(u, v, 0.1)
+		}
+	}
+	g := b.Build()
+	a := selectSeeds(t, Random{}, g, 5)
+	bseeds := selectSeeds(t, Random{}, g, 5)
+	for i := range a {
+		if a[i] != bseeds[i] {
+			t.Fatal("Random with same context seed must repeat")
+		}
+	}
+}
+
+func TestAllSupportBothModels(t *testing.T) {
+	for _, a := range []core.Algorithm{HighDegree{}, PageRank{}, Random{}} {
+		if !a.Supports(weights.IC) || !a.Supports(weights.LT) {
+			t.Fatalf("%s support", a.Name())
+		}
+		if a.Param(weights.IC).HasParam() {
+			t.Fatalf("%s should expose no parameter", a.Name())
+		}
+		c, ok := a.(core.Categorizer)
+		if !ok || c.Category() != core.CatProxy {
+			t.Fatalf("%s category", a.Name())
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package rank
+
+import (
+	"testing"
+
+	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/diffusion"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+func randomWC(seed uint64, n int32, m int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n, true)
+	for i := 0; i < m; i++ {
+		u, v := graph.NodeID(r.Int31n(n)), graph.NodeID(r.Int31n(n))
+		if u != v {
+			_ = b.AddEdge(u, v, 1)
+		}
+	}
+	return weights.WeightedCascade{}.Apply(b.BuildSimple())
+}
+
+func selectSeeds(t *testing.T, alg core.Algorithm, g *graph.Graph, k int, rounds float64) []graph.NodeID {
+	t.Helper()
+	ctx := core.NewContext(g, weights.IC, k, 23)
+	ctx.ParamValue = rounds
+	seeds, err := alg.Select(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != k {
+		t.Fatalf("%d seeds want %d", len(seeds), k)
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, s := range seeds {
+		if s < 0 || s >= g.N() || seen[s] {
+			t.Fatalf("bad seeds %v", seeds)
+		}
+		seen[s] = true
+	}
+	return seeds
+}
+
+func TestNames(t *testing.T) {
+	if (IMRank{L: 1}).Name() != "IMRank1" || (IMRank{L: 2}).Name() != "IMRank2" {
+		t.Fatal("names")
+	}
+	if (IMRank{}).Name() != "IMRank1" {
+		t.Fatal("default L name")
+	}
+}
+
+func TestICOnly(t *testing.T) {
+	a := IMRank{L: 1}
+	if a.Supports(weights.LT) || !a.Supports(weights.IC) {
+		t.Fatal("IMRank is IC-only per paper Table 5")
+	}
+}
+
+func TestPicksHub(t *testing.T) {
+	b := graph.NewBuilder(10, true)
+	for v := graph.NodeID(1); v < 10; v++ {
+		_ = b.AddEdge(0, v, 0.5)
+	}
+	g := b.Build()
+	for _, l := range []int{1, 2} {
+		seeds := selectSeeds(t, IMRank{L: l}, g, 1, 10)
+		if seeds[0] != 0 {
+			t.Fatalf("l=%d picked %v want hub 0", l, seeds)
+		}
+	}
+}
+
+func TestSeparatesHubs(t *testing.T) {
+	// Two stars: refinement must surface both hubs for k=2.
+	b := graph.NewBuilder(14, true)
+	for v := graph.NodeID(2); v < 8; v++ {
+		_ = b.AddEdge(0, v, 0.5)
+	}
+	for v := graph.NodeID(8); v < 14; v++ {
+		_ = b.AddEdge(1, v, 0.5)
+	}
+	g := b.Build()
+	seeds := selectSeeds(t, IMRank{L: 1}, g, 2, 10)
+	ok := (seeds[0] == 0 && seeds[1] == 1) || (seeds[0] == 1 && seeds[1] == 0)
+	if !ok {
+		t.Fatalf("seeds %v want hubs {0,1}", seeds)
+	}
+}
+
+// TestQualityReasonable: IMRank must land within 75% of greedy quality
+// under WC (the model where the paper says it performs well).
+func TestQualityReasonable(t *testing.T) {
+	g := randomWC(3, 60, 350)
+	const k = 5
+	sim := diffusion.NewSimulator(g, weights.IC)
+	var ref []graph.NodeID
+	chosen := map[graph.NodeID]bool{}
+	for len(ref) < k {
+		best, bestSp := graph.NodeID(-1), -1.0
+		for v := graph.NodeID(0); v < g.N(); v++ {
+			if chosen[v] {
+				continue
+			}
+			sp := sim.EstimateSpread(append(ref, v), 400, uint64(v)).Mean
+			if sp > bestSp {
+				bestSp, best = sp, v
+			}
+		}
+		ref = append(ref, best)
+		chosen[best] = true
+	}
+	refSpread := diffusion.EstimateSpreadParallel(g, weights.IC, ref, 6000, 5, 0).Mean
+	for _, l := range []int{1, 2} {
+		seeds := selectSeeds(t, IMRank{L: l}, g, k, 10)
+		sp := diffusion.EstimateSpreadParallel(g, weights.IC, seeds, 6000, 5, 0).Mean
+		if sp < 0.75*refSpread {
+			t.Fatalf("IMRank l=%d spread %v < 75%% of greedy %v", l, sp, refSpread)
+		}
+	}
+}
+
+// TestBrokenConvergenceExitsEarly reproduces paper M7: with the original
+// TopKSetStable criterion and large k, refinement stops after ~1 round, so
+// it performs no more scoring rounds than the corrected criterion.
+func TestBrokenConvergenceExitsEarly(t *testing.T) {
+	g := randomWC(7, 120, 700)
+	k := 100 // large k: tail ranking barely moves in round 1
+	lookups := func(mode ConvergenceMode) int64 {
+		ctx := core.NewContext(g, weights.IC, k, 3)
+		ctx.ParamValue = 10
+		if _, err := (IMRank{L: 1, Mode: mode}).Select(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Lookups // one lookup per scoring round
+	}
+	fixed := lookups(FixedRounds)
+	broken := lookups(TopKSetStable)
+	if fixed != 10 {
+		t.Fatalf("corrected criterion ran %d rounds want 10", fixed)
+	}
+	if broken >= fixed {
+		t.Fatalf("broken criterion ran %d rounds, expected early exit (< %d)", broken, fixed)
+	}
+}
+
+func TestRoundsParameter(t *testing.T) {
+	g := randomWC(11, 50, 250)
+	ctx := core.NewContext(g, weights.IC, 5, 3)
+	ctx.ParamValue = 3
+	if _, err := (IMRank{L: 1}).Select(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Lookups != 3 {
+		t.Fatalf("rounds run %d want 3", ctx.Lookups)
+	}
+}
+
+func TestParamMetadata(t *testing.T) {
+	p := (IMRank{}).Param(weights.IC)
+	if p.Name != "#Scoring Rounds" || p.Default != 10 {
+		t.Fatalf("param %+v", p)
+	}
+	c, ok := interface{}(IMRank{}).(core.Categorizer)
+	if !ok || c.Category() != core.CatRank {
+		t.Fatal("category")
+	}
+}
+
+// TestLFAMassConservation: allocation moves mass but conserves the total
+// (each transfer is zero-sum), so Σ mass = n after any LFA pass.
+func TestLFAMassConservation(t *testing.T) {
+	g := randomWC(13, 40, 200)
+	n := g.N()
+	order := make([]graph.NodeID, n)
+	for v := graph.NodeID(0); v < n; v++ {
+		order[v] = v
+	}
+	pos := make([]int32, n)
+	for i, v := range order {
+		pos[v] = int32(i)
+	}
+	mass := make([]float64, n)
+	ctx := core.NewContext(g, weights.IC, 1, 1)
+	(IMRank{L: 1}).lfa(ctx, order, pos, mass, 1)
+	total := 0.0
+	for _, m := range mass {
+		total += m
+	}
+	if total < float64(n)-1e-6 || total > float64(n)+1e-6 {
+		t.Fatalf("mass not conserved: %v want %v", total, n)
+	}
+	// l=2 must also conserve.
+	(IMRank{L: 2}).lfa(ctx, order, pos, mass, 2)
+	total = 0
+	for _, m := range mass {
+		total += m
+	}
+	if total < float64(n)-1e-6 || total > float64(n)+1e-6 {
+		t.Fatalf("l=2 mass not conserved: %v", total)
+	}
+}

@@ -1,0 +1,44 @@
+// Package register wires every implemented IM technique into a core
+// registry. Importing it (even blank) populates core.Default, which the
+// public facade, the commands and the experiment harness all share.
+package register
+
+import (
+	"github.com/sigdata/goinfmax/internal/algo/proxy"
+	"github.com/sigdata/goinfmax/internal/algo/rank"
+	"github.com/sigdata/goinfmax/internal/algo/rrset"
+	"github.com/sigdata/goinfmax/internal/algo/score"
+	"github.com/sigdata/goinfmax/internal/algo/simulation"
+	"github.com/sigdata/goinfmax/internal/algo/snapshot"
+	"github.com/sigdata/goinfmax/internal/core"
+)
+
+// Into registers every technique in r.
+func Into(r *core.Registry) {
+	r.Register("GREEDY", func() core.Algorithm { return simulation.Greedy{} })
+	r.Register("CELF", func() core.Algorithm { return simulation.CELF{} })
+	r.Register("CELF++", func() core.Algorithm { return simulation.CELFpp{} })
+	r.Register("UBLF", func() core.Algorithm { return simulation.UBLF{} })
+	r.Register("RIS", func() core.Algorithm { return rrset.RIS{} })
+	r.Register("TIM+", func() core.Algorithm { return rrset.TIMPlus{} })
+	r.Register("IMM", func() core.Algorithm { return rrset.IMM{} })
+	r.Register("SSA", func() core.Algorithm { return rrset.SSA{} })
+	r.Register("StaticGreedy", func() core.Algorithm { return snapshot.StaticGreedy{} })
+	r.Register("PMC", func() core.Algorithm { return snapshot.PMC{} })
+	r.Register("DegreeDiscount", func() core.Algorithm { return score.DegreeDiscount{} })
+	r.Register("PMIA", func() core.Algorithm { return score.PMIA{} })
+	r.Register("SKIM", func() core.Algorithm { return snapshot.SKIM{} })
+	r.Register("IRIE", func() core.Algorithm { return score.IRIE{} })
+	r.Register("EaSyIM", func() core.Algorithm { return score.EaSyIM{} })
+	r.Register("LDAG", func() core.Algorithm { return score.LDAG{} })
+	r.Register("SIMPATH", func() core.Algorithm { return score.SIMPATH{} })
+	r.Register("IMRank1", func() core.Algorithm { return rank.IMRank{L: 1} })
+	r.Register("IMRank2", func() core.Algorithm { return rank.IMRank{L: 2} })
+	r.Register("HighDegree", func() core.Algorithm { return proxy.HighDegree{} })
+	r.Register("PageRank", func() core.Algorithm { return proxy.PageRank{} })
+	r.Register("Random", func() core.Algorithm { return proxy.Random{} })
+}
+
+func init() {
+	Into(core.Default())
+}

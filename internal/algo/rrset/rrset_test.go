@@ -1,0 +1,365 @@
+package rrset
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/diffusion"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+func star(spokes int32, p float64) *graph.Graph {
+	b := graph.NewBuilder(spokes+1, true)
+	for v := graph.NodeID(1); v <= spokes; v++ {
+		_ = b.AddEdge(0, v, p)
+	}
+	return b.Build()
+}
+
+func randomWC(seed uint64, n int32, m int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n, true)
+	for i := 0; i < m; i++ {
+		u, v := graph.NodeID(r.Int31n(n)), graph.NodeID(r.Int31n(n))
+		if u != v {
+			_ = b.AddEdge(u, v, 1)
+		}
+	}
+	return weights.WeightedCascade{}.Apply(b.BuildSimple())
+}
+
+func randomLT(seed uint64, n int32, m int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n, true)
+	for i := 0; i < m; i++ {
+		u, v := graph.NodeID(r.Int31n(n)), graph.NodeID(r.Int31n(n))
+		if u != v {
+			_ = b.AddEdge(u, v, 1)
+		}
+	}
+	return weights.LTUniform{}.Apply(b.BuildSimple())
+}
+
+func selectSeeds(t *testing.T, alg core.Algorithm, g *graph.Graph, m weights.Model, k int, eps float64) ([]graph.NodeID, *core.Context) {
+	t.Helper()
+	ctx := core.NewContext(g, m, k, 11)
+	ctx.ParamValue = eps
+	seeds, err := alg.Select(ctx)
+	if err != nil {
+		t.Fatalf("%s: %v", alg.Name(), err)
+	}
+	if len(seeds) != k {
+		t.Fatalf("%s: %d seeds want %d", alg.Name(), len(seeds), k)
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, s := range seeds {
+		if s < 0 || s >= g.N() || seen[s] {
+			t.Fatalf("%s: invalid seeds %v", alg.Name(), seeds)
+		}
+		seen[s] = true
+	}
+	return seeds, ctx
+}
+
+func algos() []core.Algorithm {
+	return []core.Algorithm{RIS{}, TIMPlus{}, IMM{}}
+}
+
+func TestPickHubFirstIC(t *testing.T) {
+	g := star(10, 1.0)
+	for _, alg := range algos() {
+		seeds, _ := selectSeeds(t, alg, g, weights.IC, 1, 0.3)
+		if seeds[0] != 0 {
+			t.Fatalf("%s picked %v want hub 0", alg.Name(), seeds)
+		}
+	}
+}
+
+func TestPickHubFirstLT(t *testing.T) {
+	g := weights.LTUniform{}.Apply(star(10, 1.0))
+	for _, alg := range algos() {
+		seeds, _ := selectSeeds(t, alg, g, weights.LT, 1, 0.3)
+		if seeds[0] != 0 {
+			t.Fatalf("%s under LT picked %v want hub 0", alg.Name(), seeds)
+		}
+	}
+}
+
+// TestQualityAgainstReference: TIM+/IMM spreads must be close to a long
+// CELF-equivalent exhaustive baseline on a random WC graph.
+func TestQualityAgainstReference(t *testing.T) {
+	g := randomWC(3, 60, 350)
+	const k = 5
+	// Exhaustive greedy reference via common random numbers.
+	ref := exhaustiveGreedy(g, weights.IC, k, 800)
+	refSpread := diffusion.EstimateSpreadParallel(g, weights.IC, ref, 6000, 5, 0).Mean
+	for _, alg := range algos() {
+		seeds, _ := selectSeeds(t, alg, g, weights.IC, k, 0.2)
+		sp := diffusion.EstimateSpreadParallel(g, weights.IC, seeds, 6000, 5, 0).Mean
+		if sp < 0.9*refSpread {
+			t.Fatalf("%s spread %v < 90%% of greedy reference %v", alg.Name(), sp, refSpread)
+		}
+	}
+}
+
+// exhaustiveGreedy is a slow reference implementation used only in tests.
+func exhaustiveGreedy(g *graph.Graph, m weights.Model, k, sims int) []graph.NodeID {
+	sim := diffusion.NewSimulator(g, m)
+	var seeds []graph.NodeID
+	chosen := make(map[graph.NodeID]bool)
+	for len(seeds) < k {
+		best, bestSp := graph.NodeID(-1), -1.0
+		for v := graph.NodeID(0); v < g.N(); v++ {
+			if chosen[v] {
+				continue
+			}
+			sp := sim.EstimateSpread(append(seeds, v), sims, uint64(v)+99).Mean
+			if sp > bestSp {
+				bestSp, best = sp, v
+			}
+		}
+		seeds = append(seeds, best)
+		chosen[best] = true
+	}
+	return seeds
+}
+
+// TestExtrapolatedSpreadReported: TIM+/IMM must expose their extrapolated
+// estimate (paper M4 / Appendix A) and it should roughly track the MC value
+// but differ from it (it is computed from coverage, not simulation).
+func TestExtrapolatedSpreadReported(t *testing.T) {
+	g := randomWC(7, 80, 400)
+	for _, alg := range algos() {
+		seeds, ctx := selectSeeds(t, alg, g, weights.IC, 4, 0.3)
+		if ctx.EstimatedSpread < 0 {
+			t.Fatalf("%s did not report extrapolated spread", alg.Name())
+		}
+		mc := diffusion.EstimateSpreadParallel(g, weights.IC, seeds, 5000, 3, 0).Mean
+		if ctx.EstimatedSpread < 0.3*mc || ctx.EstimatedSpread > 4*mc {
+			t.Fatalf("%s extrapolated %v wildly off MC %v", alg.Name(), ctx.EstimatedSpread, mc)
+		}
+	}
+}
+
+// TestExtrapolationInflatesWithEps reproduces paper M4: the extrapolated
+// spread at loose ε is at least the extrapolated spread at tight ε (the
+// over-estimation grows with sampling error). Averaged over seeds to damp
+// noise.
+func TestExtrapolationInflatesWithEps(t *testing.T) {
+	g := randomWC(9, 100, 600)
+	avgExtrap := func(eps float64) float64 {
+		tot := 0.0
+		for s := uint64(0); s < 5; s++ {
+			ctx := core.NewContext(g, weights.IC, 4, 100+s)
+			ctx.ParamValue = eps
+			if _, err := (IMM{}).Select(ctx); err != nil {
+				t.Fatal(err)
+			}
+			tot += ctx.EstimatedSpread
+		}
+		return tot / 5
+	}
+	tight, loose := avgExtrap(0.1), avgExtrap(0.9)
+	if loose < tight*0.98 {
+		t.Fatalf("extrapolated spread shrank with ε: tight %v loose %v", tight, loose)
+	}
+}
+
+// TestMemoryAccountingGrowsWithEdgeWeight: the mechanism behind Fig. 1a/M6.
+// IC(0.3) RR collections must account more bytes than WC on the same graph.
+func TestMemoryAccountingGrowsWithEdgeWeight(t *testing.T) {
+	base := randomWC(13, 120, 900)
+	hi := weights.ICConstant{P: 0.3}.Apply(base)
+	mem := func(g *graph.Graph) int64 {
+		ctx := core.NewContext(g, weights.IC, 3, 21)
+		ctx.ParamValue = 0.5
+		if _, err := (IMM{}).Select(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.MemUsed()
+	}
+	if wc, ic := mem(base), mem(hi); ic <= wc {
+		t.Fatalf("IC(0.3) accounted %d ≤ WC %d", ic, wc)
+	}
+}
+
+// TestCrashedOnMemoryBudget: with a tiny memory cap, IMM under high-weight
+// IC must return Crashed — the paper's Table 3 outcome.
+func TestCrashedOnMemoryBudget(t *testing.T) {
+	g := weights.ICConstant{P: 0.4}.Apply(randomWC(15, 300, 3000))
+	res := core.Run(IMM{}, g, core.RunConfig{
+		K: 10, Model: weights.IC, Seed: 1, ParamValue: 0.1,
+		MemBudgetBytes: 32 * 1024,
+	})
+	if res.Status != core.Crashed {
+		t.Fatalf("status %v want Crashed", res.Status)
+	}
+}
+
+// TestEpsilonControlsSamples: smaller ε must sample more RR sets (lookups).
+func TestEpsilonControlsSamples(t *testing.T) {
+	g := randomWC(17, 100, 500)
+	count := func(alg core.Algorithm, eps float64) int64 {
+		ctx := core.NewContext(g, weights.IC, 3, 31)
+		ctx.ParamValue = eps
+		if _, err := alg.Select(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Lookups
+	}
+	for _, alg := range []core.Algorithm{TIMPlus{}, IMM{}} {
+		tight := count(alg, 0.1)
+		loose := count(alg, 0.8)
+		if tight <= loose {
+			t.Fatalf("%s: ε=0.1 sampled %d ≤ ε=0.8 %d", alg.Name(), tight, loose)
+		}
+	}
+}
+
+func TestLTRRSetsSmallerThanIC(t *testing.T) {
+	// Under LT, RR sets are reverse walks; their total size should be far
+	// below IC(0.3) RR sets on the same dense structure.
+	base := randomWC(19, 100, 800)
+	ic := weights.ICConstant{P: 0.3}.Apply(base)
+	lt := weights.LTUniform{}.Apply(base)
+	memIC := func() int64 {
+		ctx := core.NewContext(ic, weights.IC, 3, 7)
+		ctx.ParamValue = 0.5
+		_, err := (IMM{}).Select(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctx.MemUsed() / maxI64(ctx.Lookups, 1)
+	}()
+	memLT := func() int64 {
+		ctx := core.NewContext(lt, weights.LT, 3, 7)
+		ctx.ParamValue = 0.5
+		_, err := (IMM{}).Select(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctx.MemUsed() / maxI64(ctx.Lookups, 1)
+	}()
+	if memLT >= memIC {
+		t.Fatalf("per-RR bytes LT %d ≥ IC %d", memLT, memIC)
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestParamMetadata(t *testing.T) {
+	if p := (TIMPlus{}).Param(weights.LT); p.Default != 0.35 {
+		t.Fatalf("TIM+ LT default %v want 0.35 (paper Table 2)", p.Default)
+	}
+	if p := (TIMPlus{}).Param(weights.IC); p.Default != 0.15 {
+		t.Fatalf("TIM+ IC default %v", p.Default)
+	}
+	if p := (IMM{}).Param(weights.IC); p.Default != 0.1 || p.Name != "epsilon" {
+		t.Fatalf("IMM param %+v", p)
+	}
+	for _, alg := range algos() {
+		c, ok := alg.(core.Categorizer)
+		if !ok || c.Category() != core.CatRRSet {
+			t.Fatalf("%s category", alg.Name())
+		}
+		if !alg.Supports(weights.IC) || !alg.Supports(weights.LT) {
+			t.Fatalf("%s must support IC and LT", alg.Name())
+		}
+	}
+}
+
+func TestLogNChooseK(t *testing.T) {
+	// ln C(10,3) = ln 120.
+	if got := logNChooseK(10, 3); math.Abs(got-math.Log(120)) > 1e-9 {
+		t.Fatalf("logC(10,3)=%v want %v", got, math.Log(120))
+	}
+	if got := logNChooseK(5, 0); got != 0 {
+		t.Fatalf("logC(5,0)=%v", got)
+	}
+	if got := logNChooseK(5, 9); got != 0 {
+		t.Fatalf("out-of-range k should return 0, got %v", got)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := randomWC(23, 80, 400)
+	for _, alg := range algos() {
+		a, _ := selectSeeds(t, alg, g, weights.IC, 4, 0.3)
+		b, _ := selectSeeds(t, alg, g, weights.IC, 4, 0.3)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s nondeterministic: %v vs %v", alg.Name(), a, b)
+			}
+		}
+	}
+}
+
+func TestSSAPicksHub(t *testing.T) {
+	g := star(10, 1.0)
+	seeds, ctx := selectSeeds(t, SSA{}, g, weights.IC, 1, 0.3)
+	if seeds[0] != 0 {
+		t.Fatalf("SSA picked %v want hub 0", seeds)
+	}
+	if ctx.EstimatedSpread < 0 {
+		t.Fatal("SSA did not report a verified estimate")
+	}
+}
+
+func TestSSAQualityMatchesIMM(t *testing.T) {
+	g := randomWC(61, 80, 450)
+	const k = 5
+	immSeeds, _ := selectSeeds(t, IMM{}, g, weights.IC, k, 0.2)
+	ssaSeeds, _ := selectSeeds(t, SSA{}, g, weights.IC, k, 0.2)
+	imm := diffusion.EstimateSpreadParallel(g, weights.IC, immSeeds, 6000, 7, 0).Mean
+	ssa := diffusion.EstimateSpreadParallel(g, weights.IC, ssaSeeds, 6000, 7, 0).Mean
+	if ssa < 0.9*imm {
+		t.Fatalf("SSA spread %v < 90%% of IMM %v", ssa, imm)
+	}
+}
+
+// TestSSAFewerSamplesThanIMM: the stop-and-stare claim — at equal ε, SSA's
+// sample count (lookups) should be well below IMM's worst-case-bound count.
+func TestSSAFewerSamplesThanIMM(t *testing.T) {
+	g := randomWC(67, 120, 700)
+	count := func(alg core.Algorithm) int64 {
+		ctx := core.NewContext(g, weights.IC, 5, 11)
+		ctx.ParamValue = 0.2
+		if _, err := alg.Select(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Lookups
+	}
+	imm, ssa := count(IMM{}), count(SSA{})
+	if ssa >= imm {
+		t.Fatalf("SSA sampled %d RR sets, IMM %d — stop-and-stare saved nothing", ssa, imm)
+	}
+}
+
+// TestSSAVerifiedEstimateNotInflated: unlike raw TIM+/IMM extrapolation
+// (M4), SSA's reported estimate comes from an independent collection and
+// must track the MC spread closely even at loose ε.
+func TestSSAVerifiedEstimateNotInflated(t *testing.T) {
+	g := randomWC(71, 100, 600)
+	var estSum, mcSum float64
+	for s := uint64(0); s < 5; s++ {
+		ctx := core.NewContext(g, weights.IC, 4, 50+s)
+		ctx.ParamValue = 0.8
+		seeds, err := (SSA{}).Select(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		estSum += ctx.EstimatedSpread
+		mcSum += diffusion.EstimateSpreadParallel(g, weights.IC, seeds, 4000, s, 0).Mean
+	}
+	if estSum > mcSum*1.15 {
+		t.Fatalf("verified estimate mean %v inflated vs MC %v", estSum/5, mcSum/5)
+	}
+}

@@ -1,0 +1,116 @@
+package rrset
+
+import (
+	"math"
+
+	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// SSA is the Stop-and-Stare algorithm of Nguyen, Thai and Dinh (SIGMOD
+// 2016) — reference [23] of the benchmark paper, which could not include
+// it ("published too recently") and promised to evolve the study with it.
+// This implementation is that evolution.
+//
+// SSA tightens TIM+/IMM's sampling with an estimate-and-verify loop:
+//
+//	repeat with an exponentially growing RR collection R ("stop"):
+//	    S ← greedy max-cover on R, Î ← n·F_R(S)
+//	    verify Î on an INDEPENDENT collection R' ("stare"):
+//	        I' ← n·F_{R'}(S), with enough covered samples for an
+//	        (ε₂, δ)-accurate estimate
+//	    if Î ≤ (1+ε₁)·I' — the optimization estimate is not inflated —
+//	        return S
+//
+// The stare step kills exactly the failure mode the benchmark paper's M4
+// dissects: seeds over-fitted to a too-small sample have inflated coverage
+// on R but not on the independent R'. Constants follow the paper's
+// structure with the simplified ε-split ε₁ = ε₂ = ε/2; the full δ-union
+// bookkeeping is simplified to a fixed per-round confidence (documented
+// deviation — we target behavioural reproduction, not the proof).
+type SSA struct{}
+
+// Name implements core.Algorithm.
+func (SSA) Name() string { return "SSA" }
+
+// Supports implements core.Algorithm.
+func (SSA) Supports(weights.Model) bool { return true }
+
+// Category implements core.Categorizer.
+func (SSA) Category() core.Category { return core.CatRRSet }
+
+// Param implements core.Algorithm.
+func (SSA) Param(weights.Model) core.Param {
+	return core.Param{Name: "epsilon", Spectrum: epsSpectrum, Default: 0.1}
+}
+
+// Select implements core.Algorithm.
+func (SSA) Select(ctx *core.Context) ([]graph.NodeID, error) {
+	eps := ctx.Param(0.1)
+	n := float64(ctx.G.N())
+	const delta = 1.0 / 100 // per-round failure budget (simplified)
+	eps1 := eps / 2
+	eps2 := eps / 2
+
+	// Λ: minimum covered-sample count for an (ε₂, δ) multiplicative
+	// Monte-Carlo estimate (Dagum et al. stopping rule, as used by SSA).
+	lambda := (1 + eps2) * (2 + 2*eps2/3) * math.Log(2/delta) / (eps2 * eps2)
+
+	opt := newCollection(ctx)   // optimization collection R
+	ver := newCollection(ctx)   // verification collection R'
+	batch := int64(500 + ctx.K) // initial |R|
+	maxRounds := 24             // 2^24 batches: far beyond any real need
+
+	var seeds []graph.NodeID
+	for round := 0; round < maxRounds; round++ {
+		if err := opt.extend(batch); err != nil {
+			return nil, err
+		}
+		var fOpt float64
+		seeds, fOpt = opt.cover(ctx.K)
+		estOpt := n * fOpt
+
+		// Stare: grow R' until the seeds cover ≥ λ of its samples (or R'
+		// reaches |R|, whichever first — coverage that low fails the check
+		// anyway).
+		inSeed := make(map[graph.NodeID]struct{}, len(seeds))
+		for _, s := range seeds {
+			inSeed[s] = struct{}{}
+		}
+		countCovered := func() int64 {
+			covered := int64(0)
+			for _, set := range ver.sets {
+				for _, v := range set {
+					if _, ok := inSeed[v]; ok {
+						covered++
+						break
+					}
+				}
+			}
+			return covered
+		}
+		if err := ver.extend(int64(len(opt.sets))); err != nil {
+			return nil, err
+		}
+		covered := countCovered()
+		for covered < int64(lambda) && int64(len(ver.sets)) < 8*int64(len(opt.sets)) {
+			if err := ver.extend(int64(len(ver.sets)) * 2); err != nil {
+				return nil, err
+			}
+			covered = countCovered()
+		}
+		estVer := n * float64(covered) / float64(len(ver.sets))
+
+		if covered >= int64(lambda) && estOpt <= (1+eps1)*estVer {
+			// Verified: the optimization estimate is not inflated.
+			ctx.EstimatedSpread = estVer
+			return seeds, nil
+		}
+		batch = int64(len(opt.sets)) * 2
+	}
+	// Statistical stop never fired within the cap (vanishingly unlikely on
+	// real inputs); return the best seeds found with the verified estimate.
+	ctx.EstimatedSpread = -1
+	return seeds, nil
+}

@@ -1,0 +1,123 @@
+package score
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/diffusion"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+func TestPMIAPicksHub(t *testing.T) {
+	g := star(10, 0.3)
+	seeds := selectSeeds(t, PMIA{}, g, weights.IC, 1, 0)
+	if seeds[0] != 0 {
+		t.Fatalf("picked %v want hub 0", seeds)
+	}
+}
+
+func TestPMIAICOnly(t *testing.T) {
+	a := PMIA{}
+	if a.Supports(weights.LT) || !a.Supports(weights.IC) {
+		t.Fatal("PMIA is IC-only")
+	}
+	if a.Param(weights.IC).HasParam() {
+		t.Fatal("PMIA exposes no external parameter")
+	}
+}
+
+// TestPMIAExactOnTree: on a directed in-tree the MIIA equals the whole
+// graph and PMIA's first-seed score is the exact σ. Chain 0→1→2 with
+// p=0.5: σ({0}) = 1 + 0.5 + 0.25 = 1.75, σ({1}) = 1.5, σ({2}) = 1.
+// PMIA must pick node 0 first and node 2's marginal last.
+func TestPMIAExactOnChain(t *testing.T) {
+	b := graph.NewBuilder(3, true)
+	_ = b.AddEdge(0, 1, 0.5)
+	_ = b.AddEdge(1, 2, 0.5)
+	g := b.Build()
+	seeds := selectSeeds(t, PMIA{}, g, weights.IC, 3, 0)
+	if seeds[0] != 0 {
+		t.Fatalf("first seed %v want 0", seeds)
+	}
+	// After 0, marginal of 1 is σ-boost of forcing 1 active: 1 was active
+	// w.p. 0.5; forcing it adds (1−0.5)(1+0.5) = 0.75 vs 2's (1−0.25)·1 =
+	// 0.75 — tie; either order acceptable.
+}
+
+// TestPMIAQuality: within 85% of exhaustive greedy on a WC graph.
+func TestPMIAQuality(t *testing.T) {
+	g := randomWC(31, 60, 350)
+	const k = 5
+	ref := exhaustiveGreedy(g, weights.IC, k, 500)
+	refSpread := diffusion.EstimateSpreadParallel(g, weights.IC, ref, 6000, 5, 0).Mean
+	seeds := selectSeeds(t, PMIA{}, g, weights.IC, k, 0)
+	sp := diffusion.EstimateSpreadParallel(g, weights.IC, seeds, 6000, 5, 0).Mean
+	if sp < 0.85*refSpread {
+		t.Fatalf("PMIA spread %v < 85%% of greedy %v", sp, refSpread)
+	}
+}
+
+// TestPMIATreeApMatchesSimulation: the tree DP activation probability of
+// the root equals MC simulation on a pure in-tree (where PMIA is exact).
+func TestPMIATreeApMatchesSimulation(t *testing.T) {
+	// In-tree towards node 0: 1→0, 2→0, 3→1, 4→1.
+	b := graph.NewBuilder(5, true)
+	_ = b.AddEdge(1, 0, 0.6)
+	_ = b.AddEdge(2, 0, 0.4)
+	_ = b.AddEdge(3, 1, 0.7)
+	_ = b.AddEdge(4, 1, 0.2)
+	g := b.Build()
+	// Seeds {3, 2}: P(1) = ap(3)·0.7 = 0.7; P(0) = 1 − (1−0.7·0.6)(1−0.4).
+	want0 := 1 - (1-0.7*0.6)*(1-0.4)
+	mc := diffusion.NewSimulator(g, weights.IC).EstimateSpread([]graph.NodeID{3, 2}, 60000, 3)
+	// Expected spread = 2 seeds + P(1) + P(0).
+	want := 2 + 0.7 + want0
+	if math.Abs(mc.Mean-want) > 4*mc.StdErr+0.01 {
+		t.Fatalf("MC %v vs closed form %v — test graph broken", mc.Mean, want)
+	}
+	// PMIA with k=2 must select {3,...}? Influence σ({3}) = 1+0.7+0.7·0.6 =
+	// 2.12 — the largest single-node spread; confirm it goes first.
+	seeds := selectSeeds(t, PMIA{}, g, weights.IC, 1, 0)
+	if seeds[0] != 3 {
+		t.Fatalf("first PMIA seed %v want 3", seeds)
+	}
+}
+
+func TestPMIAAvoidsSaturatedRegions(t *testing.T) {
+	// Two stars again; PMIA must take both hubs.
+	b := graph.NewBuilder(12, true)
+	for v := graph.NodeID(2); v < 7; v++ {
+		_ = b.AddEdge(0, v, 0.5)
+	}
+	for v := graph.NodeID(7); v < 12; v++ {
+		_ = b.AddEdge(1, v, 0.5)
+	}
+	g := b.Build()
+	seeds := selectSeeds(t, PMIA{}, g, weights.IC, 2, 0)
+	if !((seeds[0] == 0 && seeds[1] == 1) || (seeds[0] == 1 && seeds[1] == 0)) {
+		t.Fatalf("PMIA picked %v want hubs {0,1}", seeds)
+	}
+}
+
+func TestPMIADeterministic(t *testing.T) {
+	g := randomWC(37, 50, 300)
+	a := selectSeeds(t, PMIA{}, g, weights.IC, 5, 0)
+	b := selectSeeds(t, PMIA{}, g, weights.IC, 5, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("PMIA nondeterministic")
+		}
+	}
+}
+
+func TestPMIABudget(t *testing.T) {
+	g := randomWC(41, 400, 4000)
+	res := core.Run(PMIA{}, g, core.RunConfig{
+		K: 50, Model: weights.IC, Seed: 1, TimeBudget: 1, // 1ns: immediate
+	})
+	if res.Status != core.DNF {
+		t.Fatalf("status %v want DNF", res.Status)
+	}
+}

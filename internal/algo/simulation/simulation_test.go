@@ -1,0 +1,215 @@
+package simulation
+
+import (
+	"testing"
+
+	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/diffusion"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// star builds hub→spokes with weight p: node 0 points at 1..spokes.
+func star(spokes int32, p float64) *graph.Graph {
+	b := graph.NewBuilder(spokes+1, true)
+	for v := graph.NodeID(1); v <= spokes; v++ {
+		_ = b.AddEdge(0, v, p)
+	}
+	return b.Build()
+}
+
+// twoStars builds two disjoint hubs: 0→{2..6}, 1→{7..9}.
+func twoStars() *graph.Graph {
+	b := graph.NewBuilder(10, true)
+	for v := graph.NodeID(2); v <= 6; v++ {
+		_ = b.AddEdge(0, v, 1)
+	}
+	for v := graph.NodeID(7); v <= 9; v++ {
+		_ = b.AddEdge(1, v, 1)
+	}
+	return b.Build()
+}
+
+// randomWC builds a random simple directed WC-weighted graph.
+func randomWC(seed uint64, n int32, m int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n, true)
+	for i := 0; i < m; i++ {
+		u, v := graph.NodeID(r.Int31n(n)), graph.NodeID(r.Int31n(n))
+		if u != v {
+			_ = b.AddEdge(u, v, 1)
+		}
+	}
+	return weights.WeightedCascade{}.Apply(b.BuildSimple())
+}
+
+func selectSeeds(t *testing.T, alg core.Algorithm, g *graph.Graph, m weights.Model, k int, param float64) []graph.NodeID {
+	t.Helper()
+	ctx := core.NewContext(g, m, k, 7)
+	ctx.ParamValue = param
+	seeds, err := alg.Select(ctx)
+	if err != nil {
+		t.Fatalf("%s: %v", alg.Name(), err)
+	}
+	if len(seeds) != k {
+		t.Fatalf("%s returned %d seeds want %d", alg.Name(), len(seeds), k)
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, s := range seeds {
+		if s < 0 || s >= g.N() || seen[s] {
+			t.Fatalf("%s: bad seed set %v", alg.Name(), seeds)
+		}
+		seen[s] = true
+	}
+	return seeds
+}
+
+func TestAllPickHubFirst(t *testing.T) {
+	g := star(8, 1.0)
+	for _, alg := range []core.Algorithm{Greedy{}, CELF{}, CELFpp{}} {
+		seeds := selectSeeds(t, alg, g, weights.IC, 1, 100)
+		if seeds[0] != 0 {
+			t.Fatalf("%s picked %v, hub is 0", alg.Name(), seeds)
+		}
+	}
+}
+
+func TestAllPickBothHubs(t *testing.T) {
+	g := twoStars()
+	for _, alg := range []core.Algorithm{Greedy{}, CELF{}, CELFpp{}} {
+		seeds := selectSeeds(t, alg, g, weights.IC, 2, 100)
+		if !((seeds[0] == 0 && seeds[1] == 1) || (seeds[0] == 1 && seeds[1] == 0)) {
+			t.Fatalf("%s picked %v, want hubs {0,1}", alg.Name(), seeds)
+		}
+		// The larger hub must come first (greedy order).
+		if seeds[0] != 0 {
+			t.Fatalf("%s picked smaller hub first: %v", alg.Name(), seeds)
+		}
+	}
+}
+
+func TestLTSupport(t *testing.T) {
+	b := graph.NewBuilder(4, true)
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(1, 2, 1)
+	_ = b.AddEdge(2, 3, 1)
+	g := b.Build()
+	for _, alg := range []core.Algorithm{Greedy{}, CELF{}, CELFpp{}} {
+		if !alg.Supports(weights.LT) {
+			t.Fatalf("%s must support LT", alg.Name())
+		}
+		seeds := selectSeeds(t, alg, g, weights.LT, 1, 50)
+		if seeds[0] != 0 {
+			t.Fatalf("%s under LT picked %v want chain head 0", alg.Name(), seeds)
+		}
+	}
+}
+
+// TestCELFMatchesGreedy: with identical simulation effort, CELF's lazy
+// pruning must not change quality materially vs exhaustive GREEDY.
+func TestCELFMatchesGreedyQuality(t *testing.T) {
+	g := randomWC(5, 40, 200)
+	const k, sims = 4, 300
+	evalSpread := func(seeds []graph.NodeID) float64 {
+		return diffusion.EstimateSpreadParallel(g, weights.IC, seeds, 4000, 9, 0).Mean
+	}
+	greedy := evalSpread(selectSeeds(t, Greedy{}, g, weights.IC, k, sims))
+	celf := evalSpread(selectSeeds(t, CELF{}, g, weights.IC, k, sims))
+	celfpp := evalSpread(selectSeeds(t, CELFpp{}, g, weights.IC, k, sims))
+	if celf < 0.9*greedy {
+		t.Fatalf("CELF spread %v << GREEDY %v", celf, greedy)
+	}
+	if celfpp < 0.9*greedy {
+		t.Fatalf("CELF++ spread %v << GREEDY %v", celfpp, greedy)
+	}
+}
+
+// TestCELFFewerLookupsThanGreedy: the entire point of lazy evaluation.
+func TestCELFFewerLookupsThanGreedy(t *testing.T) {
+	g := randomWC(11, 50, 250)
+	const k, sims = 5, 100
+	run := func(alg core.Algorithm) int64 {
+		ctx := core.NewContext(g, weights.IC, k, 3)
+		ctx.ParamValue = sims
+		if _, err := alg.Select(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Lookups
+	}
+	gl := run(Greedy{})
+	cl := run(CELF{})
+	if cl >= gl {
+		t.Fatalf("CELF lookups %d not below GREEDY %d", cl, gl)
+	}
+}
+
+// TestCELFppLookupsComparable reproduces the shape of paper M1/Fig. 13:
+// CELF++ does not use dramatically fewer lookups than CELF (within 2×),
+// because its speculative mg2 estimations are themselves lookups.
+func TestCELFppLookupsComparable(t *testing.T) {
+	g := randomWC(13, 50, 250)
+	const k, sims = 5, 100
+	run := func(alg core.Algorithm) int64 {
+		ctx := core.NewContext(g, weights.IC, k, 3)
+		ctx.ParamValue = sims
+		if _, err := alg.Select(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Lookups
+	}
+	cl := run(CELF{})
+	cpl := run(CELFpp{})
+	if cpl > 3*cl || cl > 3*cpl {
+		t.Fatalf("lookups wildly divergent: CELF %d vs CELF++ %d", cl, cpl)
+	}
+}
+
+func TestBudgetEnforcement(t *testing.T) {
+	g := randomWC(17, 200, 1000)
+	for _, alg := range []core.Algorithm{Greedy{}, CELF{}, CELFpp{}} {
+		res := core.Run(alg, g, core.RunConfig{
+			K: 50, Model: weights.IC, Seed: 1,
+			ParamValue: 10000,
+			TimeBudget: 30 * 1000 * 1000, // 30ms
+			EvalSims:   0,
+		})
+		if res.Status != core.DNF {
+			t.Fatalf("%s: status %v want DNF under 30ms budget", alg.Name(), res.Status)
+		}
+	}
+}
+
+func TestParamMetadata(t *testing.T) {
+	for _, alg := range []core.Algorithm{Greedy{}, CELF{}, CELFpp{}} {
+		p := alg.Param(weights.IC)
+		if p.Name != "#MC Simulations" {
+			t.Fatalf("%s param %q", alg.Name(), p.Name)
+		}
+		if len(p.Spectrum) == 0 || p.Default <= 0 {
+			t.Fatalf("%s param %+v", alg.Name(), p)
+		}
+		// Spectrum must be non-increasing in accuracy (here: values).
+		for i := 1; i < len(p.Spectrum); i++ {
+			if p.Spectrum[i] > p.Spectrum[i-1] {
+				t.Fatalf("%s spectrum not sorted: %v", alg.Name(), p.Spectrum)
+			}
+		}
+	}
+	// CELF++ LT default is 10000 per paper Table 2.
+	if d := (CELFpp{}).Param(weights.LT).Default; d != 10000 {
+		t.Fatalf("CELF++ LT default %v", d)
+	}
+	if d := (CELFpp{}).Param(weights.IC).Default; d != 7500 {
+		t.Fatalf("CELF++ IC default %v", d)
+	}
+}
+
+func TestCategories(t *testing.T) {
+	for _, alg := range []core.Algorithm{Greedy{}, CELF{}, CELFpp{}} {
+		c, ok := alg.(core.Categorizer)
+		if !ok || c.Category() != core.CatSimulation {
+			t.Fatalf("%s category", alg.Name())
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package simulation
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/diffusion"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+func TestUBLFPicksHub(t *testing.T) {
+	g := star(8, 0.5)
+	seeds := selectSeeds(t, UBLF{}, g, weights.IC, 1, 100)
+	if seeds[0] != 0 {
+		t.Fatalf("picked %v want hub", seeds)
+	}
+}
+
+func TestUBLFICOnly(t *testing.T) {
+	if (UBLF{}).Supports(weights.LT) {
+		t.Fatal("UBLF's bound is IC-specific")
+	}
+	if p := (UBLF{}).Param(weights.IC); p.Name != "#MC Simulations" {
+		t.Fatalf("param %+v", p)
+	}
+	c, ok := interface{}(UBLF{}).(core.Categorizer)
+	if !ok || c.Category() != core.CatSimulation {
+		t.Fatal("category")
+	}
+}
+
+// TestUBLFBoundIsUpperBound: the analytic series must upper-bound the MC
+// spread of every node (the property the lazy greedy's correctness needs).
+// On the 2-arc chain with p=0.5, UB(0) = 1 + 0.5 + 0.25 = σ(0) exactly
+// (chains have one path per pair); on cyclic graphs UB over-counts paths
+// and exceeds σ.
+func TestUBLFBoundExactOnChain(t *testing.T) {
+	b := graph.NewBuilder(3, true)
+	_ = b.AddEdge(0, 1, 0.5)
+	_ = b.AddEdge(1, 2, 0.5)
+	g := b.Build()
+	ctx := core.NewContext(g, weights.IC, 3, 1)
+	ctx.ParamValue = 2000
+	seeds, err := (UBLF{}).Select(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeds[0] != 0 {
+		t.Fatalf("first seed %v want 0 (largest bound)", seeds)
+	}
+}
+
+func TestUBLFBoundDominatesSpread(t *testing.T) {
+	g := randomWC(41, 40, 200)
+	// Recompute the bound the way Select does.
+	n := g.N()
+	ub := make([]float64, n)
+	acc := make([]float64, n)
+	next := make([]float64, n)
+	for i := range ub {
+		ub[i], acc[i] = 1, 1
+	}
+	for t2 := 0; t2 < 40; t2++ {
+		for v := graph.NodeID(0); v < n; v++ {
+			s := 0.0
+			to, w := g.OutNeighbors(v)
+			for i, x := range to {
+				s += w[i] * acc[x]
+			}
+			next[v] = s
+			ub[v] += s
+		}
+		acc, next = next, acc
+	}
+	sim := diffusion.NewSimulator(g, weights.IC)
+	for _, v := range []graph.NodeID{0, 7, 19, 33} {
+		est := sim.EstimateSpread([]graph.NodeID{v}, 4000, uint64(v))
+		if est.Mean > ub[v]+4*est.StdErr+1e-6 {
+			t.Fatalf("node %d: σ=%v exceeds bound %v", v, est.Mean, ub[v])
+		}
+	}
+}
+
+// TestUBLFQualityMatchesCELF at equal simulation budgets.
+func TestUBLFQualityMatchesCELF(t *testing.T) {
+	g := randomWC(43, 50, 280)
+	const k, sims = 4, 200
+	celf := selectSeeds(t, CELF{}, g, weights.IC, k, sims)
+	ublf := selectSeeds(t, UBLF{}, g, weights.IC, k, sims)
+	sc := diffusion.EstimateSpreadParallel(g, weights.IC, celf, 6000, 3, 0).Mean
+	su := diffusion.EstimateSpreadParallel(g, weights.IC, ublf, 6000, 3, 0).Mean
+	if su < 0.9*sc {
+		t.Fatalf("UBLF spread %v < 90%% of CELF %v", su, sc)
+	}
+}
+
+// TestUBLFFewerLookupsThanCELF: the published claim — the bound replaces
+// the full first-iteration simulation pass, so UBLF simulates far fewer
+// nodes.
+func TestUBLFFewerLookupsThanCELF(t *testing.T) {
+	g := randomWC(47, 80, 450)
+	const k, sims = 5, 100
+	run := func(alg core.Algorithm) int64 {
+		ctx := core.NewContext(g, weights.IC, k, 9)
+		ctx.ParamValue = sims
+		if _, err := alg.Select(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Lookups
+	}
+	celf, ublf := run(CELF{}), run(UBLF{})
+	// CELF must simulate every node once up front (n = 80 minimum); UBLF
+	// replaces that pass with the analytic bound. How much of the saving
+	// survives depends on bound tightness — on dense WC graphs the
+	// path-sum over-counts cycles and the bound loosens (the published
+	// behaviour: UBLF's edge is largest in sparse/low-weight regimes) —
+	// but it must never be MORE work than CELF.
+	if ublf >= celf {
+		t.Fatalf("UBLF lookups %d not below CELF %d", ublf, celf)
+	}
+	_ = math.Inf // keep math import for future tolerance tweaks
+}

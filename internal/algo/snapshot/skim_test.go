@@ -1,0 +1,133 @@
+package snapshot
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/diffusion"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+func TestSKIMPicksHub(t *testing.T) {
+	g := star(10, 1.0)
+	ctx := core.NewContext(g, weights.IC, 1, 3)
+	seeds, err := (SKIM{}).Select(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeds[0] != 0 {
+		t.Fatalf("picked %v want hub 0", seeds)
+	}
+}
+
+func TestSKIMSupportsBothModels(t *testing.T) {
+	a := SKIM{}
+	if !a.Supports(weights.IC) || !a.Supports(weights.LT) {
+		t.Fatal("SKIM supports both live-edge models")
+	}
+	if p := a.Param(weights.IC); p.Name != "#Instances" || p.Default != 64 {
+		t.Fatalf("param %+v", p)
+	}
+}
+
+// TestSKIMQualityMatchesStaticGreedy: the sketch prior must not hurt final
+// quality — the exact-evaluation lazy greedy should land within 10% of
+// StaticGreedy on the same instances budget.
+func TestSKIMQualityMatchesStaticGreedy(t *testing.T) {
+	g := randomWC(43, 60, 350)
+	const k = 5
+	sgSeeds := selectSeeds(t, StaticGreedy{}, g, k, 64)
+	ctx := core.NewContext(g, weights.IC, k, 13)
+	ctx.ParamValue = 64
+	skimSeeds, err := (SKIM{}).Select(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg := diffusion.EstimateSpreadParallel(g, weights.IC, sgSeeds, 6000, 7, 0).Mean
+	sk := diffusion.EstimateSpreadParallel(g, weights.IC, skimSeeds, 6000, 7, 0).Mean
+	if sk < 0.9*sg {
+		t.Fatalf("SKIM spread %v < 90%% of StaticGreedy %v", sk, sg)
+	}
+}
+
+func TestSKIMLT(t *testing.T) {
+	g := weights.LTUniform{}.Apply(star(8, 1))
+	ctx := core.NewContext(g, weights.LT, 2, 5)
+	ctx.ParamValue = 16
+	seeds, err := (SKIM{}).Select(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 2 || seeds[0] != 0 {
+		t.Fatalf("LT seeds %v", seeds)
+	}
+}
+
+func TestReverseSnapshot(t *testing.T) {
+	b := graph.NewBuilder(3, true)
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(0, 2, 1)
+	_ = b.AddEdge(1, 2, 1)
+	g := b.Build()
+	sn := diffusion.SampleSnapshot(g, weights.IC, rng.New(1)) // p=1: all live
+	rev := reverseSnapshot(sn, 3)
+	// rev must contain arcs 1→0, 2→0, 2→1.
+	if got := rev.OutNeighbors(2); len(got) != 2 {
+		t.Fatalf("rev out(2) = %v", got)
+	}
+	if got := rev.OutNeighbors(0); len(got) != 0 {
+		t.Fatalf("rev out(0) = %v", got)
+	}
+}
+
+// TestSketchHeapOps: bottom-k rank maintenance keeps the k smallest.
+func TestSketchHeapOps(t *testing.T) {
+	var sk []float64
+	for _, r := range []float64{0.9, 0.5, 0.7, 0.3, 0.8} {
+		sk = heapPushRank(sk, r)
+	}
+	// Max-heap root is the largest retained.
+	if sk[0] != 0.9 {
+		t.Fatalf("heap root %v", sk[0])
+	}
+	sk[0] = 0.1
+	siftDownRank(sk)
+	if sk[0] != 0.8 {
+		t.Fatalf("after replace, root %v want 0.8", sk[0])
+	}
+	sorted := sortRanks(sk)
+	want := []float64{0.1, 0.3, 0.5, 0.7, 0.8}
+	for i := range want {
+		if math.Abs(sorted[i]-want[i]) > 1e-12 {
+			t.Fatalf("sorted %v", sorted)
+		}
+	}
+}
+
+// TestSKIMEstimateUnbiasedDirection: on a p=1 star, the hub reaches all
+// (instance, node) pairs; its sketch estimate must be close to n.
+func TestSKIMSketchEstimateAccuracy(t *testing.T) {
+	// Exercised indirectly: hub selection on certain graphs, plus the
+	// quality test above. Here: determinism of the whole pipeline.
+	g := randomWC(47, 40, 200)
+	ctx1 := core.NewContext(g, weights.IC, 4, 9)
+	ctx1.ParamValue = 32
+	a, err := (SKIM{}).Select(ctx1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := core.NewContext(g, weights.IC, 4, 9)
+	ctx2.ParamValue = 32
+	b, err := (SKIM{}).Select(ctx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SKIM nondeterministic")
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package snapshot implements the snapshot family of IM techniques (paper
+// §4.3 and Fig. 3): StaticGreedy (Cheng et al., CIKM 2013) and PMC (Ohsaka
+// et al., AAAI 2014).
+//
+// Both materialize R live-edge instantiations ("snapshots") of the graph up
+// front with the coin-flip technique and estimate a node's influence as its
+// average reachability over the snapshots. They differ in how reachability
+// queries are answered: StaticGreedy BFSes the raw snapshots (accurate but
+// memory-hungry and slow — the paper shows it crashing on large data),
+// while PMC condenses every snapshot into its SCC DAG and prunes
+// re-evaluations with reachability upper bounds, which is why it is the
+// paper's fastest quality technique under generic IC.
+//
+// Per paper Table 5 both support IC only.
+package snapshot
+
+import (
+	"container/heap"
+
+	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/diffusion"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/graphalgo"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// snapshotSpectrum sweeps R for the Table 2 experiment, most accurate first.
+var snapshotSpectrum = []float64{300, 250, 200, 150, 100, 75, 50, 25, 10}
+
+// StaticGreedy selects seeds by CELF-style lazy greedy over R stored
+// snapshots. Its external parameter is R (paper Table 2 optimum: 250).
+type StaticGreedy struct{}
+
+// Name implements core.Algorithm.
+func (StaticGreedy) Name() string { return "StaticGreedy" }
+
+// Supports implements core.Algorithm: IC only (paper Table 5).
+func (StaticGreedy) Supports(m weights.Model) bool { return m == weights.IC }
+
+// Category implements core.Categorizer.
+func (StaticGreedy) Category() core.Category { return core.CatSnapshot }
+
+// Param implements core.Algorithm.
+func (StaticGreedy) Param(weights.Model) core.Param {
+	return core.Param{Name: "#Snapshots", Spectrum: snapshotSpectrum, Default: 250}
+}
+
+// Select implements core.Algorithm.
+func (StaticGreedy) Select(ctx *core.Context) ([]graph.NodeID, error) {
+	r := int(ctx.Param(250))
+	n := ctx.G.N()
+
+	snaps := make([]*diffusion.Snapshot, 0, r)
+	for i := 0; i < r; i++ {
+		if err := ctx.CheckNow(); err != nil {
+			return nil, err
+		}
+		sn := diffusion.SampleSnapshot(ctx.G, ctx.Model, ctx.RNG)
+		ctx.Account(sn.MemoryBytes())
+		snaps = append(snaps, sn)
+	}
+
+	// covered[i*stride+v] marks node v of snapshot i as already influenced
+	// by the selected seeds.
+	covered := make([]bool, int64(r)*int64(n))
+	ctx.Account(int64(len(covered)))
+	mark := make([]uint32, n)
+	var epoch uint32
+	var queue []int32
+
+	// gain(v) = Σ_i |newly reachable from v in snapshot i| / R.
+	gain := func(v graph.NodeID) (float64, error) {
+		ctx.Lookups++
+		total := int64(0)
+		for i, sn := range snaps {
+			if err := ctx.CheckNow(); err != nil {
+				return 0, err
+			}
+			base := int64(i) * int64(n)
+			epoch++
+			var cnt int32
+			cnt, queue = graphalgo.BFSReach(snapView{sn}, v, func(x int32) bool {
+				return covered[base+int64(x)]
+			}, mark, epoch, queue)
+			total += int64(cnt)
+		}
+		return float64(total) / float64(r), nil
+	}
+
+	// commit marks everything v reaches as covered in every snapshot.
+	commit := func(v graph.NodeID) error {
+		for i, sn := range snaps {
+			if err := ctx.Check(); err != nil {
+				return err
+			}
+			base := int64(i) * int64(n)
+			if covered[base+int64(v)] {
+				continue
+			}
+			epoch++
+			_, queue = graphalgo.BFSReach(snapView{sn}, v, nil, mark, epoch, queue)
+			for _, x := range queue {
+				covered[base+int64(x)] = true
+			}
+		}
+		return nil
+	}
+
+	h := make(lazyHeap, 0, n)
+	for v := graph.NodeID(0); v < n; v++ {
+		g, err := gain(v)
+		if err != nil {
+			return nil, err
+		}
+		h = append(h, lazyItem{node: v, gain: g})
+	}
+	heap.Init(&h)
+
+	seeds := make([]graph.NodeID, 0, ctx.K)
+	for len(seeds) < ctx.K && len(h) > 0 {
+		top := &h[0]
+		if int(top.round) == len(seeds) {
+			seeds = append(seeds, top.node)
+			if err := commit(top.node); err != nil {
+				return nil, err
+			}
+			heap.Pop(&h)
+			continue
+		}
+		g, err := gain(top.node)
+		if err != nil {
+			return nil, err
+		}
+		top.gain = g
+		top.round = int32(len(seeds))
+		heap.Fix(&h, 0)
+	}
+	return seeds, nil
+}
+
+// snapView adapts a Snapshot to graphalgo.Forward. BFSReach uses int32 ids
+// directly, matching graph.NodeID.
+type snapView struct{ sn *diffusion.Snapshot }
+
+func (s snapView) N() int32 { return int32(len(s.sn.Off) - 1) }
+func (s snapView) VisitOut(u int32, fn func(v int32)) {
+	for _, v := range s.sn.OutNeighbors(u) {
+		fn(v)
+	}
+}
+
+// PMC is the pruned Monte-Carlo method: every snapshot is condensed into
+// its SCC DAG, influence queries run on the (much smaller) DAG, and the
+// lazy-greedy heap is seeded with cheap descendant-mass upper bounds
+// instead of exact BFS values — the pruning that makes PMC fast.
+type PMC struct{}
+
+// Name implements core.Algorithm.
+func (PMC) Name() string { return "PMC" }
+
+// Supports implements core.Algorithm: IC only (paper Table 5).
+func (PMC) Supports(m weights.Model) bool { return m == weights.IC }
+
+// Category implements core.Categorizer.
+func (PMC) Category() core.Category { return core.CatSnapshot }
+
+// Param implements core.Algorithm.
+func (PMC) Param(weights.Model) core.Param {
+	// Paper Table 2 optimum: 200 under IC, 250 under WC.
+	return core.Param{Name: "#Snapshots", Spectrum: snapshotSpectrum, Default: 200}
+}
+
+// condensed is one snapshot's SCC condensation plus per-component covered
+// marks and the DP upper bound on reachable mass.
+type condensed struct {
+	dag     *graphalgo.Condensation
+	covered []bool
+	bound   []float64 // descendant-mass upper bound per component
+}
+
+// Select implements core.Algorithm.
+func (PMC) Select(ctx *core.Context) ([]graph.NodeID, error) {
+	r := int(ctx.Param(200))
+	n := ctx.G.N()
+
+	snapshots := make([]*condensed, 0, r)
+	maxComp := int32(0)
+	for i := 0; i < r; i++ {
+		if err := ctx.CheckNow(); err != nil {
+			return nil, err
+		}
+		sn := diffusion.SampleSnapshot(ctx.G, ctx.Model, ctx.RNG)
+		comp, ncomp := graphalgo.SCC(snapView{sn})
+		dag := graphalgo.Condense(snapView{sn}, comp, ncomp)
+		// The raw snapshot is discarded after condensation: this is PMC's
+		// memory advantage over StaticGreedy.
+		cs := &condensed{
+			dag:     dag,
+			covered: make([]bool, ncomp),
+			bound:   descendantBound(dag),
+		}
+		ctx.Account(int64(len(dag.Comp))*4 + int64(len(dag.To))*4 + int64(len(dag.Off))*8 +
+			int64(ncomp)*(1+8+4))
+		snapshots = append(snapshots, cs)
+		if ncomp > maxComp {
+			maxComp = ncomp
+		}
+	}
+
+	mark := make([]uint32, maxComp)
+	var epoch uint32
+	var queue []int32
+
+	// exactGain BFSes each snapshot DAG from v's component, summing sizes
+	// of uncovered components reached.
+	exactGain := func(v graph.NodeID) (float64, error) {
+		ctx.Lookups++
+		total := int64(0)
+		for _, cs := range snapshots {
+			if err := ctx.Check(); err != nil {
+				return 0, err
+			}
+			c := cs.dag.Comp[v]
+			if cs.covered[c] {
+				continue
+			}
+			epoch++
+			queue = queue[:0]
+			queue = append(queue, c)
+			mark[c] = epoch
+			for head := 0; head < len(queue); head++ {
+				x := queue[head]
+				if !cs.covered[x] {
+					total += int64(cs.dag.Size[x])
+				}
+				for _, y := range cs.dag.OutNeighbors(x) {
+					if mark[y] != epoch {
+						mark[y] = epoch
+						queue = append(queue, y)
+					}
+				}
+			}
+		}
+		return float64(total) / float64(r), nil
+	}
+
+	commit := func(v graph.NodeID) error {
+		for _, cs := range snapshots {
+			if err := ctx.Check(); err != nil {
+				return err
+			}
+			c := cs.dag.Comp[v]
+			if cs.covered[c] {
+				continue
+			}
+			epoch++
+			queue = queue[:0]
+			queue = append(queue, c)
+			mark[c] = epoch
+			for head := 0; head < len(queue); head++ {
+				x := queue[head]
+				cs.covered[x] = true
+				for _, y := range cs.dag.OutNeighbors(x) {
+					if mark[y] != epoch && !cs.covered[y] {
+						mark[y] = epoch
+						queue = append(queue, y)
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	// Heap seeded with the cheap DP upper bound: valid for lazy greedy
+	// because bound(v) ≥ exact reachability ≥ marginal gain. round = -1
+	// flags "never exactly evaluated".
+	h := make(lazyHeap, 0, n)
+	for v := graph.NodeID(0); v < n; v++ {
+		ub := 0.0
+		for _, cs := range snapshots {
+			ub += cs.bound[cs.dag.Comp[v]]
+		}
+		h = append(h, lazyItem{node: v, gain: ub / float64(r), round: -1})
+	}
+	heap.Init(&h)
+
+	seeds := make([]graph.NodeID, 0, ctx.K)
+	for len(seeds) < ctx.K && len(h) > 0 {
+		top := &h[0]
+		if int(top.round) == len(seeds) {
+			seeds = append(seeds, top.node)
+			if err := commit(top.node); err != nil {
+				return nil, err
+			}
+			heap.Pop(&h)
+			continue
+		}
+		g, err := exactGain(top.node)
+		if err != nil {
+			return nil, err
+		}
+		top.gain = g
+		top.round = int32(len(seeds))
+		heap.Fix(&h, 0)
+	}
+	return seeds, nil
+}
+
+// descendantBound computes, per component, the total member count of the
+// component and all its descendants IGNORING sharing — an upper bound on
+// true reachable mass, computable in linear time by a reverse-topological
+// sweep (Tarjan ids are already reverse-topological).
+func descendantBound(dag *graphalgo.Condensation) []float64 {
+	bound := make([]float64, dag.NComp)
+	// Tarjan: arcs go from higher comp id to lower, so process ids in
+	// increasing order to have children done before parents.
+	for c := int32(0); c < dag.NComp; c++ {
+		b := float64(dag.Size[c])
+		for _, d := range dag.OutNeighbors(c) {
+			b += bound[d]
+		}
+		bound[c] = b
+	}
+	return bound
+}
+
+type lazyItem struct {
+	node  graph.NodeID
+	gain  float64
+	round int32
+}
+
+type lazyHeap []lazyItem
+
+func (h lazyHeap) Len() int            { return len(h) }
+func (h lazyHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h lazyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *lazyHeap) Push(x interface{}) { *h = append(*h, x.(lazyItem)) }
+func (h *lazyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,218 @@
+// Package analysis provides seed-set and ranking comparison metrics used
+// when benchmark results are interpreted: overlap between the seed sets
+// different techniques (or models) produce, rank agreement, and summary
+// shapes of spread-versus-k curves. The paper reasons about these
+// quantities qualitatively ("WC is not IC", M6; IMRank's unstable
+// rankings, M7); this package makes them measurable.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+)
+
+// Jaccard returns |A ∩ B| / |A ∪ B| for two seed sets (0 when both empty).
+func Jaccard(a, b []graph.NodeID) float64 {
+	set := make(map[graph.NodeID]struct{}, len(a))
+	for _, x := range a {
+		set[x] = struct{}{}
+	}
+	inter := 0
+	seenB := make(map[graph.NodeID]struct{}, len(b))
+	for _, x := range b {
+		if _, dup := seenB[x]; dup {
+			continue
+		}
+		seenB[x] = struct{}{}
+		if _, ok := set[x]; ok {
+			inter++
+		}
+	}
+	union := len(set) + len(seenB) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Overlap returns |A ∩ B| / min(|A|, |B|), the containment coefficient.
+func Overlap(a, b []graph.NodeID) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	set := make(map[graph.NodeID]struct{}, len(a))
+	for _, x := range a {
+		set[x] = struct{}{}
+	}
+	inter := 0
+	for _, x := range dedup(b) {
+		if _, ok := set[x]; ok {
+			inter++
+		}
+	}
+	m := len(set)
+	if db := len(dedup(b)); db < m {
+		m = db
+	}
+	return float64(inter) / float64(m)
+}
+
+func dedup(xs []graph.NodeID) []graph.NodeID {
+	seen := make(map[graph.NodeID]struct{}, len(xs))
+	out := xs[:0:0]
+	for _, x := range xs {
+		if _, dup := seen[x]; !dup {
+			seen[x] = struct{}{}
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// KendallTau computes the Kendall rank correlation τ between two rankings
+// given as ordered slices over the same element universe. Elements missing
+// from either ranking are ignored. Returns 0 when fewer than two common
+// elements exist.
+func KendallTau(a, b []graph.NodeID) float64 {
+	posB := make(map[graph.NodeID]int, len(b))
+	for i, x := range b {
+		posB[x] = i
+	}
+	var common []int // positions in b of a's elements, in a's order
+	for _, x := range a {
+		if p, ok := posB[x]; ok {
+			common = append(common, p)
+		}
+	}
+	n := len(common)
+	if n < 2 {
+		return 0
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if common[i] < common[j] {
+				concordant++
+			} else {
+				discordant++
+			}
+		}
+	}
+	return float64(concordant-discordant) / float64(n*(n-1)/2)
+}
+
+// Curve is a spread-versus-k series.
+type Curve struct {
+	Ks      []int
+	Spreads []float64
+}
+
+// NewCurve validates and wraps the series (Ks strictly increasing).
+func NewCurve(ks []int, spreads []float64) (Curve, error) {
+	if len(ks) != len(spreads) {
+		return Curve{}, fmt.Errorf("analysis: %d ks vs %d spreads", len(ks), len(spreads))
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i] <= ks[i-1] {
+			return Curve{}, fmt.Errorf("analysis: ks not strictly increasing at %d", i)
+		}
+	}
+	return Curve{Ks: ks, Spreads: spreads}, nil
+}
+
+// AUC returns the trapezoidal area under the spread curve, the scalar the
+// benchmark uses to compare quality across a whole k range rather than at
+// a single point.
+func (c Curve) AUC() float64 {
+	area := 0.0
+	for i := 1; i < len(c.Ks); i++ {
+		dx := float64(c.Ks[i] - c.Ks[i-1])
+		area += dx * (c.Spreads[i] + c.Spreads[i-1]) / 2
+	}
+	return area
+}
+
+// Monotone reports whether the curve never decreases by more than tol
+// (relative). Fig. 10f's broken-IMRank curve fails this.
+func (c Curve) Monotone(tol float64) bool {
+	for i := 1; i < len(c.Spreads); i++ {
+		if c.Spreads[i] < c.Spreads[i-1]*(1-tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// DiminishingReturns reports whether per-seed marginal spread is
+// non-increasing within tol — the empirical signature of submodularity.
+func (c Curve) DiminishingReturns(tol float64) bool {
+	prev := math.Inf(1)
+	for i := 1; i < len(c.Spreads); i++ {
+		marginal := (c.Spreads[i] - c.Spreads[i-1]) / float64(c.Ks[i]-c.Ks[i-1])
+		if marginal > prev*(1+tol) {
+			return false
+		}
+		prev = marginal
+	}
+	return true
+}
+
+// CrossoverK returns the smallest k at which curve a falls behind curve b
+// (a's spread < b's), or -1 if it never does. Both curves must share Ks.
+func CrossoverK(a, b Curve) (int, error) {
+	if len(a.Ks) != len(b.Ks) {
+		return -1, fmt.Errorf("analysis: curves have different k grids")
+	}
+	for i := range a.Ks {
+		if a.Ks[i] != b.Ks[i] {
+			return -1, fmt.Errorf("analysis: k grids differ at %d", i)
+		}
+		if a.Spreads[i] < b.Spreads[i] {
+			return a.Ks[i], nil
+		}
+	}
+	return -1, nil
+}
+
+// TopKStability measures, for a sequence of rankings (e.g. IMRank scoring
+// rounds), the mean Jaccard overlap of consecutive top-k prefixes — 1.0
+// means the refinement has converged, low values mean churn (paper M7).
+func TopKStability(rankings [][]graph.NodeID, k int) float64 {
+	if len(rankings) < 2 {
+		return 1
+	}
+	total := 0.0
+	for i := 1; i < len(rankings); i++ {
+		a, b := prefix(rankings[i-1], k), prefix(rankings[i], k)
+		total += Jaccard(a, b)
+	}
+	return total / float64(len(rankings)-1)
+}
+
+func prefix(xs []graph.NodeID, k int) []graph.NodeID {
+	if k > len(xs) {
+		k = len(xs)
+	}
+	return xs[:k]
+}
+
+// RankOf returns each element's position in the ranking, for tests and
+// debugging dumps.
+func RankOf(ranking []graph.NodeID) map[graph.NodeID]int {
+	out := make(map[graph.NodeID]int, len(ranking))
+	for i, x := range ranking {
+		out[x] = i
+	}
+	return out
+}
+
+// SortedByID returns a sorted copy; useful for stable set printing.
+func SortedByID(xs []graph.NodeID) []graph.NodeID {
+	out := make([]graph.NodeID, len(xs))
+	copy(out, xs)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

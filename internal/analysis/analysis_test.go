@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+)
+
+func ids(xs ...int) []graph.NodeID {
+	out := make([]graph.NodeID, len(xs))
+	for i, x := range xs {
+		out[i] = graph.NodeID(x)
+	}
+	return out
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []graph.NodeID
+		want float64
+	}{
+		{ids(1, 2, 3), ids(2, 3, 4), 0.5},
+		{ids(1), ids(1), 1},
+		{ids(1), ids(2), 0},
+		{nil, nil, 0},
+		{ids(1, 1, 2), ids(2, 2), 1.0 / 2}, // duplicates ignored
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Jaccard(%v,%v)=%v want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaccardProperties(t *testing.T) {
+	check := func(rawA, rawB []uint8) bool {
+		a := make([]graph.NodeID, len(rawA))
+		for i, x := range rawA {
+			a[i] = graph.NodeID(x % 16)
+		}
+		b := make([]graph.NodeID, len(rawB))
+		for i, x := range rawB {
+			b[i] = graph.NodeID(x % 16)
+		}
+		j1, j2 := Jaccard(a, b), Jaccard(b, a)
+		if math.Abs(j1-j2) > 1e-12 {
+			return false // symmetry
+		}
+		return j1 >= 0 && j1 <= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	if got := Overlap(ids(1, 2), ids(1, 2, 3, 4)); got != 1 {
+		t.Fatalf("containment %v want 1", got)
+	}
+	if got := Overlap(ids(1, 2), ids(3)); got != 0 {
+		t.Fatalf("%v", got)
+	}
+	if got := Overlap(nil, ids(1)); got != 0 {
+		t.Fatalf("%v", got)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	if got := KendallTau(ids(1, 2, 3), ids(1, 2, 3)); got != 1 {
+		t.Fatalf("identical rankings τ=%v", got)
+	}
+	if got := KendallTau(ids(1, 2, 3), ids(3, 2, 1)); got != -1 {
+		t.Fatalf("reversed rankings τ=%v", got)
+	}
+	if got := KendallTau(ids(1), ids(1)); got != 0 {
+		t.Fatalf("single element τ=%v want 0", got)
+	}
+	// Partial overlap: only common elements counted.
+	got := KendallTau(ids(1, 9, 2), ids(1, 2, 8))
+	if got != 1 {
+		t.Fatalf("common-subset τ=%v want 1", got)
+	}
+}
+
+func TestCurveValidation(t *testing.T) {
+	if _, err := NewCurve([]int{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewCurve([]int{2, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("non-increasing ks accepted")
+	}
+	if _, err := NewCurve([]int{1, 2}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurveAUC(t *testing.T) {
+	c, err := NewCurve([]int{0, 2, 4}, []float64{0, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trapezoids: (0+2)/2·2 + (2+2)/2·2 = 2 + 4 = 6.
+	if got := c.AUC(); got != 6 {
+		t.Fatalf("AUC %v want 6", got)
+	}
+}
+
+func TestCurveMonotone(t *testing.T) {
+	up, _ := NewCurve([]int{1, 2, 3}, []float64{1, 2, 3})
+	if !up.Monotone(0) {
+		t.Fatal("increasing curve flagged non-monotone")
+	}
+	down, _ := NewCurve([]int{1, 2, 3}, []float64{3, 2, 1})
+	if down.Monotone(0.01) {
+		t.Fatal("decreasing curve flagged monotone")
+	}
+	wiggle, _ := NewCurve([]int{1, 2}, []float64{100, 99.5})
+	if !wiggle.Monotone(0.01) {
+		t.Fatal("within-tolerance dip rejected")
+	}
+}
+
+func TestDiminishingReturns(t *testing.T) {
+	sub, _ := NewCurve([]int{0, 1, 2, 3}, []float64{0, 10, 15, 17})
+	if !sub.DiminishingReturns(0) {
+		t.Fatal("concave curve rejected")
+	}
+	super, _ := NewCurve([]int{0, 1, 2}, []float64{0, 1, 10})
+	if super.DiminishingReturns(0) {
+		t.Fatal("convex curve accepted")
+	}
+}
+
+func TestCrossoverK(t *testing.T) {
+	a, _ := NewCurve([]int{1, 2, 3}, []float64{5, 5, 3})
+	b, _ := NewCurve([]int{1, 2, 3}, []float64{4, 5, 4})
+	k, err := CrossoverK(a, b)
+	if err != nil || k != 3 {
+		t.Fatalf("crossover %v err %v", k, err)
+	}
+	c, _ := NewCurve([]int{1, 2, 3}, []float64{1, 1, 1})
+	k, err = CrossoverK(a, c)
+	if err != nil || k != -1 {
+		t.Fatalf("no-crossover %v err %v", k, err)
+	}
+	short, _ := NewCurve([]int{1}, []float64{1})
+	if _, err := CrossoverK(a, short); err == nil {
+		t.Fatal("mismatched grids accepted")
+	}
+}
+
+func TestTopKStability(t *testing.T) {
+	r1 := ids(1, 2, 3, 4)
+	r2 := ids(1, 2, 4, 3)
+	r3 := ids(9, 8, 7, 6)
+	if got := TopKStability([][]graph.NodeID{r1, r2}, 2); got != 1 {
+		t.Fatalf("stable prefix got %v", got)
+	}
+	if got := TopKStability([][]graph.NodeID{r1, r3}, 2); got != 0 {
+		t.Fatalf("churned prefix got %v", got)
+	}
+	if got := TopKStability([][]graph.NodeID{r1}, 2); got != 1 {
+		t.Fatalf("single ranking got %v", got)
+	}
+}
+
+func TestRankOfAndSorted(t *testing.T) {
+	r := RankOf(ids(5, 3, 9))
+	if r[5] != 0 || r[3] != 1 || r[9] != 2 {
+		t.Fatalf("ranks %v", r)
+	}
+	s := SortedByID(ids(5, 3, 9))
+	if s[0] != 3 || s[1] != 5 || s[2] != 9 {
+		t.Fatalf("sorted %v", s)
+	}
+}

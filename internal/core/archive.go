@@ -1,0 +1,161 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// Result archival
+//
+// Benchmark campaigns are expensive; the archive makes a run's raw results
+// durable and comparable across code versions. The JSON schema is flat and
+// stable: one record per cell with times in nanoseconds.
+
+// archivedResult is the stable JSON shape of a Result.
+type archivedResult struct {
+	Algorithm       string         `json:"algorithm"`
+	Dataset         string         `json:"dataset"`
+	Model           string         `json:"model"`
+	K               int            `json:"k"`
+	Param           float64        `json:"param,omitempty"`
+	Status          string         `json:"status"`
+	Error           string         `json:"error,omitempty"`
+	Seeds           []graph.NodeID `json:"seeds,omitempty"`
+	SpreadMean      float64        `json:"spread_mean"`
+	SpreadSD        float64        `json:"spread_sd"`
+	SpreadRuns      int            `json:"spread_runs"`
+	EstimatedSpread float64        `json:"estimated_spread"`
+	SelectionNanos  int64          `json:"selection_ns"`
+	EvalNanos       int64          `json:"eval_ns"`
+	PeakMemBytes    int64          `json:"peak_mem_bytes"`
+	Lookups         int64          `json:"lookups"`
+}
+
+func toArchived(r Result) archivedResult {
+	a := archivedResult{
+		Algorithm:       r.Algorithm,
+		Dataset:         r.Dataset,
+		Model:           r.Model.String(),
+		K:               r.K,
+		Param:           r.Param,
+		Status:          r.Status.String(),
+		Seeds:           r.Seeds,
+		SpreadMean:      r.Spread.Mean,
+		SpreadSD:        r.Spread.SD,
+		SpreadRuns:      r.Spread.Runs,
+		EstimatedSpread: r.EstimatedSpread,
+		SelectionNanos:  int64(r.SelectionTime),
+		EvalNanos:       int64(r.EvalTime),
+		PeakMemBytes:    r.PeakMemBytes,
+		Lookups:         r.Lookups,
+	}
+	if r.Err != nil {
+		a.Error = r.Err.Error()
+	}
+	return a
+}
+
+func fromArchived(a archivedResult) (Result, error) {
+	r := Result{
+		Algorithm:       a.Algorithm,
+		Dataset:         a.Dataset,
+		K:               a.K,
+		Param:           a.Param,
+		Seeds:           a.Seeds,
+		EstimatedSpread: a.EstimatedSpread,
+		SelectionTime:   time.Duration(a.SelectionNanos),
+		EvalTime:        time.Duration(a.EvalNanos),
+		PeakMemBytes:    a.PeakMemBytes,
+		Lookups:         a.Lookups,
+	}
+	r.Spread.Mean = a.SpreadMean
+	r.Spread.SD = a.SpreadSD
+	r.Spread.Runs = a.SpreadRuns
+	switch a.Model {
+	case "IC":
+		r.Model = weights.IC
+	case "LT":
+		r.Model = weights.LT
+	default:
+		return Result{}, fmt.Errorf("core: unknown archived model %q", a.Model)
+	}
+	found := false
+	for _, s := range []Status{OK, DNF, Crashed, Unsupported, Failed} {
+		if s.String() == a.Status {
+			r.Status = s
+			found = true
+			break
+		}
+	}
+	if !found {
+		return Result{}, fmt.Errorf("core: unknown archived status %q", a.Status)
+	}
+	if a.Error != "" {
+		r.Err = fmt.Errorf("%s", a.Error)
+	}
+	return r, nil
+}
+
+// WriteArchive streams results as indented JSON to w.
+func WriteArchive(w io.Writer, results []Result) error {
+	out := make([]archivedResult, len(results))
+	for i, r := range results {
+		out[i] = toArchived(r)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadArchive parses an archive written by WriteArchive.
+func ReadArchive(r io.Reader) ([]Result, error) {
+	var raw []archivedResult
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("core: decoding archive: %w", err)
+	}
+	out := make([]Result, len(raw))
+	for i, a := range raw {
+		res, err := fromArchived(a)
+		if err != nil {
+			return nil, fmt.Errorf("core: record %d: %w", i, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// SaveArchive writes results to path, creating parent directories.
+func SaveArchive(path string, results []Result) (err error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("core: mkdir %s: %w", dir, err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return WriteArchive(f, results)
+}
+
+// LoadArchive reads an archive file written by SaveArchive.
+func LoadArchive(path string) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadArchive(f)
+}

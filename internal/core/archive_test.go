@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+func sampleResults() []Result {
+	r1 := Result{
+		Algorithm: "IMM", Dataset: "nethept", Model: weights.IC, K: 10,
+		Param: 0.1, Status: OK, Seeds: []graph.NodeID{3, 1, 4},
+		EstimatedSpread: 123.4,
+		SelectionTime:   1500 * time.Millisecond, EvalTime: 200 * time.Millisecond,
+		PeakMemBytes: 1 << 20, Lookups: 999,
+	}
+	r1.Spread.Mean, r1.Spread.SD, r1.Spread.Runs = 120.5, 3.2, 1000
+	r2 := Result{
+		Algorithm: "CELF", Dataset: "hepph", Model: weights.LT, K: 50,
+		Status: DNF, Err: errors.New("core: time budget exhausted (DNF)"),
+		EstimatedSpread: -1,
+	}
+	return []Result{r1, r2}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	in := sampleResults()
+	var buf bytes.Buffer
+	if err := WriteArchive(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("%d records", len(out))
+	}
+	a, b := out[0], out[1]
+	if a.Algorithm != "IMM" || a.Model != weights.IC || a.Status != OK {
+		t.Fatalf("record 0: %+v", a)
+	}
+	if a.Spread.Mean != 120.5 || a.Spread.SD != 3.2 || a.Spread.Runs != 1000 {
+		t.Fatalf("spread lost: %+v", a.Spread)
+	}
+	if a.SelectionTime != 1500*time.Millisecond || a.PeakMemBytes != 1<<20 {
+		t.Fatalf("metrics lost: %+v", a)
+	}
+	if len(a.Seeds) != 3 || a.Seeds[0] != 3 {
+		t.Fatalf("seeds lost: %v", a.Seeds)
+	}
+	if b.Status != DNF || b.Model != weights.LT {
+		t.Fatalf("record 1: %+v", b)
+	}
+	if b.Err == nil || !strings.Contains(b.Err.Error(), "DNF") {
+		t.Fatalf("error lost: %v", b.Err)
+	}
+}
+
+func TestArchiveFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "run.json")
+	if err := SaveArchive(path, sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadArchive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("%d records", len(out))
+	}
+}
+
+func TestArchiveBadInput(t *testing.T) {
+	if _, err := ReadArchive(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadArchive(strings.NewReader(`[{"model":"XX","status":"OK"}]`)); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := ReadArchive(strings.NewReader(`[{"model":"IC","status":"XX"}]`)); err == nil {
+		t.Fatal("unknown status accepted")
+	}
+	if _, err := LoadArchive("/nonexistent/run.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

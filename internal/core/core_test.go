@@ -1,0 +1,303 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// stubAlgo is a configurable fake algorithm for framework tests.
+type stubAlgo struct {
+	name     string
+	supports func(weights.Model) bool
+	param    Param
+	selectFn func(*Context) ([]graph.NodeID, error)
+}
+
+func (s stubAlgo) Name() string { return s.name }
+func (s stubAlgo) Supports(m weights.Model) bool {
+	if s.supports == nil {
+		return true
+	}
+	return s.supports(m)
+}
+func (s stubAlgo) Param(weights.Model) Param { return s.param }
+func (s stubAlgo) Select(ctx *Context) ([]graph.NodeID, error) {
+	return s.selectFn(ctx)
+}
+
+// chainGraph returns 0→1→…→n−1 with weight p, named "chain".
+func chainGraph(n int32, p float64) *graph.Graph {
+	b := graph.NewBuilder(n, true)
+	for i := int32(0); i < n-1; i++ {
+		_ = b.AddEdge(i, i+1, p)
+	}
+	b.SetName("chain")
+	return b.Build()
+}
+
+// firstK returns seeds 0..k−1.
+func firstK(ctx *Context) ([]graph.NodeID, error) {
+	out := make([]graph.NodeID, ctx.K)
+	for i := range out {
+		out[i] = graph.NodeID(i)
+	}
+	return out, nil
+}
+
+func TestRunHappyPath(t *testing.T) {
+	g := chainGraph(10, 1)
+	alg := stubAlgo{name: "stub", selectFn: firstK}
+	cfg := RunConfig{K: 3, Model: weights.IC, Seed: 1, EvalSims: 200}
+	res := Run(alg, g, cfg)
+	if res.Status != OK {
+		t.Fatalf("status %v err %v", res.Status, res.Err)
+	}
+	if len(res.Seeds) != 3 {
+		t.Fatalf("seeds %v", res.Seeds)
+	}
+	// p=1 chain: any seed set containing 0 spreads to all 10 nodes.
+	if res.Spread.Mean != 10 {
+		t.Fatalf("spread %v want 10", res.Spread.Mean)
+	}
+	if res.Algorithm != "stub" || res.Dataset != "chain" {
+		t.Fatalf("labels %q %q", res.Algorithm, res.Dataset)
+	}
+	if res.SelectionTime < 0 || res.EvalTime <= 0 {
+		t.Fatal("times not recorded")
+	}
+	if !strings.Contains(res.String(), "stub") {
+		t.Fatalf("String %q", res.String())
+	}
+}
+
+func TestRunUnsupportedModel(t *testing.T) {
+	g := chainGraph(5, 1)
+	alg := stubAlgo{
+		name:     "iconly",
+		supports: func(m weights.Model) bool { return m == weights.IC },
+		selectFn: firstK,
+	}
+	res := Run(alg, g, RunConfig{K: 2, Model: weights.LT})
+	if res.Status != Unsupported {
+		t.Fatalf("status %v", res.Status)
+	}
+}
+
+func TestRunInvalidK(t *testing.T) {
+	g := chainGraph(5, 1)
+	alg := stubAlgo{name: "s", selectFn: firstK}
+	for _, k := range []int{0, -1, 6} {
+		res := Run(alg, g, RunConfig{K: k, Model: weights.IC})
+		if res.Status != Failed {
+			t.Fatalf("k=%d status %v", k, res.Status)
+		}
+	}
+}
+
+func TestRunBudgetDNF(t *testing.T) {
+	g := chainGraph(5, 1)
+	alg := stubAlgo{name: "slow", selectFn: func(ctx *Context) ([]graph.NodeID, error) {
+		deadline := time.Now().Add(200 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			if err := ctx.Check(); err != nil {
+				return nil, err
+			}
+		}
+		return firstK(ctx)
+	}}
+	res := Run(alg, g, RunConfig{K: 2, Model: weights.IC, TimeBudget: 20 * time.Millisecond})
+	if res.Status != DNF {
+		t.Fatalf("status %v want DNF", res.Status)
+	}
+	if !errors.Is(res.Err, ErrBudget) {
+		t.Fatalf("err %v", res.Err)
+	}
+}
+
+func TestRunMemoryCrashed(t *testing.T) {
+	g := chainGraph(5, 1)
+	alg := stubAlgo{name: "hungry", selectFn: func(ctx *Context) ([]graph.NodeID, error) {
+		ctx.Account(1 << 30)
+		if err := ctx.Check(); err != nil {
+			return nil, err
+		}
+		return firstK(ctx)
+	}}
+	res := Run(alg, g, RunConfig{K: 2, Model: weights.IC, MemBudgetBytes: 1 << 20})
+	if res.Status != Crashed {
+		t.Fatalf("status %v want Crashed", res.Status)
+	}
+}
+
+func TestRunSeedValidation(t *testing.T) {
+	g := chainGraph(5, 1)
+	cases := map[string]func(*Context) ([]graph.NodeID, error){
+		"too few":      func(ctx *Context) ([]graph.NodeID, error) { return []graph.NodeID{0}, nil },
+		"duplicate":    func(ctx *Context) ([]graph.NodeID, error) { return []graph.NodeID{1, 1}, nil },
+		"out of range": func(ctx *Context) ([]graph.NodeID, error) { return []graph.NodeID{1, 99}, nil },
+	}
+	for name, fn := range cases {
+		res := Run(stubAlgo{name: name, selectFn: fn}, g, RunConfig{K: 2, Model: weights.IC})
+		if res.Status != Failed {
+			t.Fatalf("%s: status %v want Failed", name, res.Status)
+		}
+	}
+}
+
+func TestRunAlgorithmError(t *testing.T) {
+	g := chainGraph(5, 1)
+	alg := stubAlgo{name: "broken", selectFn: func(*Context) ([]graph.NodeID, error) {
+		return nil, errors.New("boom")
+	}}
+	res := Run(alg, g, RunConfig{K: 2, Model: weights.IC})
+	if res.Status != Failed || res.Err == nil {
+		t.Fatalf("status %v err %v", res.Status, res.Err)
+	}
+}
+
+func TestRunDeterministicSeeds(t *testing.T) {
+	g := chainGraph(20, 0.5)
+	alg := stubAlgo{name: "rand", selectFn: func(ctx *Context) ([]graph.NodeID, error) {
+		perm := ctx.RNG.Perm(int(ctx.G.N()))
+		out := make([]graph.NodeID, ctx.K)
+		for i := range out {
+			out[i] = graph.NodeID(perm[i])
+		}
+		return out, nil
+	}}
+	cfg := RunConfig{K: 5, Model: weights.IC, Seed: 77, EvalSims: 50}
+	a := Run(alg, g, cfg)
+	b := Run(alg, g, cfg)
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatal("same config produced different seeds")
+		}
+	}
+	if a.Spread.Mean != b.Spread.Mean {
+		t.Fatal("same config produced different spread")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	g := chainGraph(10, 1)
+	alg := stubAlgo{name: "s", selectFn: firstK}
+	results := RunSweep(alg, g, RunConfig{Model: weights.IC, EvalSims: 10}, []int{1, 2, 3})
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, r := range results {
+		if r.K != i+1 || r.Status != OK {
+			t.Fatalf("result %d: k=%d status %v", i, r.K, r.Status)
+		}
+	}
+}
+
+func TestSpreadPercent(t *testing.T) {
+	r := Result{}
+	r.Spread.Mean = 25
+	if p := r.SpreadPercent(100); p != 25 {
+		t.Fatalf("percent %v", p)
+	}
+	if p := r.SpreadPercent(0); p != 0 {
+		t.Fatalf("zero-node percent %v", p)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		OK: "OK", DNF: "DNF", Crashed: "Crashed", Unsupported: "N/A", Failed: "Failed",
+	} {
+		if s.String() != want {
+			t.Fatalf("%v", s)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if CatRRSet.String() != "RR Sets" || CatProxy.String() != "Proxy" {
+		t.Fatal("category strings")
+	}
+}
+
+func TestContextCheckCadence(t *testing.T) {
+	ctx := NewContext(chainGraph(3, 1), weights.IC, 1, 1)
+	ctx.deadline = time.Now().Add(-time.Second)
+	// The deadline is only consulted every 1024 calls.
+	hit := false
+	for i := 0; i < 3000; i++ {
+		if err := ctx.Check(); err != nil {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		t.Fatal("expired deadline never detected")
+	}
+}
+
+func TestContextParamDefault(t *testing.T) {
+	ctx := NewContext(chainGraph(3, 1), weights.IC, 1, 1)
+	if v := ctx.Param(42); v != 42 {
+		t.Fatalf("default %v", v)
+	}
+	ctx.ParamValue = 7
+	if v := ctx.Param(42); v != 7 {
+		t.Fatalf("explicit %v", v)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Register("a", func() Algorithm { return stubAlgo{name: "a", selectFn: firstK} })
+	r.Register("b", func() Algorithm {
+		return stubAlgo{name: "b", selectFn: firstK,
+			supports: func(m weights.Model) bool { return m == weights.LT }}
+	})
+	if _, err := r.New("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.New("zz"); err == nil {
+		t.Fatal("expected unknown-algorithm error")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names %v", names)
+	}
+	sm := r.SupportMatrix()
+	if len(sm["a"]) != 2 {
+		t.Fatalf("a supports %v", sm["a"])
+	}
+	if len(sm["b"]) != 1 || sm["b"][0] != "LT" {
+		t.Fatalf("b supports %v", sm["b"])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Register("a", func() Algorithm { return stubAlgo{} })
+}
+
+func TestParamHasParam(t *testing.T) {
+	if (Param{}).HasParam() {
+		t.Fatal("zero param must report none")
+	}
+	if !(Param{Name: "eps"}).HasParam() {
+		t.Fatal("named param must report present")
+	}
+}
+
+func TestPaperKs(t *testing.T) {
+	ks := PaperKs()
+	if ks[0] != 1 || ks[len(ks)-1] != 200 {
+		t.Fatalf("grid %v", ks)
+	}
+}
+
+var _ = rng.New // keep import if unused in some build configurations

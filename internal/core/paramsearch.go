@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// ParamSearch implements the external-parameter selection procedure of
+// paper §5.1.1 (built on the convergence phase of Alg. 3):
+//
+//  1. Sweep the parameter spectrum P = {α1, …, αP} (non-increasing accuracy).
+//  2. Identify X*, the value attaining the highest evaluated spread μ*
+//     within the time budget, and its MC standard deviation sd*.
+//  3. Choose the value that minimizes running time while keeping spread
+//     within one standard deviation of μ* ("optimizes the running time while
+//     being at most one standard deviation away from the best possible
+//     spread").
+//
+// Values whose runs DNF or crash are excluded, mirroring the paper's
+// "reasonable time limit" footnote.
+type ParamSearch struct {
+	// Ks to test; the optimal value must hold at the LARGEST k (paper:
+	// quality requirements become stricter as k grows, footnote 5).
+	Ks []int
+	// Budgets and evaluation settings for each probe cell.
+	Config RunConfig
+}
+
+// ParamProbe records one sweep point.
+type ParamProbe struct {
+	Value  float64
+	K      int
+	Result Result
+}
+
+// ParamChoice is the outcome of a search.
+type ParamChoice struct {
+	Algorithm string
+	Model     weights.Model
+	Param     Param
+	// Optimal is the selected value; zero when the algorithm has no
+	// external parameter.
+	Optimal float64
+	// BestValue is X*, the value with the highest spread at the largest k.
+	BestValue  float64
+	BestSpread float64
+	BestSD     float64
+	Probes     []ParamProbe
+}
+
+// String renders a Table-2-style row.
+func (c ParamChoice) String() string {
+	if !c.Param.HasParam() {
+		return fmt.Sprintf("%-12s %-3s (no external parameter)", c.Algorithm, c.Model)
+	}
+	return fmt.Sprintf("%-12s %-3s %-18s optimal=%g (best=%g, μ*=%.1f, sd*=%.1f)",
+		c.Algorithm, c.Model, c.Param.Name, c.Optimal, c.BestValue, c.BestSpread, c.BestSD)
+}
+
+// Search sweeps the algorithm's parameter spectrum on g and returns the
+// chosen value. Algorithms without an external parameter return a zero
+// choice immediately (LDAG, IRIE, SIMPATH — paper §5.1.1).
+func (ps ParamSearch) Search(alg Algorithm, g *graph.Graph) ParamChoice {
+	choice := ParamChoice{
+		Algorithm: alg.Name(),
+		Model:     ps.Config.Model,
+		Param:     alg.Param(ps.Config.Model),
+	}
+	if !choice.Param.HasParam() || len(choice.Param.Spectrum) == 0 {
+		return choice
+	}
+	ks := ps.Ks
+	if len(ks) == 0 {
+		ks = []int{ps.Config.K}
+	}
+	largestK := ks[0]
+	for _, k := range ks {
+		if k > largestK {
+			largestK = k
+		}
+	}
+
+	type atLargest struct {
+		value  float64
+		spread float64
+		sd     float64
+		time   time.Duration
+		ok     bool
+	}
+	var sweeps []atLargest
+	for _, v := range choice.Param.Spectrum {
+		entry := atLargest{value: v}
+		for _, k := range ks {
+			cfg := ps.Config
+			cfg.K = k
+			cfg.ParamValue = v
+			res := Run(alg, g, cfg)
+			choice.Probes = append(choice.Probes, ParamProbe{Value: v, K: k, Result: res})
+			if k == largestK {
+				entry.spread = res.Spread.Mean
+				entry.sd = res.Spread.SD
+				entry.time = res.SelectionTime
+				entry.ok = res.Status == OK
+			}
+		}
+		sweeps = append(sweeps, entry)
+	}
+
+	// X*: highest spread among completed runs at the largest k.
+	best := -1
+	for i, s := range sweeps {
+		if !s.ok {
+			continue
+		}
+		if best < 0 || s.spread > sweeps[best].spread {
+			best = i
+		}
+	}
+	if best < 0 {
+		// Nothing completed; fall back to the algorithm default.
+		choice.Optimal = choice.Param.Default
+		return choice
+	}
+	choice.BestValue = sweeps[best].value
+	choice.BestSpread = sweeps[best].spread
+	choice.BestSD = sweeps[best].sd
+
+	// Cheapest value within one sd* of μ*.
+	threshold := choice.BestSpread - choice.BestSD
+	chosen := best
+	for i, s := range sweeps {
+		if !s.ok || s.spread < threshold {
+			continue
+		}
+		if s.time < sweeps[chosen].time {
+			chosen = i
+		}
+	}
+	choice.Optimal = sweeps[chosen].value
+	return choice
+}
+
+// Converged implements the convergence predicate of Alg. 3 (lines 10–12):
+// the spread at the current parameter value is within tol (relative) of the
+// spread at the most accurate value α1.
+func Converged(spreadAlpha1, spreadAlphaI, tol float64) bool {
+	if spreadAlpha1 <= 0 {
+		return true
+	}
+	return spreadAlphaI >= spreadAlpha1*(1-tol)
+}
+
+// SearchDescending walks the spectrum from most to least accurate and
+// returns the LAST value that still satisfies Converged against α1 — the
+// direct transcription of Alg. 3's outer loop. It is cheaper than Search
+// (no per-k sweep) and is used by the quickstart path.
+func (ps ParamSearch) SearchDescending(alg Algorithm, g *graph.Graph, tol float64) ParamChoice {
+	choice := ParamChoice{
+		Algorithm: alg.Name(),
+		Model:     ps.Config.Model,
+		Param:     alg.Param(ps.Config.Model),
+	}
+	if !choice.Param.HasParam() || len(choice.Param.Spectrum) == 0 {
+		return choice
+	}
+	var spreadAlpha1 float64
+	lastGood := choice.Param.Spectrum[0]
+	for i, v := range choice.Param.Spectrum {
+		cfg := ps.Config
+		cfg.ParamValue = v
+		res := Run(alg, g, cfg)
+		choice.Probes = append(choice.Probes, ParamProbe{Value: v, K: cfg.K, Result: res})
+		if res.Status != OK {
+			break
+		}
+		if i == 0 {
+			spreadAlpha1 = res.Spread.Mean
+			choice.BestValue = v
+			choice.BestSpread = res.Spread.Mean
+			choice.BestSD = res.Spread.SD
+			continue
+		}
+		if !Converged(spreadAlpha1, res.Spread.Mean, tol) {
+			break
+		}
+		lastGood = v
+	}
+	choice.Optimal = lastGood
+	return choice
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// Registry maps algorithm names to constructors so that commands, examples
+// and experiments instantiate techniques uniformly (the "Setup → Algorithms"
+// component of paper Fig. 2).
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]func() Algorithm
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]func() Algorithm)}
+}
+
+// Register adds a constructor under the algorithm's canonical name. It
+// panics on duplicates: registration happens at init time and a duplicate
+// is a programming error.
+func (r *Registry) Register(name string, ctor func() Algorithm) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		panic(fmt.Sprintf("core: duplicate algorithm %q", name))
+	}
+	r.entries[name] = ctor
+}
+
+// New instantiates the named algorithm.
+func (r *Registry) New(name string) (Algorithm, error) {
+	r.mu.RLock()
+	ctor, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown algorithm %q (have %v)", name, r.Names())
+	}
+	return ctor(), nil
+}
+
+// Names returns the registered names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SupportMatrix renders the model-support matrix of paper Table 5:
+// algorithm → supported diffusion models.
+func (r *Registry) SupportMatrix() map[string][]string {
+	out := make(map[string][]string)
+	for _, name := range r.Names() {
+		alg, err := r.New(name)
+		if err != nil {
+			continue
+		}
+		var models []string
+		if alg.Supports(weights.IC) {
+			models = append(models, "IC")
+		}
+		if alg.Supports(weights.LT) {
+			models = append(models, "LT")
+		}
+		out[name] = models
+	}
+	return out
+}
+
+// defaultRegistry is populated by goinfmax.RegisterAll at program start.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/diffusion"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/metrics"
+	"github.com/sigdata/goinfmax/internal/rng"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// RunConfig describes one benchmark cell: algorithm × dataset × model × k
+// with budgets and evaluation settings.
+type RunConfig struct {
+	K          int
+	Model      weights.Model
+	ParamValue float64 // 0 = algorithm default
+	Seed       uint64
+
+	// TimeBudget bounds seed selection (0 = unlimited). Reproduces the
+	// paper's 40 h / 2400 h DNF cutoffs at laptop scale.
+	TimeBudget time.Duration
+	// MemBudgetBytes bounds algorithm-accounted memory (0 = unlimited).
+	// Reproduces the paper's 256 GB "Crashed" outcomes at laptop scale.
+	MemBudgetBytes int64
+
+	// EvalSims is the number of MC simulations for the decoupled spread
+	// evaluation (paper default 10,000). 0 disables evaluation.
+	EvalSims int
+	// EvalWorkers parallelizes evaluation only (seed selection stays
+	// sequential, as in the paper's study). 0 = GOMAXPROCS.
+	EvalWorkers int
+}
+
+// DefaultRunConfig returns the paper's standard cell configuration at
+// laptop-scale budgets: k seeds under model, 10,000-simulation evaluation.
+func DefaultRunConfig(model weights.Model, k int) RunConfig {
+	return RunConfig{K: k, Model: model, Seed: 42, EvalSims: 10000}
+}
+
+// Result is the instrumented outcome of one benchmark cell.
+type Result struct {
+	Algorithm string
+	Dataset   string
+	Model     weights.Model
+	K         int
+	Param     float64
+	Status    Status
+	Err       error
+
+	Seeds []graph.NodeID
+	// Spread is the decoupled MC evaluation σ(S) (paper §5.1); zero-valued
+	// when evaluation was disabled or the run did not complete.
+	Spread diffusion.Estimate
+	// EstimatedSpread is the algorithm's own estimate (TIM+/IMM
+	// extrapolation; −1 when not reported). Paper M4 compares it to Spread.
+	EstimatedSpread float64
+
+	SelectionTime time.Duration
+	EvalTime      time.Duration
+	PeakMemBytes  int64
+	Lookups       int64
+}
+
+// SpreadPercent returns spread as the percentage of nodes in the network,
+// the unit of paper Table 3.
+func (r Result) SpreadPercent(n int32) float64 {
+	if n == 0 {
+		return 0
+	}
+	return 100 * r.Spread.Mean / float64(n)
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%-12s %-12s %-3s k=%-4d %-8s time=%-10s mem=%-9s spread=%.1f",
+		r.Algorithm, r.Dataset, r.Model, r.K, r.Status,
+		metrics.HumanDuration(r.SelectionTime), metrics.HumanBytes(r.PeakMemBytes), r.Spread.Mean)
+}
+
+// Run executes one benchmark cell: instrumented seed selection followed by
+// the decoupled uniform spread evaluation. It never panics on budget
+// exhaustion; DNF/Crashed outcomes are reported in Result.Status.
+func Run(alg Algorithm, g *graph.Graph, cfg RunConfig) Result {
+	res := Result{
+		Algorithm:       alg.Name(),
+		Dataset:         g.Name(),
+		Model:           cfg.Model,
+		K:               cfg.K,
+		Param:           cfg.ParamValue,
+		EstimatedSpread: -1,
+	}
+	if !alg.Supports(cfg.Model) {
+		res.Status = Unsupported
+		return res
+	}
+	if cfg.K <= 0 || int32(cfg.K) > g.N() {
+		res.Status = Failed
+		res.Err = fmt.Errorf("core: invalid k=%d for n=%d", cfg.K, g.N())
+		return res
+	}
+
+	mem := metrics.StartMem()
+	ctx := &Context{
+		G:               g,
+		Model:           cfg.Model,
+		K:               cfg.K,
+		ParamValue:      cfg.ParamValue,
+		RNG:             rng.New(cfg.Seed),
+		memLimit:        cfg.MemBudgetBytes,
+		mem:             mem,
+		EstimatedSpread: -1,
+	}
+	if cfg.TimeBudget > 0 {
+		ctx.deadline = time.Now().Add(cfg.TimeBudget)
+	}
+
+	sw := metrics.Start()
+	seeds, err := alg.Select(ctx)
+	res.SelectionTime = sw.Elapsed()
+	res.PeakMemBytes = mem.PeakBytes()
+	res.Lookups = ctx.Lookups
+	res.EstimatedSpread = ctx.EstimatedSpread
+
+	switch {
+	case err == nil:
+		res.Status = OK
+		res.Seeds = seeds
+	case errors.Is(err, ErrBudget):
+		res.Status = DNF
+		res.Err = err
+		return res
+	case errors.Is(err, ErrMemory):
+		res.Status = Crashed
+		res.Err = err
+		return res
+	default:
+		res.Status = Failed
+		res.Err = err
+		return res
+	}
+
+	if err := validateSeeds(seeds, cfg.K, g.N()); err != nil {
+		res.Status = Failed
+		res.Err = err
+		return res
+	}
+
+	if cfg.EvalSims > 0 {
+		sw = metrics.Start()
+		res.Spread = diffusion.EstimateSpreadParallel(g, cfg.Model, seeds, cfg.EvalSims, cfg.Seed^0x5eed, cfg.EvalWorkers)
+		res.EvalTime = sw.Elapsed()
+	}
+	return res
+}
+
+func validateSeeds(seeds []graph.NodeID, k int, n int32) error {
+	if len(seeds) != k {
+		return fmt.Errorf("core: algorithm returned %d seeds, want %d", len(seeds), k)
+	}
+	seen := make(map[graph.NodeID]struct{}, len(seeds))
+	for _, s := range seeds {
+		if s < 0 || s >= n {
+			return fmt.Errorf("core: seed %d out of range [0,%d)", s, n)
+		}
+		if _, dup := seen[s]; dup {
+			return fmt.Errorf("core: duplicate seed %d", s)
+		}
+		seen[s] = struct{}{}
+	}
+	return nil
+}
+
+// RunSweep runs the same algorithm over a range of k values, reusing the
+// configuration. Paper Figs. 6–8 sweep k ∈ {1, 25, 50, …, 200}.
+func RunSweep(alg Algorithm, g *graph.Graph, cfg RunConfig, ks []int) []Result {
+	out := make([]Result, 0, len(ks))
+	for _, k := range ks {
+		c := cfg
+		c.K = k
+		out = append(out, Run(alg, g, c))
+	}
+	return out
+}
+
+// PaperKs returns the seed-count grid of the paper's plots.
+func PaperKs() []int { return []int{1, 25, 50, 75, 100, 125, 150, 175, 200} }

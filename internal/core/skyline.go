@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// Skyline analysis and the decision tree of paper §7 (Fig. 11)
+//
+// The paper concludes that no technique stands on all three pillars —
+// quality, efficiency and memory footprint — and summarizes the field as a
+// Venn diagram (Fig. 11a) plus a decision tree for practitioners
+// (Fig. 11b). This file encodes both: the static, paper-derived placement
+// and a data-driven classifier over Result sets.
+
+// Pillars is a technique's membership in the three desirable properties.
+type Pillars struct {
+	Quality    bool
+	Efficiency bool
+	Memory     bool
+}
+
+// String renders e.g. "QE" (quality+efficiency), "ME", "Q", "".
+func (p Pillars) String() string {
+	var b strings.Builder
+	if p.Quality {
+		b.WriteByte('Q')
+	}
+	if p.Efficiency {
+		b.WriteByte('E')
+	}
+	if p.Memory {
+		b.WriteByte('M')
+	}
+	if b.Len() == 0 {
+		return "-"
+	}
+	return b.String()
+}
+
+// PaperSkyline returns the paper's Fig. 11a placement of each technique.
+func PaperSkyline() map[string]Pillars {
+	return map[string]Pillars{
+		"TIM+":         {Quality: true, Efficiency: true},
+		"IMM":          {Quality: true, Efficiency: true},
+		"PMC":          {Quality: true, Efficiency: true},
+		"StaticGreedy": {Quality: true},
+		"CELF":         {Quality: true, Memory: true},
+		"CELF++":       {Quality: true, Memory: true},
+		"EaSyIM":       {Efficiency: true, Memory: true},
+		"IRIE":         {Efficiency: true, Memory: true},
+		"IMRank":       {Efficiency: true, Memory: true},
+		"LDAG":         {Efficiency: true, Memory: true},
+		"SIMPATH":      {Memory: true},
+	}
+}
+
+// ClassifyResults derives Pillars per algorithm from a set of completed
+// results. Because different techniques cover different subsets of the
+// grid (paper Table 5), raw means are not comparable across techniques;
+// every metric is first normalized WITHIN its cell — the (dataset, k)
+// combination — against the best completed result there:
+//
+//	Quality    — mean per-cell spread ratio ≥ 1 − qualTol.
+//	Efficiency — median per-cell slowdown vs the cell's fastest ≤ effFactor.
+//	Memory     — median per-cell blow-up vs the cell's smallest ≤ memFactor.
+//
+// DNF/Crashed cells disqualify the efficiency and memory pillars, mirroring
+// how non-scalability cost techniques their claims in the paper.
+func ClassifyResults(results []Result, qualTol, effFactor, memFactor float64) map[string]Pillars {
+	type cellKey struct {
+		dataset string
+		k       int
+	}
+	type cellBest struct {
+		spread  float64
+		minTime float64
+		minMem  float64
+	}
+	best := make(map[cellKey]*cellBest)
+	for _, r := range results {
+		if r.Status != OK {
+			continue
+		}
+		key := cellKey{r.Dataset, r.K}
+		b := best[key]
+		if b == nil {
+			b = &cellBest{minTime: -1, minMem: -1}
+			best[key] = b
+		}
+		if r.Spread.Mean > b.spread {
+			b.spread = r.Spread.Mean
+		}
+		if t := r.SelectionTime.Seconds(); b.minTime < 0 || t < b.minTime {
+			b.minTime = t
+		}
+		if m := float64(r.PeakMemBytes); b.minMem < 0 || m < b.minMem {
+			b.minMem = m
+		}
+	}
+
+	type agg struct {
+		qualRatios []float64
+		timeRatios []float64
+		memRatios  []float64
+		failed     bool
+	}
+	byAlg := make(map[string]*agg)
+	for _, r := range results {
+		a := byAlg[r.Algorithm]
+		if a == nil {
+			a = &agg{}
+			byAlg[r.Algorithm] = a
+		}
+		switch r.Status {
+		case OK:
+			b := best[cellKey{r.Dataset, r.K}]
+			if b == nil {
+				continue
+			}
+			if b.spread > 0 {
+				a.qualRatios = append(a.qualRatios, r.Spread.Mean/b.spread)
+			}
+			if b.minTime > 0 {
+				a.timeRatios = append(a.timeRatios, r.SelectionTime.Seconds()/b.minTime)
+			}
+			if b.minMem > 0 {
+				a.memRatios = append(a.memRatios, float64(r.PeakMemBytes)/b.minMem)
+			}
+		case Unsupported:
+			// Not counted against the technique.
+		default:
+			a.failed = true
+		}
+	}
+	median := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		s := make([]float64, len(xs))
+		copy(s, xs)
+		sort.Float64s(s)
+		return s[len(s)/2]
+	}
+	mean := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		t := 0.0
+		for _, x := range xs {
+			t += x
+		}
+		return t / float64(len(xs))
+	}
+
+	out := make(map[string]Pillars)
+	for name, a := range byAlg {
+		if len(a.qualRatios) == 0 {
+			out[name] = Pillars{}
+			continue
+		}
+		p := Pillars{
+			Quality:    mean(a.qualRatios) >= 1-qualTol,
+			Efficiency: median(a.timeRatios) <= effFactor,
+			Memory:     median(a.memRatios) <= memFactor,
+		}
+		if a.failed {
+			// A DNF/crash on the grid forfeits efficiency and memory claims.
+			p.Efficiency = false
+			p.Memory = false
+		}
+		out[name] = p
+	}
+	return out
+}
+
+// Scenario describes a practitioner's situation for the decision tree.
+type Scenario struct {
+	Model weights.Model
+	// WCWeights: under IC, are the weights WC-style (1/indeg) rather than a
+	// constant/generic assignment? The tree branches on this (paper M6).
+	WCWeights bool
+	// MemoryConstrained: is main-memory budget scarce?
+	MemoryConstrained bool
+}
+
+// Recommend walks the paper Fig. 11b decision tree and returns the
+// recommended technique with the reasoning chain.
+func Recommend(s Scenario) (string, []string) {
+	var trace []string
+	if s.MemoryConstrained {
+		trace = append(trace, "memory budget is scarce → quality+efficiency techniques (TIM+/IMM/PMC) excluded")
+		trace = append(trace, "EaSyIM out-performs CELF/CELF++/IRIE in memory footprint with reasonable quality and efficiency")
+		return "EaSyIM", trace
+	}
+	trace = append(trace, "memory budget is not a constraint → choose among the quality techniques TIM+/IMM/PMC")
+	switch s.Model {
+	case weights.LT:
+		trace = append(trace, "LT model → TIM+ is fastest at its (higher) optimal ε (paper M3)")
+		return "TIM+", trace
+	case weights.IC:
+		if s.WCWeights {
+			trace = append(trace, "IC with WC weights → RR sets stay small; IMM is fastest")
+			return "IMM", trace
+		}
+		trace = append(trace, "generic IC (uniform constant weights) → RR sets blow up; PMC is the fastest quality technique")
+		return "PMC", trace
+	}
+	return "IMM", trace
+}
+
+// FormatSkyline renders a Fig.-11a-style text summary.
+func FormatSkyline(placement map[string]Pillars) string {
+	names := make([]string, 0, len(placement))
+	for n := range placement {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("Technique      Pillars (Q=quality, E=efficiency, M=memory)\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-14s %s\n", n, placement[n])
+	}
+	return b.String()
+}

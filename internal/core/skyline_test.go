@@ -1,0 +1,214 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+func TestPillarsString(t *testing.T) {
+	cases := map[string]Pillars{
+		"QEM": {Quality: true, Efficiency: true, Memory: true},
+		"QE":  {Quality: true, Efficiency: true},
+		"M":   {Memory: true},
+		"-":   {},
+	}
+	for want, p := range cases {
+		if got := p.String(); got != want {
+			t.Fatalf("%+v => %q want %q", p, got, want)
+		}
+	}
+}
+
+func TestPaperSkyline(t *testing.T) {
+	sk := PaperSkyline()
+	if len(sk) != 11 {
+		t.Fatalf("skyline has %d techniques want 11", len(sk))
+	}
+	// Key paper conclusions encoded in Fig. 11a.
+	if !sk["IMM"].Quality || !sk["IMM"].Efficiency || sk["IMM"].Memory {
+		t.Fatalf("IMM placement %v want QE", sk["IMM"])
+	}
+	if !sk["EaSyIM"].Memory || !sk["EaSyIM"].Efficiency || sk["EaSyIM"].Quality {
+		t.Fatalf("EaSyIM placement %v want EM", sk["EaSyIM"])
+	}
+	// No technique on all three pillars — the paper's headline claim.
+	for name, p := range sk {
+		if p.Quality && p.Efficiency && p.Memory {
+			t.Fatalf("%s claims all three pillars; paper says none does", name)
+		}
+	}
+}
+
+func TestClassifyResults(t *testing.T) {
+	mk := func(alg string, spread float64, secs float64, mem int64, status Status) Result {
+		r := Result{Algorithm: alg, Status: status,
+			SelectionTime: time.Duration(secs * float64(time.Second)), PeakMemBytes: mem}
+		r.Spread.Mean = spread
+		return r
+	}
+	results := []Result{
+		mk("good", 100, 1, 1000, OK),
+		mk("fastlow", 60, 0.5, 1000, OK),
+		mk("hog", 99, 1.2, 100000, OK),
+		mk("dnf", 100, 1, 1000, DNF),
+	}
+	got := ClassifyResults(results, 0.05, 3, 3)
+	if !got["good"].Quality || !got["good"].Efficiency || !got["good"].Memory {
+		t.Fatalf("good %v", got["good"])
+	}
+	if got["fastlow"].Quality {
+		t.Fatalf("fastlow should lack quality: %v", got["fastlow"])
+	}
+	if got["hog"].Memory {
+		t.Fatalf("hog should lack memory: %v", got["hog"])
+	}
+	// A DNF forfeits efficiency/memory claims.
+	if got["dnf"].Efficiency || got["dnf"].Memory {
+		t.Fatalf("dnf %v", got["dnf"])
+	}
+}
+
+func TestRecommendDecisionTree(t *testing.T) {
+	cases := []struct {
+		s    Scenario
+		want string
+	}{
+		{Scenario{MemoryConstrained: true}, "EaSyIM"},
+		{Scenario{Model: weights.LT}, "TIM+"},
+		{Scenario{Model: weights.IC, WCWeights: true}, "IMM"},
+		{Scenario{Model: weights.IC, WCWeights: false}, "PMC"},
+	}
+	for _, c := range cases {
+		got, trace := Recommend(c.s)
+		if got != c.want {
+			t.Fatalf("%+v => %q want %q", c.s, got, c.want)
+		}
+		if len(trace) == 0 {
+			t.Fatal("empty reasoning trace")
+		}
+	}
+}
+
+func TestFormatSkyline(t *testing.T) {
+	out := FormatSkyline(PaperSkyline())
+	for _, name := range []string{"IMM", "EaSyIM", "SIMPATH"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing %s in:\n%s", name, out)
+		}
+	}
+}
+
+func TestConvergedPredicate(t *testing.T) {
+	if !Converged(100, 96, 0.05) {
+		t.Fatal("96 within 5% of 100")
+	}
+	if Converged(100, 90, 0.05) {
+		t.Fatal("90 not within 5% of 100")
+	}
+	if !Converged(0, 0, 0.05) {
+		t.Fatal("zero baseline trivially converged")
+	}
+}
+
+func TestParamSearchPicksCheapWithinSD(t *testing.T) {
+	g := chainGraph(30, 1.0)
+	// Stub whose quality is flat in the parameter but whose cost grows:
+	// the search must pick the cheapest spectrum value.
+	// Two widely separated costs so scheduler noise on a loaded machine
+	// cannot invert the ordering.
+	alg := stubAlgo{
+		name:  "flat",
+		param: Param{Name: "r", Spectrum: []float64{200, 1}, Default: 200},
+		selectFn: func(ctx *Context) ([]graph.NodeID, error) {
+			time.Sleep(time.Duration(ctx.ParamValue) * time.Millisecond)
+			return firstK(ctx)
+		},
+	}
+	ps := ParamSearch{Ks: []int{2}, Config: RunConfig{Model: weights.IC, Seed: 1, EvalSims: 100}}
+	choice := ps.Search(alg, g)
+	if choice.Optimal != 1 {
+		t.Fatalf("optimal %v want 1 (cheapest, flat quality)", choice.Optimal)
+	}
+	if choice.BestSpread != 30 {
+		t.Fatalf("best spread %v", choice.BestSpread)
+	}
+	if len(choice.Probes) != 2 {
+		t.Fatalf("probes %d", len(choice.Probes))
+	}
+	if choice.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestParamSearchQualitySensitive(t *testing.T) {
+	g := chainGraph(40, 1.0)
+	// Param < 50 yields garbage seeds (tail nodes, near-zero spread);
+	// param ≥ 50 yields seed 0 (full spread). Search must keep 50.
+	alg := stubAlgo{
+		name:  "sensitive",
+		param: Param{Name: "r", Spectrum: []float64{100, 50, 10}, Default: 100},
+		selectFn: func(ctx *Context) ([]graph.NodeID, error) {
+			if ctx.ParamValue >= 50 {
+				return []graph.NodeID{0, 1}, nil
+			}
+			return []graph.NodeID{38, 39}, nil
+		},
+	}
+	ps := ParamSearch{Ks: []int{2}, Config: RunConfig{Model: weights.IC, Seed: 1, EvalSims: 100}}
+	choice := ps.Search(alg, g)
+	if choice.Optimal != 50 {
+		t.Fatalf("optimal %v want 50", choice.Optimal)
+	}
+}
+
+func TestParamSearchNoParam(t *testing.T) {
+	g := chainGraph(10, 1)
+	alg := stubAlgo{name: "noparam", selectFn: firstK}
+	ps := ParamSearch{Ks: []int{2}, Config: RunConfig{Model: weights.IC}}
+	choice := ps.Search(alg, g)
+	if choice.Optimal != 0 || len(choice.Probes) != 0 {
+		t.Fatalf("no-param choice %+v", choice)
+	}
+	if !strings.Contains(choice.String(), "no external parameter") {
+		t.Fatalf("String %q", choice.String())
+	}
+}
+
+func TestParamSearchAllFailed(t *testing.T) {
+	g := chainGraph(10, 1)
+	alg := stubAlgo{
+		name:  "alwayscrash",
+		param: Param{Name: "r", Spectrum: []float64{2, 1}, Default: 2},
+		selectFn: func(ctx *Context) ([]graph.NodeID, error) {
+			return nil, ErrMemory
+		},
+	}
+	ps := ParamSearch{Ks: []int{2}, Config: RunConfig{Model: weights.IC}}
+	choice := ps.Search(alg, g)
+	if choice.Optimal != 2 {
+		t.Fatalf("fallback to default: got %v", choice.Optimal)
+	}
+}
+
+func TestSearchDescending(t *testing.T) {
+	g := chainGraph(40, 1.0)
+	alg := stubAlgo{
+		name:  "desc",
+		param: Param{Name: "r", Spectrum: []float64{100, 50, 10}, Default: 100},
+		selectFn: func(ctx *Context) ([]graph.NodeID, error) {
+			if ctx.ParamValue >= 50 {
+				return []graph.NodeID{0, 1}, nil
+			}
+			return []graph.NodeID{38, 39}, nil
+		},
+	}
+	ps := ParamSearch{Config: RunConfig{K: 2, Model: weights.IC, Seed: 1, EvalSims: 100}}
+	choice := ps.SearchDescending(alg, g, 0.05)
+	if choice.Optimal != 50 {
+		t.Fatalf("descending optimal %v want 50", choice.Optimal)
+	}
+}

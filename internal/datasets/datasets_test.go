@@ -1,0 +1,281 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+)
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	g := BarabasiAlbert(2000, 3, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2000 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// Each of ~n nodes adds m edges; symmetrized arcs ≈ 2·m·n.
+	avg := float64(g.M()) / float64(g.N())
+	if avg < 4 || avg > 8 {
+		t.Fatalf("avg directed degree %v, want ≈6", avg)
+	}
+	// Heavy tail: max degree far above the average.
+	st := g.ComputeStats(rng.New(1), 16)
+	if float64(st.MaxOutDegree) < 5*avg {
+		t.Fatalf("max degree %d not heavy-tailed (avg %v)", st.MaxOutDegree, avg)
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a := BarabasiAlbert(300, 2, 42)
+	b := BarabasiAlbert(300, 2, 42)
+	if a.M() != b.M() {
+		t.Fatalf("sizes differ: %d vs %d", a.M(), b.M())
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	c := BarabasiAlbert(300, 2, 43)
+	if c.M() == a.M() {
+		// Same edge count is possible; compare content.
+		same := true
+		ec := c.Edges()
+		for i := range ea {
+			if ea[i] != ec[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestErdosRenyiExactEdges(t *testing.T) {
+	g := ErdosRenyi(100, 400, 7)
+	if g.M() != 800 { // symmetrized
+		t.Fatalf("m=%d want 800", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Requesting more than possible clamps.
+	small := ErdosRenyi(4, 100, 7)
+	if small.M() != 12 { // C(4,2)=6 edges ×2 arcs
+		t.Fatalf("clamped m=%d want 12", small.M())
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(200, 3, 0.1, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	avg := float64(g.M()) / float64(g.N())
+	if avg < 5 || avg > 7 {
+		t.Fatalf("avg degree %v want ≈6", avg)
+	}
+}
+
+func TestDirectedScaleFree(t *testing.T) {
+	g := DirectedScaleFree(1500, 10, 0.2, 11)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed() {
+		t.Fatal("must be directed")
+	}
+	avg := g.AvgDegree()
+	if avg < 5 || avg > 20 {
+		t.Fatalf("avg out-degree %v want ≈10", avg)
+	}
+	// In-degree skew from preferential attachment.
+	st := g.ComputeStats(rng.New(2), 16)
+	if float64(st.MaxInDegree) < 4*avg {
+		t.Fatalf("max in-degree %d not skewed (avg %v)", st.MaxInDegree, avg)
+	}
+}
+
+func TestDensePowerLaw(t *testing.T) {
+	g := DensePowerLaw(800, 20, 13)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	avg := float64(g.M()) / float64(g.N())
+	if avg < 10 || avg > 25 {
+		t.Fatalf("avg directed degree %v want ≈20", avg)
+	}
+}
+
+func TestCallMultigraphHasParallelEdges(t *testing.T) {
+	g := CallMultigraph(100, 2000, 17)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2000 {
+		t.Fatalf("m=%d want 2000 calls", g.M())
+	}
+	// Must contain at least one parallel arc pair.
+	found := false
+	for u := graph.NodeID(0); u < g.N() && !found; u++ {
+		to, _ := g.OutNeighbors(u)
+		seen := map[graph.NodeID]bool{}
+		for _, v := range to {
+			if seen[v] {
+				found = true
+				break
+			}
+			seen[v] = true
+		}
+	}
+	if !found {
+		t.Fatal("no parallel arcs in call multigraph")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// Arcs: right 3*3=9, down 2*4=8.
+	if g.M() != 17 {
+		t.Fatalf("m=%d want 17", g.M())
+	}
+	if d := g.OutDegree(0); d != 2 {
+		t.Fatalf("corner out-degree %d", d)
+	}
+	if d := g.OutDegree(11); d != 0 {
+		t.Fatalf("sink out-degree %d", d)
+	}
+}
+
+func TestRegistryNamesAndLookup(t *testing.T) {
+	names := Names()
+	if len(names) != 9 {
+		t.Fatalf("have %d datasets: %v", len(names), names)
+	}
+	for _, name := range names {
+		if _, err := Lookup(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	g, err := Generate("nethept", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "nethept" {
+		t.Fatalf("name %q", g.Name())
+	}
+	if g.N() != 15000 {
+		t.Fatalf("nethept default n=%d want 15000 (scale 1)", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateScaling(t *testing.T) {
+	g, err := Generate("dblp", 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int32(317_000 / 32)
+	if g.N() != want {
+		t.Fatalf("n=%d want %d", g.N(), want)
+	}
+	tiny, err := Generate("nethept", 1_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.N() != 64 {
+		t.Fatalf("minimum size clamp: n=%d want 64", tiny.N())
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("unknown", 1, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMustGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGenerate did not panic")
+		}
+	}()
+	MustGenerate("unknown", 1, 1)
+}
+
+// TestDatasetDensityMatchesPaper: at default scale, each stand-in's average
+// degree must be within 2.5× of the paper's Table 1 value (the property
+// driving algorithmic behavior).
+func TestDatasetDensityMatchesPaper(t *testing.T) {
+	for _, name := range []string{"nethept", "hepph", "dblp", "youtube"} {
+		spec, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := MustGenerate(name, 0, 3)
+		avg := float64(g.M()) / float64(g.N())
+		if !g.Directed() {
+			avg /= 2 // paper counts undirected edges once
+		}
+		ratio := avg / spec.AvgDegree
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("%s: avg degree %v vs paper %v (ratio %v)", name, avg, spec.AvgDegree, ratio)
+		}
+	}
+}
+
+// TestPowerLawDegreeMean: the degree sampler must roughly hit its mean.
+func TestPowerLawDegreeMean(t *testing.T) {
+	r := rng.New(19)
+	const mean = 12.0
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(powerLawDegree(r, mean))
+	}
+	got := sum / n
+	if math.Abs(got-mean) > mean*0.25 {
+		t.Fatalf("mean degree %v want ≈%v", got, mean)
+	}
+}
+
+// TestGeneratorsNoSelfLoopsProperty: generated graphs never contain
+// self-loops (builders drop them, but generators shouldn't emit them).
+func TestGeneratorsNoSelfLoopsProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := BarabasiAlbert(60, 2, seed)
+		for _, e := range g.Edges() {
+			if e.From == e.To {
+				return false
+			}
+		}
+		h := DirectedScaleFree(60, 4, 0.3, seed)
+		for _, e := range h.Edges() {
+			if e.From == e.To {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,323 @@
+// Package datasets provides seeded synthetic social-network generators and a
+// registry of stand-ins for the paper's eight benchmark datasets (Table 1).
+//
+// The paper evaluates on real graphs from arXiv and SNAP (NetHEPT, HepPh,
+// DBLP, YouTube, LiveJournal, Orkut, Twitter, Friendster). This module is
+// offline, so we substitute seeded generators that match each dataset's
+// directedness, density and heavy-tailed degree distribution — the
+// properties that drive every phenomenon the paper reports (RR-set size
+// under IC vs WC, CELF's non-scalability, memory ordering). Scale factors
+// shrink the giants to laptop size; DESIGN.md records the substitution.
+package datasets
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+)
+
+// BarabasiAlbert generates an undirected preferential-attachment graph with
+// n nodes, each new node attaching m edges to existing nodes with
+// probability proportional to degree. Produces the power-law degree
+// distribution typical of collaboration and social networks.
+func BarabasiAlbert(n int32, m int, seed uint64) *graph.Graph {
+	if n < 2 {
+		n = 2
+	}
+	if m < 1 {
+		m = 1
+	}
+	r := rng.New(seed)
+	b := graph.NewBuilder(n, false)
+	// endpoints holds one entry per edge endpoint; sampling uniformly from
+	// it realizes degree-proportional attachment.
+	endpoints := make([]graph.NodeID, 0, 2*int(n)*m)
+	// Seed clique of m+1 nodes.
+	m0 := int32(m + 1)
+	if m0 > n {
+		m0 = n
+	}
+	for i := int32(0); i < m0; i++ {
+		for j := i + 1; j < m0; j++ {
+			mustAdd(b, i, j)
+			endpoints = append(endpoints, i, j)
+		}
+	}
+	targets := make([]graph.NodeID, 0, m)
+	for v := m0; v < n; v++ {
+		targets = targets[:0]
+		guard := 0
+		for len(targets) < m && guard < 50*m {
+			guard++
+			var t graph.NodeID
+			if len(endpoints) == 0 {
+				t = graph.NodeID(r.Int31n(v))
+			} else {
+				t = endpoints[r.Intn(len(endpoints))]
+			}
+			if t == v || containsNode(targets, t) {
+				continue
+			}
+			targets = append(targets, t)
+		}
+		for _, t := range targets {
+			mustAdd(b, v, t)
+			endpoints = append(endpoints, v, t)
+		}
+	}
+	return b.Build()
+}
+
+// ErdosRenyi generates a G(n, m) uniform random undirected graph with
+// exactly m distinct edges (self-loops excluded).
+func ErdosRenyi(n int32, m int64, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n, false)
+	maxEdges := int64(n) * int64(n-1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	type pair struct{ u, v graph.NodeID }
+	seen := make(map[pair]struct{}, m)
+	for int64(len(seen)) < m {
+		u := graph.NodeID(r.Int31n(n))
+		v := graph.NodeID(r.Int31n(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		p := pair{u, v}
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		mustAdd(b, u, v)
+	}
+	return b.Build()
+}
+
+// WattsStrogatz generates a small-world ring lattice with n nodes, k
+// neighbors per side (even total degree 2k) and rewiring probability beta.
+func WattsStrogatz(n int32, k int, beta float64, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n, false)
+	for u := int32(0); u < n; u++ {
+		for j := 1; j <= k; j++ {
+			v := (u + int32(j)) % n
+			if r.Float64() < beta {
+				// Rewire to a uniform random target.
+				for tries := 0; tries < 16; tries++ {
+					w := graph.NodeID(r.Int31n(n))
+					if w != u {
+						v = w
+						break
+					}
+				}
+			}
+			if u != v {
+				mustAdd(b, u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// DirectedScaleFree generates a directed graph with heavy-tailed in- and
+// out-degree. Each node u emits outDeg(u) arcs, where outDeg is drawn from
+// a discrete power law with the given mean; targets are chosen
+// preferentially by in-degree (probability 1−q) or uniformly (probability
+// q), yielding the in-degree skew of follower networks such as Twitter and
+// LiveJournal.
+func DirectedScaleFree(n int32, meanOutDeg float64, q float64, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n, true)
+	// endpoints: one entry per received arc, for preferential target choice.
+	endpoints := make([]graph.NodeID, 0, int(float64(n)*meanOutDeg))
+	type pair struct{ u, v graph.NodeID }
+	seenLocal := make(map[pair]struct{})
+	for u := int32(0); u < n; u++ {
+		d := powerLawDegree(r, meanOutDeg)
+		if int32(d) >= n {
+			d = int(n) - 1
+		}
+		for k := range seenLocal {
+			delete(seenLocal, k)
+		}
+		for j := 0; j < d; j++ {
+			var v graph.NodeID
+			if len(endpoints) == 0 || r.Float64() < q {
+				v = graph.NodeID(r.Int31n(n))
+			} else {
+				v = endpoints[r.Intn(len(endpoints))]
+			}
+			if v == u {
+				continue
+			}
+			p := pair{u, v}
+			if _, dup := seenLocal[p]; dup {
+				continue
+			}
+			seenLocal[p] = struct{}{}
+			mustAdd(b, u, v)
+			endpoints = append(endpoints, v)
+		}
+	}
+	return b.Build()
+}
+
+// powerLawDegree draws a heavy-tailed degree with the given mean: a Pareto
+// tail (α ≈ 2.3, typical of social networks) discretized and clamped.
+func powerLawDegree(r *rng.Source, mean float64) int {
+	const alpha = 2.3
+	// Pareto with x_min chosen so E[X] = mean: E = x_min * α/(α−1).
+	xmin := mean * (alpha - 1) / alpha
+	if xmin < 0.5 {
+		xmin = 0.5
+	}
+	u := r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	x := xmin / math.Pow(u, 1/alpha)
+	d := int(x + 0.5)
+	if d < 0 {
+		d = 0
+	}
+	// Clamp the extreme tail so a single hub cannot dominate tiny graphs.
+	if cap := int(mean * 400); d > cap {
+		d = cap
+	}
+	return d
+}
+
+// DensePowerLaw generates an undirected heavy-tailed graph with roughly
+// n*meanDeg/2 edges via a Chung-Lu style model: node weights follow a power
+// law and edge (u,v) appears with probability proportional to w_u*w_v.
+// Used for dense community graphs like Orkut and Friendster.
+func DensePowerLaw(n int32, meanDeg float64, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	// Draw expected-degree weights.
+	w := make([]float64, n)
+	var total float64
+	for i := range w {
+		w[i] = float64(powerLawDegree(r, meanDeg))
+		if w[i] < 1 {
+			w[i] = 1
+		}
+		total += w[i]
+	}
+	b := graph.NewBuilder(n, false)
+	type pair struct{ u, v graph.NodeID }
+	seen := make(map[pair]struct{})
+	// Weighted endpoint sampling via an alias-free cumulative trick: sample
+	// both endpoints from the weight distribution, target n*meanDeg/2 edges.
+	cum := make([]float64, n)
+	acc := 0.0
+	for i := range w {
+		acc += w[i]
+		cum[i] = acc
+	}
+	sample := func() graph.NodeID {
+		x := r.Float64() * total
+		lo, hi := 0, int(n)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return graph.NodeID(lo)
+	}
+	want := int64(float64(n) * meanDeg / 2)
+	attempts := int64(0)
+	for int64(len(seen)) < want && attempts < want*20 {
+		attempts++
+		u, v := sample(), sample()
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		p := pair{u, v}
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		mustAdd(b, u, v)
+	}
+	return b.Build()
+}
+
+// CallMultigraph generates a directed multigraph resembling a phone-call
+// network: parallel arcs model repeated calls (paper §2.1.2, LT-"parallel
+// edges"). Each of the m call events picks a caller preferentially by past
+// activity and a callee from the caller's contact set.
+func CallMultigraph(n int32, calls int64, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n, true)
+	contacts := make([][]graph.NodeID, n)
+	activity := make([]graph.NodeID, 0, calls)
+	for i := int64(0); i < calls; i++ {
+		var u graph.NodeID
+		if len(activity) == 0 || r.Float64() < 0.3 {
+			u = graph.NodeID(r.Int31n(n))
+		} else {
+			u = activity[r.Intn(len(activity))]
+		}
+		var v graph.NodeID
+		if len(contacts[u]) == 0 || r.Float64() < 0.4 {
+			v = graph.NodeID(r.Int31n(n))
+			if v == u {
+				v = (v + 1) % n
+			}
+			contacts[u] = append(contacts[u], v)
+		} else {
+			v = contacts[u][r.Intn(len(contacts[u]))]
+		}
+		mustAdd(b, u, v)
+		activity = append(activity, u)
+	}
+	return b.Build()
+}
+
+// Grid generates a directed 2D grid (rows × cols) with arcs right and down;
+// deterministic and acyclic, used by tests that need exact expected spreads.
+func Grid(rows, cols int32) *graph.Graph {
+	n := rows * cols
+	b := graph.NewBuilder(n, true)
+	id := func(r, c int32) graph.NodeID { return r*cols + c }
+	for r := int32(0); r < rows; r++ {
+		for c := int32(0); c < cols; c++ {
+			if c+1 < cols {
+				mustAdd(b, id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				mustAdd(b, id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func containsNode(xs []graph.NodeID, x graph.NodeID) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+func mustAdd(b *graph.Builder, u, v graph.NodeID) {
+	if err := b.AddEdge(u, v, 1); err != nil {
+		// Generators only emit in-range ids; an error is a bug.
+		panic(fmt.Sprintf("datasets: %v", err))
+	}
+}

@@ -1,0 +1,147 @@
+package datasets
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+)
+
+// Spec describes one of the paper's Table 1 datasets and how its synthetic
+// stand-in is generated. PaperN/PaperM record the real dataset's size for
+// documentation; Scale shrinks the stand-in (1 = full paper size).
+type Spec struct {
+	Name      string
+	PaperN    int64
+	PaperM    int64
+	Directed  bool
+	AvgDegree float64
+	// DefaultScale divides PaperN for the default laptop-scale stand-in.
+	DefaultScale int64
+	// Generate builds the stand-in at the given node count.
+	Generate func(n int32, seed uint64) *graph.Graph
+}
+
+// specs mirrors paper Table 1. Generators are matched to each network's
+// character: preferential attachment for collaboration graphs, directed
+// scale-free for follower graphs, dense power-law for community graphs.
+var specs = []Spec{
+	{
+		Name: "nethept", PaperN: 15_000, PaperM: 31_000, Directed: false, AvgDegree: 2.06,
+		DefaultScale: 1,
+		Generate: func(n int32, seed uint64) *graph.Graph {
+			return named(BarabasiAlbert(n, 2, seed), "nethept")
+		},
+	},
+	{
+		Name: "hepph", PaperN: 12_000, PaperM: 118_000, Directed: false, AvgDegree: 9.83,
+		DefaultScale: 1,
+		Generate: func(n int32, seed uint64) *graph.Graph {
+			return named(BarabasiAlbert(n, 10, seed), "hepph")
+		},
+	},
+	{
+		Name: "dblp", PaperN: 317_000, PaperM: 1_050_000, Directed: false, AvgDegree: 3.31,
+		DefaultScale: 8,
+		Generate: func(n int32, seed uint64) *graph.Graph {
+			return named(BarabasiAlbert(n, 3, seed), "dblp")
+		},
+	},
+	{
+		Name: "youtube", PaperN: 1_130_000, PaperM: 2_990_000, Directed: false, AvgDegree: 2.65,
+		DefaultScale: 16,
+		Generate: func(n int32, seed uint64) *graph.Graph {
+			return named(BarabasiAlbert(n, 3, seed), "youtube")
+		},
+	},
+	{
+		Name: "livejournal", PaperN: 4_850_000, PaperM: 69_000_000, Directed: true, AvgDegree: 14.23,
+		DefaultScale: 64,
+		Generate: func(n int32, seed uint64) *graph.Graph {
+			return named(DirectedScaleFree(n, 14.2, 0.2, seed), "livejournal")
+		},
+	},
+	{
+		Name: "orkut", PaperN: 3_070_000, PaperM: 117_100_000, Directed: false, AvgDegree: 38.14,
+		DefaultScale: 128,
+		Generate: func(n int32, seed uint64) *graph.Graph {
+			return named(DensePowerLaw(n, 38.1, seed), "orkut")
+		},
+	},
+	{
+		Name: "twitter", PaperN: 41_600_000, PaperM: 1_500_000_000, Directed: true, AvgDegree: 36.06,
+		DefaultScale: 1024,
+		Generate: func(n int32, seed uint64) *graph.Graph {
+			return named(DirectedScaleFree(n, 36.1, 0.15, seed), "twitter")
+		},
+	},
+	{
+		Name: "friendster", PaperN: 65_600_000, PaperM: 1_800_000_000, Directed: false, AvgDegree: 27.69,
+		DefaultScale: 1024,
+		Generate: func(n int32, seed uint64) *graph.Graph {
+			return named(DensePowerLaw(n, 27.7, seed), "friendster")
+		},
+	},
+	{
+		// The SIMPATH paper's larger DBLP variant, used as a multigraph under
+		// LT-"parallel edges" (paper Table 4, "DBLP (large)-P").
+		Name: "dblp-large", PaperN: 914_000, PaperM: 6_650_000, Directed: true, AvgDegree: 7.2,
+		DefaultScale: 16,
+		Generate: func(n int32, seed uint64) *graph.Graph {
+			return named(CallMultigraph(n, int64(n)*7, seed), "dblp-large")
+		},
+	},
+}
+
+func named(g *graph.Graph, name string) *graph.Graph {
+	return g.WithName(name)
+}
+
+// Names returns all registered dataset names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the spec for name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("datasets: unknown dataset %q (have %v)", name, Names())
+}
+
+// Generate builds the stand-in for name at scale (0 = spec default; larger
+// scale = smaller graph) with the given seed.
+func Generate(name string, scale int64, seed uint64) (*graph.Graph, error) {
+	s, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if scale <= 0 {
+		scale = s.DefaultScale
+	}
+	n := s.PaperN / scale
+	if n < 64 {
+		n = 64
+	}
+	if n > int64(1)<<31-1 {
+		return nil, fmt.Errorf("datasets: %s at scale %d exceeds int32 nodes", name, scale)
+	}
+	return s.Generate(int32(n), seed), nil
+}
+
+// MustGenerate is Generate for tests and examples; it panics on error.
+func MustGenerate(name string, scale int64, seed uint64) *graph.Graph {
+	g, err := Generate(name, scale, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,141 @@
+package diffusion
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// reachableCount BFSes the full (every-arc) graph from seeds.
+func reachableCount(g *graph.Graph, seeds []graph.NodeID) int32 {
+	seen := make(map[graph.NodeID]bool)
+	var stack []graph.NodeID
+	for _, s := range seeds {
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		to, _ := g.OutNeighbors(u)
+		for _, v := range to {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return int32(len(seen))
+}
+
+// TestSpreadBounds: for any run, |S| ≤ Γ(S) ≤ |reachable(S)| — activation
+// can never exceed graph reachability nor fall below the seed count.
+func TestSpreadBounds(t *testing.T) {
+	check := func(seed uint64, rawN, rawM, rawS uint8, useLT bool) bool {
+		n := int32(rawN%25) + 3
+		m := int(rawM % 80)
+		r := rng.New(seed)
+		b := graph.NewBuilder(n, true)
+		for i := 0; i < m; i++ {
+			u, v := graph.NodeID(r.Int31n(n)), graph.NodeID(r.Int31n(n))
+			if u != v {
+				_ = b.AddEdge(u, v, 1)
+			}
+		}
+		raw := b.BuildSimple()
+		var g *graph.Graph
+		var model weights.Model
+		if useLT {
+			g = weights.LTUniform{}.Apply(raw)
+			model = weights.LT
+		} else {
+			g = weights.WeightedCascade{}.Apply(raw)
+			model = weights.IC
+		}
+		numSeeds := int(rawS%3) + 1
+		seedSet := make([]graph.NodeID, 0, numSeeds)
+		seen := map[graph.NodeID]bool{}
+		for len(seedSet) < numSeeds {
+			v := graph.NodeID(r.Int31n(n))
+			if !seen[v] {
+				seen[v] = true
+				seedSet = append(seedSet, v)
+			}
+		}
+		sim := NewSimulator(g, model)
+		upper := reachableCount(g, seedSet)
+		for i := 0; i < 20; i++ {
+			sp := sim.Run(seedSet, rng.New(seed+uint64(i)))
+			if sp < int32(numSeeds) || sp > upper {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReverseTwiceIdentity: Reverse∘Reverse preserves every arc and weight.
+func TestReverseTwiceIdentity(t *testing.T) {
+	g := randomWCGraph(97, 25, 120)
+	rr := g.Reverse().Reverse()
+	if rr.N() != g.N() || rr.M() != g.M() {
+		t.Fatal("double reverse changed size")
+	}
+	for _, e := range g.Edges() {
+		w, ok := rr.Weight(e.From, e.To)
+		if !ok || w != e.Weight {
+			t.Fatalf("arc (%d,%d) lost or reweighted: %v %v", e.From, e.To, w, ok)
+		}
+	}
+}
+
+// TestRRSamplerMatchesReverseSimulation: an RR set rooted at v under IC is
+// distributed as the set of nodes whose forward cascade would reach v; we
+// verify via the unbiasedness identity restricted to singletons:
+// P(u ∈ RR(v)) = P(v ∈ cascade(u)).
+func TestRRSamplerSingletonIdentity(t *testing.T) {
+	g := randomWCGraph(99, 15, 60)
+	const trials = 30000
+	u, v := graph.NodeID(2), graph.NodeID(11)
+	// P(u ∈ RR(v)).
+	s := NewRRSampler(g, weights.IC)
+	r := rng.New(7)
+	hit := 0
+	var buf []graph.NodeID
+	for i := 0; i < trials; i++ {
+		buf = s.Sample(v, r, buf[:0])
+		for _, x := range buf {
+			if x == u {
+				hit++
+				break
+			}
+		}
+	}
+	pRR := float64(hit) / trials
+	// P(v active | seed u).
+	sim := NewSimulator(g, weights.IC)
+	r2 := rng.New(8)
+	act := 0
+	for i := 0; i < trials; i++ {
+		var got []graph.NodeID
+		_, got = sim.RunCollect([]graph.NodeID{u}, r2, got[:0])
+		for _, x := range got {
+			if x == v {
+				act++
+				break
+			}
+		}
+	}
+	pFwd := float64(act) / trials
+	if d := pRR - pFwd; d > 0.02 || d < -0.02 {
+		t.Fatalf("P(u∈RR(v))=%v vs P(v∈cascade(u))=%v", pRR, pFwd)
+	}
+}

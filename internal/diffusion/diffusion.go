@@ -1,0 +1,297 @@
+// Package diffusion implements the stochastic information-diffusion
+// processes of paper §2 — forward simulation of the Independent Cascade and
+// Linear Threshold models (paper Alg. 1) — and the Monte-Carlo estimator of
+// expected spread σ(S) = E[Γ(S)] used to evaluate every algorithm from a
+// uniform standpoint (paper §5.1, "Computing expected spread").
+package diffusion
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// Simulator runs single diffusion cascades over a fixed graph and model.
+// Internal scratch arrays are reused across runs, so a Simulator performs no
+// per-run allocation after warm-up. A Simulator is NOT safe for concurrent
+// use; create one per goroutine.
+type Simulator struct {
+	g     *graph.Graph
+	model weights.Model
+
+	// Epoch-stamped visited marks: node v is active in the current run iff
+	// mark[v] == epoch. This avoids clearing O(n) state between runs.
+	mark  []uint32
+	epoch uint32
+	queue []graph.NodeID
+
+	// LT state, epoch-stamped like mark.
+	ltStamp  []uint32
+	ltWeight []float64 // incoming active weight accumulated this run
+	ltThresh []float64 // threshold θv drawn lazily on first exposure
+}
+
+// NewSimulator creates a Simulator for g under the given diffusion
+// semantics. The graph's weights must already follow a scheme compatible
+// with the model (see package weights).
+func NewSimulator(g *graph.Graph, model weights.Model) *Simulator {
+	n := g.N()
+	s := &Simulator{
+		g:     g,
+		model: model,
+		mark:  make([]uint32, n),
+		queue: make([]graph.NodeID, 0, 1024),
+	}
+	if model == weights.LT {
+		s.ltStamp = make([]uint32, n)
+		s.ltWeight = make([]float64, n)
+		s.ltThresh = make([]float64, n)
+	}
+	return s
+}
+
+// Graph returns the simulator's graph.
+func (s *Simulator) Graph() *graph.Graph { return s.g }
+
+// Model returns the simulator's diffusion semantics.
+func (s *Simulator) Model() weights.Model { return s.model }
+
+// Run simulates one cascade from seeds and returns the spread Γ(S): the
+// number of nodes active when the process quiesces, seeds included
+// (paper Def. 6). r supplies all randomness for the run.
+func (s *Simulator) Run(seeds []graph.NodeID, r *rng.Source) int32 {
+	return s.run(seeds, r, nil)
+}
+
+// RunCollect is Run but also appends every activated node (seeds included)
+// to out, returning the extended slice. Used by tests and by algorithms that
+// need the activated set itself (e.g. CELF's UpdateDataStructures).
+func (s *Simulator) RunCollect(seeds []graph.NodeID, r *rng.Source, out []graph.NodeID) (int32, []graph.NodeID) {
+	n := s.run(seeds, r, &out)
+	return n, out
+}
+
+func (s *Simulator) run(seeds []graph.NodeID, r *rng.Source, collect *[]graph.NodeID) int32 {
+	s.epoch++
+	if s.epoch == 0 { // wrapped: reset marks once every 2^32 runs
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		if s.ltStamp != nil {
+			for i := range s.ltStamp {
+				s.ltStamp[i] = 0
+			}
+		}
+		s.epoch = 1
+	}
+	s.queue = s.queue[:0]
+	active := int32(0)
+	for _, v := range seeds {
+		if s.mark[v] == s.epoch {
+			continue // duplicate seed
+		}
+		s.mark[v] = s.epoch
+		s.queue = append(s.queue, v)
+		active++
+		if collect != nil {
+			*collect = append(*collect, v)
+		}
+	}
+	switch s.model {
+	case weights.IC:
+		active += s.runIC(r, collect)
+	case weights.LT:
+		active += s.runLT(r, collect)
+	default:
+		panic(fmt.Sprintf("diffusion: unknown model %v", s.model))
+	}
+	return active
+}
+
+// runIC processes the frontier queue under IC: each newly activated u gets
+// one independent attempt per out-arc (paper Def. 4). BFS order realizes
+// the discrete time steps; since activation attempts are independent, the
+// step boundaries do not affect the final active set.
+func (s *Simulator) runIC(r *rng.Source, collect *[]graph.NodeID) int32 {
+	g, activated := s.g, int32(0)
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
+		to, w := g.OutNeighbors(u)
+		for i, v := range to {
+			if s.mark[v] == s.epoch {
+				continue
+			}
+			if r.Float64() < w[i] {
+				s.mark[v] = s.epoch
+				s.queue = append(s.queue, v)
+				activated++
+				if collect != nil {
+					*collect = append(*collect, v)
+				}
+			}
+		}
+	}
+	return activated
+}
+
+// runLT processes the frontier queue under LT: v's threshold θv ~ U[0,1] is
+// drawn lazily the first time an active in-neighbor pushes weight to it; v
+// activates when accumulated incoming active weight reaches θv (paper
+// Def. 5 / Eq. 1). Lazy threshold drawing is distributionally identical to
+// drawing all thresholds upfront because θv is never observed before v's
+// first exposure.
+func (s *Simulator) runLT(r *rng.Source, collect *[]graph.NodeID) int32 {
+	g, activated := s.g, int32(0)
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
+		to, w := g.OutNeighbors(u)
+		for i, v := range to {
+			if s.mark[v] == s.epoch {
+				continue
+			}
+			if s.ltStamp[v] != s.epoch {
+				s.ltStamp[v] = s.epoch
+				s.ltWeight[v] = 0
+				s.ltThresh[v] = r.Float64()
+			}
+			s.ltWeight[v] += w[i]
+			if s.ltWeight[v] >= s.ltThresh[v] {
+				s.mark[v] = s.epoch
+				s.queue = append(s.queue, v)
+				activated++
+				if collect != nil {
+					*collect = append(*collect, v)
+				}
+			}
+		}
+	}
+	return activated
+}
+
+// RunTwoPhase simulates one cascade from seeds1 and then — on the SAME
+// live-edge realization — extends it with seeds2, returning both Γ(seeds1)
+// and Γ(seeds1 ∪ seeds2). Under the live-edge view this is exact: edges
+// untouched in phase 1 get fresh coins in phase 2, and LT thresholds and
+// accumulated weights persist across the phases.
+//
+// CELF++ uses this to compute mg1 and mg2 from one set of simulations
+// (Goyal et al. §3: "mg2 can be computed efficiently within the same MC
+// runs"), which is why its wall-clock cost stays close to CELF's even
+// though it maintains two marginals (paper M1).
+func (s *Simulator) RunTwoPhase(seeds1, seeds2 []graph.NodeID, r *rng.Source) (sp1, sp12 int32) {
+	sp1 = s.run(seeds1, r, nil)
+	// Continue the same epoch: enqueue phase-2 seeds not yet active and
+	// diffuse them over the persisted marks/thresholds.
+	added := int32(0)
+	start := len(s.queue)
+	for _, v := range seeds2 {
+		if s.mark[v] == s.epoch {
+			continue
+		}
+		s.mark[v] = s.epoch
+		s.queue = append(s.queue, v)
+		added++
+	}
+	// Re-run the frontier processing from the first phase-2 seed onwards.
+	switch s.model {
+	case weights.IC:
+		added += s.runICFrom(start, r)
+	case weights.LT:
+		added += s.runLTFrom(start, r)
+	}
+	return sp1, sp1 + added
+}
+
+// runICFrom processes the queue starting at index head0 (phase-2 restart).
+func (s *Simulator) runICFrom(head0 int, r *rng.Source) int32 {
+	g, activated := s.g, int32(0)
+	for head := head0; head < len(s.queue); head++ {
+		u := s.queue[head]
+		to, w := g.OutNeighbors(u)
+		for i, v := range to {
+			if s.mark[v] == s.epoch {
+				continue
+			}
+			if r.Float64() < w[i] {
+				s.mark[v] = s.epoch
+				s.queue = append(s.queue, v)
+				activated++
+			}
+		}
+	}
+	return activated
+}
+
+// runLTFrom processes the queue starting at index head0 (phase-2 restart).
+func (s *Simulator) runLTFrom(head0 int, r *rng.Source) int32 {
+	g, activated := s.g, int32(0)
+	for head := head0; head < len(s.queue); head++ {
+		u := s.queue[head]
+		to, w := g.OutNeighbors(u)
+		for i, v := range to {
+			if s.mark[v] == s.epoch {
+				continue
+			}
+			if s.ltStamp[v] != s.epoch {
+				s.ltStamp[v] = s.epoch
+				s.ltWeight[v] = 0
+				s.ltThresh[v] = r.Float64()
+			}
+			s.ltWeight[v] += w[i]
+			if s.ltWeight[v] >= s.ltThresh[v] {
+				s.mark[v] = s.epoch
+				s.queue = append(s.queue, v)
+				activated++
+			}
+		}
+	}
+	return activated
+}
+
+// Estimate holds the result of a Monte-Carlo spread estimation.
+type Estimate struct {
+	Mean   float64 // sample mean of Γ(S) over Runs simulations
+	SD     float64 // sample standard deviation
+	Runs   int
+	StdErr float64 // SD / sqrt(Runs)
+}
+
+// String formats the estimate as "mean ± stderr (r runs)".
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.1f ± %.1f (%d runs)", e.Mean, e.StdErr, e.Runs)
+}
+
+// EstimateSpread computes σ(S) by r Monte-Carlo simulations (paper Alg. 3
+// line 9, ComputeSpread; the paper uses r = 10,000). Randomness derives
+// deterministically from seed: run i always consumes the stream rng(seed,i),
+// so results are identical regardless of scheduling.
+func (s *Simulator) EstimateSpread(seeds []graph.NodeID, r int, seed uint64) Estimate {
+	if r <= 0 {
+		r = 1
+	}
+	var sum, sumSq float64
+	base := rng.New(seed)
+	for i := 0; i < r; i++ {
+		runRng := base.Split()
+		sp := float64(s.Run(seeds, runRng))
+		sum += sp
+		sumSq += sp * sp
+	}
+	return finishEstimate(sum, sumSq, r)
+}
+
+func finishEstimate(sum, sumSq float64, r int) Estimate {
+	mean := sum / float64(r)
+	varr := 0.0
+	if r > 1 {
+		varr = (sumSq - sum*sum/float64(r)) / float64(r-1)
+		if varr < 0 {
+			varr = 0
+		}
+	}
+	sd := math.Sqrt(varr)
+	return Estimate{Mean: mean, SD: sd, Runs: r, StdErr: sd / math.Sqrt(float64(r))}
+}

@@ -1,0 +1,287 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// line returns the directed path 0→1→2 with both arc weights p.
+func line(t *testing.T, p float64) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(3, true)
+	if err := b.AddEdge(0, 1, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2, p); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+func TestICCertainPropagation(t *testing.T) {
+	g := line(t, 1.0)
+	sim := NewSimulator(g, weights.IC)
+	if sp := sim.Run([]graph.NodeID{0}, rng.New(1)); sp != 3 {
+		t.Fatalf("spread %d want 3 with p=1", sp)
+	}
+}
+
+func TestICZeroPropagation(t *testing.T) {
+	g := line(t, 0.0)
+	sim := NewSimulator(g, weights.IC)
+	if sp := sim.Run([]graph.NodeID{0}, rng.New(1)); sp != 1 {
+		t.Fatalf("spread %d want 1 with p=0", sp)
+	}
+}
+
+func TestDuplicateSeedsCountOnce(t *testing.T) {
+	g := line(t, 0)
+	sim := NewSimulator(g, weights.IC)
+	if sp := sim.Run([]graph.NodeID{0, 0, 0}, rng.New(1)); sp != 1 {
+		t.Fatalf("spread %d want 1 for duplicated seed", sp)
+	}
+}
+
+// TestICExpectedSpreadLine checks the closed form on the 2-arc path:
+// σ({0}) = 1 + p + p².
+func TestICExpectedSpreadLine(t *testing.T) {
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		g := line(t, p)
+		sim := NewSimulator(g, weights.IC)
+		est := sim.EstimateSpread([]graph.NodeID{0}, 40000, 7)
+		want := 1 + p + p*p
+		if math.Abs(est.Mean-want) > 4*est.StdErr+0.01 {
+			t.Fatalf("p=%v: σ=%v want %v (±%v)", p, est.Mean, want, est.StdErr)
+		}
+	}
+}
+
+// TestLTExpectedSpreadLine checks LT on the same path. With single in-arcs
+// of weight w, P(activation) = P(θ ≤ w) = w, so σ({0}) = 1 + w + w².
+func TestLTExpectedSpreadLine(t *testing.T) {
+	for _, w := range []float64{0.2, 0.7, 1.0} {
+		g := line(t, w)
+		sim := NewSimulator(g, weights.LT)
+		est := sim.EstimateSpread([]graph.NodeID{0}, 40000, 11)
+		want := 1 + w + w*w
+		if math.Abs(est.Mean-want) > 4*est.StdErr+0.01 {
+			t.Fatalf("w=%v: σ=%v want %v (±%v)", w, est.Mean, want, est.StdErr)
+		}
+	}
+}
+
+// TestLTThresholdSemantics: node 2 has two in-arcs of weight 0.5 each; with
+// both 0 and 1 active, total incoming weight 1.0 ≥ θ always ⇒ always active.
+func TestLTThresholdSemantics(t *testing.T) {
+	b := graph.NewBuilder(3, true)
+	_ = b.AddEdge(0, 2, 0.5)
+	_ = b.AddEdge(1, 2, 0.5)
+	g := b.Build()
+	sim := NewSimulator(g, weights.LT)
+	for i := 0; i < 200; i++ {
+		if sp := sim.Run([]graph.NodeID{0, 1}, rng.New(uint64(i))); sp != 3 {
+			t.Fatalf("run %d: spread %d want 3 (Σw = 1 ≥ θ)", i, sp)
+		}
+	}
+	// A single seed activates node 2 with probability 0.5.
+	est := sim.EstimateSpread([]graph.NodeID{0}, 20000, 3)
+	if math.Abs(est.Mean-1.5) > 4*est.StdErr+0.01 {
+		t.Fatalf("σ({0}) = %v want 1.5", est.Mean)
+	}
+}
+
+func TestRunDeterministicGivenSeed(t *testing.T) {
+	g := line(t, 0.5)
+	sim := NewSimulator(g, weights.IC)
+	a := sim.EstimateSpread([]graph.NodeID{0}, 500, 42)
+	b := NewSimulator(g, weights.IC).EstimateSpread([]graph.NodeID{0}, 500, 42)
+	if a.Mean != b.Mean || a.SD != b.SD {
+		t.Fatalf("estimates differ: %v vs %v", a, b)
+	}
+}
+
+func TestRunCollect(t *testing.T) {
+	g := line(t, 1)
+	sim := NewSimulator(g, weights.IC)
+	n, got := sim.RunCollect([]graph.NodeID{0}, rng.New(1), nil)
+	if n != 3 || len(got) != 3 {
+		t.Fatalf("collect %d nodes %v", n, got)
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, v := range got {
+		seen[v] = true
+	}
+	if !seen[0] || !seen[1] || !seen[2] {
+		t.Fatalf("collected %v", got)
+	}
+}
+
+// TestMonotonicityProperty: on any fixed live-edge realization, the set
+// reachable from S is contained in the set reachable from S ∪ {v}, so
+// Γ(S) ≤ Γ(S∪{v}) holds EXACTLY per snapshot (not just in expectation).
+func TestMonotonicityProperty(t *testing.T) {
+	g := randomWCGraph(17, 30, 120)
+	reach := func(sn *Snapshot, seeds []graph.NodeID) int {
+		seen := map[graph.NodeID]bool{}
+		var stack []graph.NodeID
+		for _, s := range seeds {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range sn.OutNeighbors(u) {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		return len(seen)
+	}
+	check := func(rawS, rawV uint8, seed uint64) bool {
+		s := graph.NodeID(rawS % 30)
+		v := graph.NodeID(rawV % 30)
+		if s == v {
+			return true
+		}
+		sn := SampleSnapshot(g, weights.IC, rng.New(seed))
+		return reach(sn, []graph.NodeID{s, v}) >= reach(sn, []graph.NodeID{s})
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMarginalGainNonNegativeInExpectation: the paired estimator's mean
+// gain stays above the noise floor.
+func TestMarginalGainNonNegativeInExpectation(t *testing.T) {
+	g := randomWCGraph(17, 30, 120)
+	for _, v := range []graph.NodeID{3, 11, 25} {
+		gain := MarginalGain(g, weights.IC, []graph.NodeID{0}, v, 4000, 9)
+		if gain < -0.1 {
+			t.Fatalf("v=%d: marginal gain %v clearly negative", v, gain)
+		}
+	}
+}
+
+// TestSubmodularityStatistical: marginal gain of v shrinks as the base set
+// grows, in expectation: E[σ(∅+v)−σ(∅)] ≥ E[σ(S+v)−σ(S)].
+func TestSubmodularityStatistical(t *testing.T) {
+	g := randomWCGraph(23, 40, 200)
+	base := []graph.NodeID{1, 2, 3, 4, 5}
+	for _, v := range []graph.NodeID{10, 20, 30} {
+		small := MarginalGain(g, weights.IC, nil, v, 20000, 5)
+		large := MarginalGain(g, weights.IC, base, v, 20000, 5)
+		if large > small+0.05 {
+			t.Fatalf("v=%d: gain grew with base set: %v -> %v", v, small, large)
+		}
+	}
+}
+
+// TestParallelMatchesSequential: the parallel estimator must be bit-equal
+// to the sequential one for any worker count.
+func TestParallelMatchesSequential(t *testing.T) {
+	g := randomWCGraph(31, 50, 300)
+	seeds := []graph.NodeID{3, 14, 27}
+	seq := NewSimulator(g, weights.IC).EstimateSpread(seeds, 400, 99)
+	for _, workers := range []int{1, 2, 4, 7} {
+		par := EstimateSpreadParallel(g, weights.IC, seeds, 400, 99, workers)
+		if par.Mean != seq.Mean || par.SD != seq.SD {
+			t.Fatalf("workers=%d: %v vs sequential %v", workers, par, seq)
+		}
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	e := Estimate{Mean: 10, SD: 2, Runs: 4, StdErr: 1}
+	if e.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestEstimateZeroRunsClamped(t *testing.T) {
+	g := line(t, 0.5)
+	sim := NewSimulator(g, weights.IC)
+	est := sim.EstimateSpread([]graph.NodeID{0}, 0, 1)
+	if est.Runs != 1 {
+		t.Fatalf("runs %d want clamped to 1", est.Runs)
+	}
+}
+
+// TestRunTwoPhase: the two-phase run must (a) never shrink the active set,
+// (b) reproduce Γ(seeds1) exactly in phase 1, and (c) be unbiased for
+// σ(seeds1 ∪ seeds2) in phase 2, under both IC and LT.
+func TestRunTwoPhase(t *testing.T) {
+	for _, m := range []weights.Model{weights.IC, weights.LT} {
+		var g *graph.Graph
+		if m == weights.IC {
+			g = randomWCGraph(29, 40, 200)
+		} else {
+			b := graph.NewBuilder(40, true)
+			r := rng.New(29)
+			for i := 0; i < 200; i++ {
+				u, v := graph.NodeID(r.Int31n(40)), graph.NodeID(r.Int31n(40))
+				if u != v {
+					_ = b.AddEdge(u, v, 1)
+				}
+			}
+			g = weights.LTUniform{}.Apply(b.BuildSimple())
+		}
+		sim := NewSimulator(g, m)
+		s1 := []graph.NodeID{1, 2}
+		s2 := []graph.NodeID{3}
+		const runs = 30000
+		base := rng.New(77)
+		var sum1, sum12 float64
+		for i := 0; i < runs; i++ {
+			a, b := sim.RunTwoPhase(s1, s2, base.Split())
+			if b < a {
+				t.Fatalf("%v: phase 2 shrank the active set: %d < %d", m, b, a)
+			}
+			sum1 += float64(a)
+			sum12 += float64(b)
+		}
+		mc1 := NewSimulator(g, m).EstimateSpread(s1, runs, 5)
+		mc12 := NewSimulator(g, m).EstimateSpread([]graph.NodeID{1, 2, 3}, runs, 6)
+		if d := sum1/runs - mc1.Mean; d > 5*mc1.StdErr+0.05 || d < -5*mc1.StdErr-0.05 {
+			t.Fatalf("%v: phase-1 mean %v vs σ %v", m, sum1/runs, mc1.Mean)
+		}
+		if d := sum12/runs - mc12.Mean; d > 5*mc12.StdErr+0.05 || d < -5*mc12.StdErr-0.05 {
+			t.Fatalf("%v: phase-2 mean %v vs σ(union) %v", m, sum12/runs, mc12.Mean)
+		}
+	}
+}
+
+// TestRunTwoPhaseSeedOverlap: a phase-2 seed already active adds nothing.
+func TestRunTwoPhaseSeedOverlap(t *testing.T) {
+	g := line(t, 0)
+	sim := NewSimulator(g, weights.IC)
+	a, b := sim.RunTwoPhase([]graph.NodeID{0}, []graph.NodeID{0}, rng.New(1))
+	if a != 1 || b != 1 {
+		t.Fatalf("overlap: got %d,%d want 1,1", a, b)
+	}
+}
+
+// randomWCGraph builds a random directed graph with WC weights.
+func randomWCGraph(seed uint64, n int32, m int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n, true)
+	for i := 0; i < m; i++ {
+		u, v := graph.NodeID(r.Int31n(n)), graph.NodeID(r.Int31n(n))
+		if u == v {
+			continue
+		}
+		_ = b.AddEdge(u, v, 1)
+	}
+	g := b.BuildSimple()
+	return weights.WeightedCascade{}.Apply(g)
+}

@@ -1,0 +1,107 @@
+package diffusion
+
+import (
+	"testing"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+func TestEmptySeedSet(t *testing.T) {
+	g := randomWCGraph(81, 20, 80)
+	for _, m := range []weights.Model{weights.IC, weights.LT} {
+		sim := NewSimulator(g, m)
+		if sp := sim.Run(nil, rng.New(1)); sp != 0 {
+			t.Fatalf("%v: empty seeds spread %d want 0", m, sp)
+		}
+		est := sim.EstimateSpread(nil, 100, 1)
+		if est.Mean != 0 || est.SD != 0 {
+			t.Fatalf("%v: empty estimate %v", m, est)
+		}
+	}
+}
+
+func TestAllNodesSeeded(t *testing.T) {
+	g := randomWCGraph(83, 15, 60)
+	seeds := make([]graph.NodeID, g.N())
+	for i := range seeds {
+		seeds[i] = graph.NodeID(i)
+	}
+	sim := NewSimulator(g, weights.IC)
+	if sp := sim.Run(seeds, rng.New(1)); sp != g.N() {
+		t.Fatalf("all-seeded spread %d want %d", sp, g.N())
+	}
+}
+
+func TestIsolatedNodeSeed(t *testing.T) {
+	b := graph.NewBuilder(4, true)
+	_ = b.AddEdge(0, 1, 1)
+	g := b.Build()
+	sim := NewSimulator(g, weights.IC)
+	if sp := sim.Run([]graph.NodeID{3}, rng.New(1)); sp != 1 {
+		t.Fatalf("isolated seed spread %d want 1", sp)
+	}
+}
+
+// TestEpochWrapSafety: after very many runs the epoch counter must still
+// produce correct results (the wrap path resets marks).
+func TestEpochReuseManyRuns(t *testing.T) {
+	g := randomWCGraph(87, 10, 40)
+	sim := NewSimulator(g, weights.LT)
+	r := rng.New(9)
+	for i := 0; i < 5000; i++ {
+		sp := sim.Run([]graph.NodeID{0}, r)
+		if sp < 1 || sp > g.N() {
+			t.Fatalf("run %d: spread %d out of range", i, sp)
+		}
+	}
+}
+
+func TestRRSamplerArcCounter(t *testing.T) {
+	g := randomWCGraph(91, 30, 200)
+	s := NewRRSampler(g, weights.IC)
+	r := rng.New(2)
+	var buf []graph.NodeID
+	for i := 0; i < 50; i++ {
+		buf = s.SampleUniformRoot(r, buf[:0])
+	}
+	if s.ArcsTraversed <= 0 {
+		t.Fatal("arc traversal counter not incremented")
+	}
+}
+
+func TestSnapshotEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(3, true).Build()
+	sn := SampleSnapshot(g, weights.IC, rng.New(1))
+	if len(sn.To) != 0 {
+		t.Fatalf("empty graph snapshot has %d arcs", len(sn.To))
+	}
+	sn = SampleSnapshot(g, weights.LT, rng.New(1))
+	if len(sn.To) != 0 {
+		t.Fatalf("empty LT snapshot has %d arcs", len(sn.To))
+	}
+}
+
+// TestLTWeightsAboveOneClamped: with a single in-arc of weight 1 the LT
+// activation is certain; a pathological weight > 1 must still activate
+// (threshold ≤ 1 always) without panicking.
+func TestLTCertainActivation(t *testing.T) {
+	b := graph.NewBuilder(2, true)
+	_ = b.AddEdge(0, 1, 1.0)
+	g := b.Build()
+	sim := NewSimulator(g, weights.LT)
+	for i := 0; i < 100; i++ {
+		if sp := sim.Run([]graph.NodeID{0}, rng.New(uint64(i))); sp != 2 {
+			t.Fatalf("w=1 LT arc failed to activate (spread %d)", sp)
+		}
+	}
+}
+
+func TestMarginalGainOfSeedIsZero(t *testing.T) {
+	g := randomWCGraph(93, 20, 100)
+	gain := MarginalGain(g, weights.IC, []graph.NodeID{5}, 5, 200, 1)
+	if gain != 0 {
+		t.Fatalf("adding an existing seed changed spread by %v", gain)
+	}
+}

@@ -1,0 +1,51 @@
+package diffusion_test
+
+import (
+	"fmt"
+
+	"github.com/sigdata/goinfmax/internal/diffusion"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// ExampleSimulator_Run simulates one certain cascade down a 3-node chain.
+func ExampleSimulator_Run() {
+	b := graph.NewBuilder(3, true)
+	_ = b.AddEdge(0, 1, 1.0)
+	_ = b.AddEdge(1, 2, 1.0)
+	g := b.Build()
+
+	sim := diffusion.NewSimulator(g, weights.IC)
+	spread := sim.Run([]graph.NodeID{0}, rng.New(1))
+	fmt.Println(spread)
+	// Output: 3
+}
+
+// ExampleSimulator_EstimateSpread estimates σ(S) on a probabilistic chain:
+// σ({0}) = 1 + p + p² = 1.75 for p = 0.5.
+func ExampleSimulator_EstimateSpread() {
+	b := graph.NewBuilder(3, true)
+	_ = b.AddEdge(0, 1, 0.5)
+	_ = b.AddEdge(1, 2, 0.5)
+	g := b.Build()
+
+	sim := diffusion.NewSimulator(g, weights.IC)
+	est := sim.EstimateSpread([]graph.NodeID{0}, 200000, 42)
+	fmt.Printf("%.1f\n", est.Mean) // 1 + 0.5 + 0.25 = 1.75, ±MC noise
+	// Output: 1.7
+}
+
+// ExampleRRSampler draws reverse-reachable sets: with certain arcs, the RR
+// set of the chain's tail contains every ancestor.
+func ExampleRRSampler() {
+	b := graph.NewBuilder(3, true)
+	_ = b.AddEdge(0, 1, 1.0)
+	_ = b.AddEdge(1, 2, 1.0)
+	g := b.Build()
+
+	s := diffusion.NewRRSampler(g, weights.IC)
+	set := s.Sample(2, rng.New(7), nil)
+	fmt.Println(len(set))
+	// Output: 3
+}

@@ -1,0 +1,199 @@
+package diffusion
+
+import (
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// Live-edge sampling
+//
+// Both RR-set methods (TIM+/IMM, paper §4.2) and snapshot methods
+// (StaticGreedy/PMC, paper §4.3) rely on Kempe et al.'s live-edge
+// characterization of diffusion:
+//
+//   - IC: each arc (u,v) is independently "live" with probability W(u,v).
+//     The distribution of the active set from S equals the distribution of
+//     the set reachable from S via live arcs ("coin-flip technique").
+//   - LT: each node v selects at most ONE incoming arc, picking (u,v) with
+//     probability W(u,v) (and no arc with probability 1 − ΣW). Reachability
+//     over selected arcs matches the LT activation distribution.
+//
+// RRSampler draws reverse-reachable sets under either semantics; Snapshot
+// materializes whole live-edge instantiations for the snapshot methods.
+
+// RRSampler generates reverse-reachable (RR) sets. An RR set for root v is
+// the set of nodes that can reach v in a random live-edge instantiation;
+// nodes appearing in many RR sets are influential (paper §4.2). The sampler
+// reuses scratch space; it is not safe for concurrent use.
+type RRSampler struct {
+	g     *graph.Graph
+	model weights.Model
+	mark  []uint32
+	epoch uint32
+	queue []graph.NodeID
+
+	// ArcsTraversed counts in-arcs examined across all Sample calls; it is
+	// the dominant cost of RR-set construction and the quantity that blows
+	// up under IC(0.1) vs WC (paper §5.3.1).
+	ArcsTraversed int64
+}
+
+// NewRRSampler creates an RR-set sampler over g under the given model.
+func NewRRSampler(g *graph.Graph, model weights.Model) *RRSampler {
+	return &RRSampler{
+		g:     g,
+		model: model,
+		mark:  make([]uint32, g.N()),
+		queue: make([]graph.NodeID, 0, 256),
+	}
+}
+
+// Sample draws one RR set rooted at root, appending its members (root
+// included) to out and returning the extended slice.
+func (s *RRSampler) Sample(root graph.NodeID, r *rng.Source, out []graph.NodeID) []graph.NodeID {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.queue = s.queue[:0]
+	s.queue = append(s.queue, root)
+	s.mark[root] = s.epoch
+	out = append(out, root)
+	switch s.model {
+	case weights.IC:
+		// Reverse BFS flipping a coin per in-arc.
+		for head := 0; head < len(s.queue); head++ {
+			v := s.queue[head]
+			from, w := s.g.InNeighbors(v)
+			s.ArcsTraversed += int64(len(from))
+			for i, u := range from {
+				if s.mark[u] == s.epoch {
+					continue
+				}
+				if r.Float64() < w[i] {
+					s.mark[u] = s.epoch
+					s.queue = append(s.queue, u)
+					out = append(out, u)
+				}
+			}
+		}
+	case weights.LT:
+		// Each visited node picks at most one incoming live arc; the RR set
+		// is a reverse path until no pick or a revisit.
+		v := root
+		for {
+			u, ok := s.pickOneIn(v, r)
+			if !ok || s.mark[u] == s.epoch {
+				break
+			}
+			s.mark[u] = s.epoch
+			out = append(out, u)
+			v = u
+		}
+	}
+	return out
+}
+
+// SampleUniformRoot draws an RR set rooted at a uniformly random node.
+func (s *RRSampler) SampleUniformRoot(r *rng.Source, out []graph.NodeID) []graph.NodeID {
+	root := graph.NodeID(r.Int31n(s.g.N()))
+	return s.Sample(root, r, out)
+}
+
+// pickOneIn selects an in-neighbor of v with probability equal to the arc
+// weight (none with the residual probability). Linear scan: LT in-weights
+// sum to ≤ 1 so a single uniform draw suffices.
+func (s *RRSampler) pickOneIn(v graph.NodeID, r *rng.Source) (graph.NodeID, bool) {
+	from, w := s.g.InNeighbors(v)
+	s.ArcsTraversed += int64(len(from))
+	if len(from) == 0 {
+		return 0, false
+	}
+	x := r.Float64()
+	acc := 0.0
+	for i, u := range from {
+		acc += w[i]
+		if x < acc {
+			return u, true
+		}
+	}
+	return 0, false
+}
+
+// Snapshot is one live-edge instantiation Gi of the graph: a subgraph in
+// forward CSR form, produced by the coin-flip technique (paper §4.3).
+type Snapshot struct {
+	Off []int64
+	To  []graph.NodeID
+}
+
+// OutNeighbors returns the live out-arcs of u in the snapshot.
+func (sn *Snapshot) OutNeighbors(u graph.NodeID) []graph.NodeID {
+	return sn.To[sn.Off[u]:sn.Off[u+1]]
+}
+
+// MemoryBytes approximates the resident size of the snapshot.
+func (sn *Snapshot) MemoryBytes() int64 {
+	return int64(len(sn.Off))*8 + int64(len(sn.To))*4
+}
+
+// SampleSnapshot materializes one live-edge instantiation under the model.
+// IC keeps each arc independently with its weight; LT keeps exactly the one
+// in-arc each node selects (if any), expressed in forward orientation.
+func SampleSnapshot(g *graph.Graph, model weights.Model, r *rng.Source) *Snapshot {
+	n := g.N()
+	switch model {
+	case weights.IC:
+		off := make([]int64, n+1)
+		var to []graph.NodeID
+		for u := graph.NodeID(0); u < n; u++ {
+			off[u] = int64(len(to))
+			tos, ws := g.OutNeighbors(u)
+			for i, v := range tos {
+				if r.Float64() < ws[i] {
+					to = append(to, v)
+				}
+			}
+		}
+		off[n] = int64(len(to))
+		return &Snapshot{Off: off, To: to}
+	case weights.LT:
+		// Select per-node in-arc, then bucket by source to build forward CSR.
+		chosen := make([]graph.NodeID, n) // chosen[v] = selected in-neighbor or -1
+		outDeg := make([]int64, n)
+		for v := graph.NodeID(0); v < n; v++ {
+			chosen[v] = -1
+			from, w := g.InNeighbors(v)
+			x := r.Float64()
+			acc := 0.0
+			for i, u := range from {
+				acc += w[i]
+				if x < acc {
+					chosen[v] = u
+					outDeg[u]++
+					break
+				}
+			}
+		}
+		off := make([]int64, n+1)
+		for u := graph.NodeID(0); u < n; u++ {
+			off[u+1] = off[u] + outDeg[u]
+		}
+		to := make([]graph.NodeID, off[n])
+		cur := make([]int64, n)
+		copy(cur, off[:n])
+		for v := graph.NodeID(0); v < n; v++ {
+			if u := chosen[v]; u >= 0 {
+				to[cur[u]] = v
+				cur[u]++
+			}
+		}
+		return &Snapshot{Off: off, To: to}
+	default:
+		panic("diffusion: unknown model")
+	}
+}

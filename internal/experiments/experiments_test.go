@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/core"
+)
+
+// tinyConfig is small enough that any single experiment finishes in
+// seconds.
+func tinyConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := Quick()
+	cfg.ExtraScale = 256
+	cfg.EvalSims = 80
+	cfg.Ks = []int{1, 4}
+	cfg.CellBudget = 30 * time.Second
+	cfg.OutDir = t.TempDir()
+	var sb strings.Builder
+	cfg.W = &sb
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("experiment output:\n%s", sb.String())
+		}
+	})
+	return cfg
+}
+
+func TestAllRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 20 {
+		t.Fatalf("%d experiments", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.Name == "" || e.Artifact == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.Name] {
+			t.Fatalf("duplicate %q", e.Name)
+		}
+		seen[e.Name] = true
+		if _, err := Lookup(e.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestModelByLabel(t *testing.T) {
+	for _, label := range []string{"IC", "WC", "LT"} {
+		mc, err := modelByLabel(label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc.Label != label {
+			t.Fatalf("label %q", mc.Label)
+		}
+	}
+	if _, err := modelByLabel("XX"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPreparedCachesAndNames(t *testing.T) {
+	cfg := tinyConfig(t)
+	ic, _ := modelByLabel("IC")
+	g1, err := prepared(cfg, "nethept", ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := prepared(cfg, "nethept", ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Fatal("prepared did not cache")
+	}
+	if g1.Name() != "nethept" {
+		t.Fatalf("name %q", g1.Name())
+	}
+	if _, err := prepared(cfg, "bogus", ic); err == nil {
+		t.Fatal("expected dataset error")
+	}
+}
+
+func TestPreparedParallelConsolidates(t *testing.T) {
+	cfg := tinyConfig(t)
+	g, err := preparedParallel(cfg, "dblp-large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LT-parallel output must be a simple graph with in-weight sums ≤ 1.
+	for v := int32(0); v < g.N(); v++ {
+		if s := g.TotalInWeight(v); s > 1+1e-9 {
+			t.Fatalf("node %d in-weight %v", v, s)
+		}
+	}
+}
+
+func TestSplitLabel(t *testing.T) {
+	ds, label := splitLabel("youtube/WC")
+	if ds != "youtube" || label != "WC" {
+		t.Fatalf("%q %q", ds, label)
+	}
+	ds, label = splitLabel("plain")
+	if ds != "plain" || label != "" {
+		t.Fatalf("%q %q", ds, label)
+	}
+}
+
+// TestEveryExperimentRunsTiny executes each experiment at the tiny scale
+// and checks its CSV artifacts appear.
+func TestEveryExperimentRunsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep is not -short")
+	}
+	wantCSV := map[string]string{
+		"fig1":       "fig1a.csv",
+		"params":     "table2.csv",
+		"fig5":       "fig5_imrank_rounds.csv",
+		"quality":    "fig6_quality.csv",
+		"runtime":    "fig7_runtime.csv",
+		"memory":     "fig8_memory.csv",
+		"large":      "table3_large.csv",
+		"myth1":      "fig9ab_myth1.csv",
+		"myth2":      "fig9ce_myth2.csv",
+		"myth3":      "myth3_tim_vs_imm.csv",
+		"myth4":      "fig10ce_myth4.csv",
+		"myth5":      "table4_myth5.csv",
+		"myth7":      "fig10f_myth7.csv",
+		"mcconv":     "fig12_mc_convergence.csv",
+		"skyline":    "fig11a_skyline.csv",
+		"support":    "table5_support.csv",
+		"exclusions": "ext_exclusions.csv",
+		"robustness": "ext_robustness.csv",
+		"ablations":  "ext_ablations.csv",
+		"ssa":        "ext_ssa.csv",
+	}
+	cfg := tinyConfig(t)
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			if err := e.Run(cfg); err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			csv, ok := wantCSV[e.Name]
+			if !ok {
+				t.Fatalf("no expected CSV for %s", e.Name)
+			}
+			data, err := os.ReadFile(filepath.Join(cfg.OutDir, csv))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Count(string(data), "\n")
+			if lines < 2 {
+				t.Fatalf("%s: CSV %s has only %d lines", e.Name, csv, lines)
+			}
+		})
+	}
+}
+
+// TestGridArchive: when ArchivePath is set, the grid writes a readable
+// JSON archive of its raw results.
+func TestGridArchive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not -short")
+	}
+	cfg := tinyConfig(t)
+	cfg.Ks = []int{1}
+	cfg.ArchivePath = filepath.Join(cfg.OutDir, "grid.json")
+	if err := Quality(cfg); err != nil {
+		t.Fatal(err)
+	}
+	results, err := core.LoadArchive(cfg.ArchivePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("empty archive")
+	}
+	for _, r := range results {
+		if r.Algorithm == "" || r.Dataset == "" {
+			t.Fatalf("incomplete record %+v", r)
+		}
+	}
+}
+
+// TestMyth4ShapeHolds: on the tiny config the extrapolation direction must
+// already be visible — averaged over the ε grid, extrapolated ≥ MC.
+func TestMyth4ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not -short")
+	}
+	cfg := tinyConfig(t)
+	if err := Myth4(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.OutDir, "fig10ce_myth4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	var extSum, mcSum float64
+	var n int
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		if len(f) != 6 {
+			continue
+		}
+		ext, err1 := strconv.ParseFloat(f[4], 64)
+		mc, err2 := strconv.ParseFloat(f[5], 64)
+		if err1 != nil || err2 != nil {
+			continue // DNF rows
+		}
+		extSum += ext
+		mcSum += mc
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no numeric rows")
+	}
+	if extSum < mcSum*0.95 {
+		t.Fatalf("extrapolated mean %v below MC mean %v", extSum/float64(n), mcSum/float64(n))
+	}
+}

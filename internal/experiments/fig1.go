@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/metrics"
+)
+
+// Fig1 reproduces the paper's motivating Figure 1:
+//
+//	(a) IMM (ε = 0.5) running time under IC(0.1) vs WC on Orkut — IC blows
+//	    up (the paper's copy crashes past 50 seeds at > 256 GB);
+//	(b,c) IMM (ε = 0.5) vs EaSyIM running time and memory under IC(0.1) on
+//	    YouTube — IMM is faster, EaSyIM is lighter.
+func Fig1(cfg Config) error {
+	// (a) IMM on orkut-sim, IC vs WC.
+	ta := metrics.NewTable("Figure 1a — IMM (eps=0.5) on orkut: IC vs WC",
+		"k", "IC status", "IC time", "IC mem", "WC status", "WC time", "WC mem")
+	ic, err := modelByLabel("IC")
+	if err != nil {
+		return err
+	}
+	wc, err := modelByLabel("WC")
+	if err != nil {
+		return err
+	}
+	orkutIC, err := prepared(cfg, "orkut", ic)
+	if err != nil {
+		return err
+	}
+	orkutWC, err := prepared(cfg, "orkut", wc)
+	if err != nil {
+		return err
+	}
+	imm := newAlg("IMM")
+	for _, k := range cfg.Ks {
+		ricfg := cfg.cell(ic, k)
+		ricfg.ParamValue = 0.5
+		ricfg.EvalSims = 0 // Fig. 1 reports selection cost only
+		ri := core.Run(imm, orkutIC, ricfg)
+		rwcfg := cfg.cell(wc, k)
+		rwcfg.ParamValue = 0.5
+		rwcfg.EvalSims = 0
+		rw := core.Run(imm, orkutWC, rwcfg)
+		ta.AddRow(k,
+			ri.Status.String(), metrics.HumanDuration(ri.SelectionTime), metrics.HumanBytes(ri.PeakMemBytes),
+			rw.Status.String(), metrics.HumanDuration(rw.SelectionTime), metrics.HumanBytes(rw.PeakMemBytes))
+	}
+	if err := cfg.emit(ta, "fig1a.csv"); err != nil {
+		return err
+	}
+
+	// (b,c) IMM vs EaSyIM on youtube-sim under IC.
+	tb := metrics.NewTable("Figure 1b-c — IMM vs EaSyIM on youtube under IC(0.1)",
+		"k", "IMM status", "IMM time", "IMM mem", "EaSyIM status", "EaSyIM time", "EaSyIM mem")
+	yt, err := prepared(cfg, "youtube", ic)
+	if err != nil {
+		return err
+	}
+	easy := newAlg("EaSyIM")
+	for _, k := range cfg.Ks {
+		ricfg := cfg.cell(ic, k)
+		ricfg.ParamValue = 0.5
+		ricfg.EvalSims = 0
+		ri := core.Run(imm, yt, ricfg)
+		recfg := cfg.cell(ic, k)
+		recfg.EvalSims = 0
+		re := core.Run(easy, yt, recfg)
+		tb.AddRow(k,
+			ri.Status.String(), metrics.HumanDuration(ri.SelectionTime), metrics.HumanBytes(ri.PeakMemBytes),
+			re.Status.String(), metrics.HumanDuration(re.SelectionTime), metrics.HumanBytes(re.PeakMemBytes))
+	}
+	return cfg.emit(tb, "fig1bc.csv")
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/metrics"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// Params reproduces Table 2 (and the Figure 4/14/15/16 sweeps behind it):
+// for every technique with an external parameter, sweep its spectrum on the
+// hepph stand-in under each supported model and report the optimal value —
+// the cheapest value whose spread stays within one standard deviation of
+// the best (paper §5.1.1).
+func Params(cfg Config) error {
+	t := metrics.NewTable("Table 2 — optimal external-parameter values (hepph)",
+		"Algorithm", "Parameter", "Model", "Optimal", "BestSpread", "BestSD")
+	sweep := metrics.NewTable("Figure 4/14 — parameter sweep detail (largest k)",
+		"Algorithm", "Model", "Value", "Status", "Spread", "Time")
+
+	// The paper's Table 2 rows; GREEDY excluded there but kept implicitly
+	// via CELF. The spectra come from each algorithm's Param metadata but
+	// are truncated in quick mode to keep the sweep affordable.
+	algos := []string{"CELF", "CELF++", "EaSyIM", "IMRank1", "IMRank2", "PMC", "StaticGreedy", "TIM+", "IMM"}
+	for _, name := range algos {
+		alg := newAlg(name)
+		for _, mc := range paperModels() {
+			if !alg.Supports(mc.Model) {
+				continue
+			}
+			// WC and IC share weights.Model IC; IMRank/PMC/SG support both
+			// IC configurations but not LT, handled by Supports above.
+			p := alg.Param(mc.Model)
+			if !p.HasParam() {
+				continue
+			}
+			g, err := prepared(cfg, "hepph", mc)
+			if err != nil {
+				return err
+			}
+			spectrum := p.Spectrum
+			if len(spectrum) > 5 {
+				// Probe a spread of the spectrum: best, quartiles, cheapest.
+				spectrum = []float64{
+					p.Spectrum[0],
+					p.Spectrum[len(p.Spectrum)/4],
+					p.Spectrum[len(p.Spectrum)/2],
+					p.Spectrum[3*len(p.Spectrum)/4],
+					p.Spectrum[len(p.Spectrum)-1],
+				}
+			}
+			if mcFamily(name) {
+				// The MC family's heavy end is unaffordable at laptop scale;
+				// probe the cheap half of the spectrum.
+				spectrum = []float64{500, 100, 50, 10}
+			}
+			probe := alg
+			search := core.ParamSearch{
+				Ks:     []int{cfg.Ks[len(cfg.Ks)-1]},
+				Config: cfg.cell(mc, cfg.Ks[len(cfg.Ks)-1]),
+			}
+			// Run the sweep manually over the reduced spectrum so the detail
+			// table matches what the choice was computed from.
+			reduced := paramSearchOver(search, probe, g, spectrum)
+			cfg.logf("params %s/%s: optimal %s = %g", name, mc.Label, p.Name, reduced.Optimal)
+			t.AddRow(name, p.Name, mc.Label, reduced.Optimal, reduced.BestSpread, reduced.BestSD)
+			for _, pr := range reduced.Probes {
+				sweep.AddRow(name, mc.Label, pr.Value, pr.Result.Status.String(),
+					pr.Result.Spread.Mean, metrics.HumanDuration(pr.Result.SelectionTime))
+			}
+		}
+	}
+	if err := cfg.emit(t, "table2.csv"); err != nil {
+		return err
+	}
+	return cfg.emit(sweep, "fig4_sweep.csv")
+}
+
+// paramSearchOver runs core.ParamSearch with an overridden (reduced)
+// parameter spectrum.
+func paramSearchOver(ps core.ParamSearch, alg core.Algorithm, g *graph.Graph, spectrum []float64) core.ParamChoice {
+	return ps.Search(spectrumOverride{Algorithm: alg, spectrum: spectrum}, g)
+}
+
+// spectrumOverride substitutes an algorithm's parameter spectrum, leaving
+// everything else untouched.
+type spectrumOverride struct {
+	core.Algorithm
+	spectrum []float64
+}
+
+// Param implements core.Algorithm with the reduced spectrum.
+func (s spectrumOverride) Param(m weights.Model) core.Param {
+	p := s.Algorithm.Param(m)
+	p.Spectrum = s.spectrum
+	return p
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	_ "github.com/sigdata/goinfmax/internal/algo/register" // populate core.Default
+	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/datasets"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// Paper configuration names (§5.1): IC means IC-constant(0.1), WC means
+// IC-weighted-cascade, LT means LT-uniform.
+type modelConfig struct {
+	Label  string
+	Model  weights.Model
+	Scheme weights.Scheme
+}
+
+func paperModels() []modelConfig {
+	return []modelConfig{
+		{"IC", weights.IC, weights.ICConstant{P: 0.1}},
+		{"WC", weights.IC, weights.WeightedCascade{}},
+		{"LT", weights.LT, weights.LTUniform{}},
+	}
+}
+
+func modelByLabel(label string) (modelConfig, error) {
+	for _, mc := range paperModels() {
+		if mc.Label == label {
+			return mc, nil
+		}
+	}
+	return modelConfig{}, fmt.Errorf("experiments: unknown model %q", label)
+}
+
+// graphCache memoizes weighted stand-ins per (dataset, scale, scheme, seed):
+// grid experiments reuse the same graph dozens of times.
+var graphCache sync.Map
+
+// prepared returns the named dataset at cfg scale with mc's weights applied.
+func prepared(cfg Config, dataset string, mc modelConfig) (*graph.Graph, error) {
+	scale := int64(1)
+	if cfg.ExtraScale > 1 {
+		scale = cfg.ExtraScale
+	}
+	spec, err := datasets.Lookup(dataset)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s/%d/%s/%d", dataset, scale, mc.Scheme.Name(), cfg.Seed)
+	if g, ok := graphCache.Load(key); ok {
+		return g.(*graph.Graph), nil
+	}
+	base, err := datasets.Generate(dataset, spec.DefaultScale*scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	g := mc.Scheme.Apply(base)
+	graphCache.Store(key, g)
+	return g, nil
+}
+
+// preparedParallel returns a multigraph dataset consolidated under the
+// LT-"parallel edges" weight model (paper §2.1.2 / Table 4).
+func preparedParallel(cfg Config, dataset string) (*graph.Graph, error) {
+	scale := int64(1)
+	if cfg.ExtraScale > 1 {
+		scale = cfg.ExtraScale
+	}
+	spec, err := datasets.Lookup(dataset)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s/%d/LT-parallel/%d", dataset, scale, cfg.Seed)
+	if g, ok := graphCache.Load(key); ok {
+		return g.(*graph.Graph), nil
+	}
+	base, err := datasets.Generate(dataset, spec.DefaultScale*scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	g := weights.LTParallel{}.Apply(base).WithName(base.Name())
+	graphCache.Store(key, g)
+	return g, nil
+}
+
+// cellConfig builds the standard RunConfig for one benchmark cell.
+func (cfg Config) cell(mc modelConfig, k int) core.RunConfig {
+	rc := core.RunConfig{
+		K:          k,
+		Model:      mc.Model,
+		Seed:       cfg.Seed,
+		TimeBudget: cfg.CellBudget,
+	}
+	rc.MemBudgetBytes = cfg.MemBudget
+	rc.EvalSims = cfg.EvalSims
+	return rc
+}
+
+// mcFamily reports whether the algorithm needs the affordable MC-simulation
+// parameter override in grid experiments.
+func mcFamily(name string) bool {
+	switch name {
+	case "GREEDY", "CELF", "CELF++":
+		return true
+	}
+	return false
+}
+
+// newAlg instantiates from the default registry, failing loudly on typos.
+func newAlg(name string) core.Algorithm {
+	alg, err := core.Default().New(name)
+	if err != nil {
+		panic(err)
+	}
+	return alg
+}

@@ -1,0 +1,278 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/sigdata/goinfmax/internal/rng"
+)
+
+// buildTriangle returns the directed 3-cycle 0→1→2→0 with weights .1/.2/.3.
+func buildTriangle(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(3, true)
+	for _, e := range []Edge{{0, 1, 0.1}, {1, 2, 0.2}, {2, 0, 0.3}} {
+		if err := b.AddEdge(e.From, e.To, e.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderDirected(t *testing.T) {
+	g := buildTriangle(t)
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d want 3,3", g.N(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	to, w := g.OutNeighbors(0)
+	if len(to) != 1 || to[0] != 1 || w[0] != 0.1 {
+		t.Fatalf("out(0) = %v %v", to, w)
+	}
+	from, w := g.InNeighbors(0)
+	if len(from) != 1 || from[0] != 2 || w[0] != 0.3 {
+		t.Fatalf("in(0) = %v %v", from, w)
+	}
+}
+
+func TestBuilderUndirectedSymmetrizes(t *testing.T) {
+	b := NewBuilder(2, false)
+	if err := b.AddEdge(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if g.M() != 2 {
+		t.Fatalf("m=%d want 2 (both arcs)", g.M())
+	}
+	if w, ok := g.Weight(0, 1); !ok || w != 0.5 {
+		t.Fatalf("weight(0,1) = %v %v", w, ok)
+	}
+	if w, ok := g.Weight(1, 0); !ok || w != 0.5 {
+		t.Fatalf("weight(1,0) = %v %v", w, ok)
+	}
+}
+
+func TestSelfLoopsDropped(t *testing.T) {
+	b := NewBuilder(2, true)
+	if err := b.AddEdge(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if g.M() != 1 {
+		t.Fatalf("m=%d want 1 (self-loop dropped)", g.M())
+	}
+}
+
+func TestAddEdgeOutOfRange(t *testing.T) {
+	b := NewBuilder(2, true)
+	if err := b.AddEdge(0, 2, 1); err == nil {
+		t.Fatal("expected range error")
+	}
+	if err := b.AddEdge(-1, 0, 1); err == nil {
+		t.Fatal("expected range error for negative id")
+	}
+}
+
+func TestParallelEdgesPreservedAndConsolidated(t *testing.T) {
+	b := NewBuilder(2, true)
+	for i := 0; i < 3; i++ {
+		if err := b.AddEdge(0, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	multi := b.Build()
+	if multi.M() != 3 {
+		t.Fatalf("multigraph m=%d want 3", multi.M())
+	}
+	if c := multi.ArcCount(0, 1); c != 3 {
+		t.Fatalf("ArcCount=%d want 3", c)
+	}
+
+	b2 := NewBuilder(2, true)
+	for i := 0; i < 3; i++ {
+		if err := b2.AddEdge(0, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	simple := b2.BuildSimple()
+	if simple.M() != 1 {
+		t.Fatalf("consolidated m=%d want 1", simple.M())
+	}
+	if w, _ := simple.Weight(0, 1); w != 3 {
+		t.Fatalf("consolidated weight=%v want 3 (summed)", w)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := buildTriangle(t)
+	r := g.Reverse()
+	if w, ok := r.Weight(1, 0); !ok || w != 0.1 {
+		t.Fatalf("reversed weight(1,0) = %v %v, want 0.1", w, ok)
+	}
+	if r.M() != g.M() || r.N() != g.N() {
+		t.Fatal("reverse changed size")
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReweighted(t *testing.T) {
+	g := buildTriangle(t)
+	ng := g.Reweighted(func(u, v NodeID) float64 { return 0.9 })
+	for _, e := range ng.Edges() {
+		if e.Weight != 0.9 {
+			t.Fatalf("arc (%d,%d) weight %v", e.From, e.To, e.Weight)
+		}
+	}
+	// Original untouched.
+	if w, _ := g.Weight(0, 1); w != 0.1 {
+		t.Fatalf("original mutated: %v", w)
+	}
+	// In-CSR weights must agree with out-CSR weights.
+	for v := NodeID(0); v < ng.N(); v++ {
+		_, ws := ng.InNeighbors(v)
+		for _, w := range ws {
+			if w != 0.9 {
+				t.Fatalf("in-CSR weight %v", w)
+			}
+		}
+	}
+}
+
+func TestWithName(t *testing.T) {
+	g := buildTriangle(t)
+	ng := g.WithName("tri")
+	if ng.Name() != "tri" {
+		t.Fatalf("name %q", ng.Name())
+	}
+	if g.Name() != "" {
+		t.Fatalf("original name mutated: %q", g.Name())
+	}
+	if ng.M() != g.M() {
+		t.Fatal("WithName changed structure")
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	b := NewBuilder(4, true)
+	for _, e := range [][2]NodeID{{0, 1}, {0, 2}, {0, 3}, {1, 3}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	if d := g.OutDegree(0); d != 3 {
+		t.Fatalf("outdeg(0)=%d", d)
+	}
+	if d := g.InDegree(3); d != 3 {
+		t.Fatalf("indeg(3)=%d", d)
+	}
+	if tw := g.TotalInWeight(3); tw != 3 {
+		t.Fatalf("TotalInWeight(3)=%v", tw)
+	}
+	if ad := g.AvgDegree(); ad != 5.0/4 {
+		t.Fatalf("avg degree %v", ad)
+	}
+}
+
+// TestCSRInvariantsProperty builds random graphs and checks structural
+// invariants plus out/in consistency.
+func TestCSRInvariantsProperty(t *testing.T) {
+	check := func(seed uint64, rawN uint8, rawM uint8) bool {
+		n := int32(rawN%30) + 2
+		m := int(rawM % 100)
+		r := rng.New(seed)
+		b := NewBuilder(n, true)
+		type arc struct{ u, v NodeID }
+		var arcs []arc
+		for i := 0; i < m; i++ {
+			u := NodeID(r.Int31n(n))
+			v := NodeID(r.Int31n(n))
+			if u == v {
+				continue
+			}
+			if err := b.AddEdge(u, v, r.Float64()); err != nil {
+				return false
+			}
+			arcs = append(arcs, arc{u, v})
+		}
+		g := b.Build()
+		if g.Validate() != nil {
+			return false
+		}
+		if g.M() != int64(len(arcs)) {
+			return false
+		}
+		// Every added arc must appear in both CSRs.
+		for _, a := range arcs {
+			if _, ok := g.Weight(a.u, a.v); !ok {
+				return false
+			}
+			found := false
+			from, _ := g.InNeighbors(a.v)
+			for _, u := range from {
+				if u == a.u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		// Arc count conservation: Σ outdeg = Σ indeg = m.
+		var sumOut, sumIn int64
+		for v := NodeID(0); v < n; v++ {
+			sumOut += int64(g.OutDegree(v))
+			sumIn += int64(g.InDegree(v))
+		}
+		return sumOut == g.M() && sumIn == g.M()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEdgesRoundTrip checks Edges() returns exactly the built arcs.
+func TestEdgesRoundTrip(t *testing.T) {
+	g := buildTriangle(t)
+	es := g.Edges()
+	if len(es) != 3 {
+		t.Fatalf("got %d edges", len(es))
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].From < es[j].From })
+	want := []Edge{{0, 1, 0.1}, {1, 2, 0.2}, {2, 0, 0.3}}
+	for i, e := range es {
+		if e != want[i] {
+			t.Fatalf("edge %d = %+v want %+v", i, e, want[i])
+		}
+	}
+}
+
+func TestMemoryBytesPositive(t *testing.T) {
+	g := buildTriangle(t)
+	if g.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes must be positive for nonempty graph")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(5, true).Build()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 0 {
+		t.Fatalf("m=%d", g.M())
+	}
+	to, _ := g.OutNeighbors(3)
+	if len(to) != 0 {
+		t.Fatal("nonempty adjacency in empty graph")
+	}
+}

@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadEdgeListBasic(t *testing.T) {
+	in := `# comment
+% other comment style
+0 1 0.5
+1 2
+2 0 0.25
+`
+	g, err := LoadEdgeList(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if w, ok := g.Weight(0, 1); !ok || w != 0.5 {
+		t.Fatalf("weight(0,1)=%v,%v", w, ok)
+	}
+	if w, ok := g.Weight(1, 2); !ok || w != 1 {
+		t.Fatalf("default weight = %v,%v want 1", w, ok)
+	}
+}
+
+func TestLoadEdgeListUndirected(t *testing.T) {
+	g, err := LoadEdgeList(strings.NewReader("0 1\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("m=%d want 2", g.M())
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",        // too few fields
+		"a 1\n",      // bad source
+		"0 b\n",      // bad target
+		"0 1 zzz\n",  // bad weight
+		"-1 4\n",     // negative id
+		"0 -2 0.5\n", // negative target
+	}
+	for _, in := range cases {
+		if _, err := LoadEdgeList(strings.NewReader(in), true); err == nil {
+			t.Fatalf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	b := NewBuilder(4, true)
+	for _, e := range []Edge{{0, 1, 0.5}, {1, 2, 0.125}, {3, 0, 1}} {
+		if err := b.AddEdge(e.From, e.To, e.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip size: n=%d m=%d", g2.N(), g2.M())
+	}
+	for _, e := range g.Edges() {
+		w, ok := g2.Weight(e.From, e.To)
+		if !ok || w != e.Weight {
+			t.Fatalf("arc (%d,%d): got %v,%v want %v", e.From, e.To, w, ok, e.Weight)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	b := NewBuilder(3, true)
+	if err := b.AddEdge(0, 2, 0.75); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if err := g.SaveEdgeListFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeListFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := g2.Weight(0, 2); !ok || w != 0.75 {
+		t.Fatalf("weight = %v,%v", w, ok)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := LoadEdgeListFile("/nonexistent/nope.txt", true); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

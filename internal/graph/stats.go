@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sigdata/goinfmax/internal/rng"
+)
+
+// Stats summarizes a dataset the way the paper's Table 1 does: node count,
+// arc count, directedness, average degree and the 90th-percentile effective
+// diameter.
+type Stats struct {
+	Name              string
+	N                 int32
+	M                 int64
+	Directed          bool
+	AvgDegree         float64
+	EffectiveDiameter float64 // 90th-percentile, hop-plot interpolated
+	MaxOutDegree      int32
+	MaxInDegree       int32
+}
+
+// String renders the stats as a single Table-1-style row.
+func (s Stats) String() string {
+	kind := "Undirected"
+	if s.Directed {
+		kind = "Directed"
+	}
+	return fmt.Sprintf("%-16s n=%-9d m=%-10d %-10s avgDeg=%.2f 90%%diam=%.1f",
+		s.Name, s.N, s.M, kind, s.AvgDegree, s.EffectiveDiameter)
+}
+
+// ComputeStats gathers summary statistics. Effective diameter is estimated
+// by BFS from up to sampleSources random sources (the exact hop plot on
+// large graphs is quadratic; sampling follows standard practice). Pass
+// sampleSources <= 0 for the default of 64.
+func (g *Graph) ComputeStats(r *rng.Source, sampleSources int) Stats {
+	st := Stats{
+		Name:      g.name,
+		N:         g.n,
+		M:         g.m,
+		Directed:  g.directed,
+		AvgDegree: g.AvgDegree(),
+	}
+	if g.directed {
+		// Paper reports avg degree of the directed graph as m/n directly;
+		// for symmetrized undirected graphs each edge counts once.
+	} else {
+		st.AvgDegree = float64(g.m) / 2 / float64(g.n)
+	}
+	for u := int32(0); u < g.n; u++ {
+		if d := g.OutDegree(u); d > st.MaxOutDegree {
+			st.MaxOutDegree = d
+		}
+		if d := g.InDegree(u); d > st.MaxInDegree {
+			st.MaxInDegree = d
+		}
+	}
+	st.EffectiveDiameter = g.EffectiveDiameter(r, sampleSources, 0.9)
+	return st
+}
+
+// EffectiveDiameter estimates the q-percentile effective diameter: the
+// (interpolated) number of hops within which fraction q of all reachable
+// node pairs lie. Sources are sampled uniformly.
+func (g *Graph) EffectiveDiameter(r *rng.Source, sampleSources int, q float64) float64 {
+	if g.n == 0 {
+		return 0
+	}
+	if sampleSources <= 0 {
+		sampleSources = 64
+	}
+	if int32(sampleSources) > g.n {
+		sampleSources = int(g.n)
+	}
+	if r == nil {
+		r = rng.New(1)
+	}
+	// Per-source cumulative reach vectors: cums[s][d] = nodes within ≤ d
+	// hops of source s. Summed afterwards with plateau extension, since
+	// sources have different BFS depths.
+	var cums [][]int64
+	dist := make([]int32, g.n)
+	queue := make([]NodeID, 0, g.n)
+	perm := r.Perm(int(g.n))
+	maxLen := 0
+	for s := 0; s < sampleSources; s++ {
+		src := NodeID(perm[s])
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue = queue[:0]
+		queue = append(queue, src)
+		maxD := int32(0)
+		reach := []int64{1} // reach[d] = nodes at distance exactly d
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			to, _ := g.OutNeighbors(u)
+			for _, v := range to {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					if dist[v] > maxD {
+						maxD = dist[v]
+						reach = append(reach, 0)
+					}
+					reach[dist[v]]++
+					queue = append(queue, v)
+				}
+			}
+		}
+		cum := int64(0)
+		for d := range reach {
+			cum += reach[d]
+			reach[d] = cum
+		}
+		cums = append(cums, reach)
+		if len(reach) > maxLen {
+			maxLen = len(reach)
+		}
+	}
+	if maxLen == 0 {
+		return 0
+	}
+	hopCount := make([]int64, maxLen)
+	for _, c := range cums {
+		for d := 0; d < maxLen; d++ {
+			if d < len(c) {
+				hopCount[d] += c[d]
+			} else {
+				hopCount[d] += c[len(c)-1] // plateau: all reached already
+			}
+		}
+	}
+	total := hopCount[len(hopCount)-1]
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	for d := 0; d < len(hopCount); d++ {
+		if float64(hopCount[d]) >= target {
+			if d == 0 {
+				return 0
+			}
+			prev := float64(hopCount[d-1])
+			// Linear interpolation within the hop, as in the SNAP convention.
+			frac := (target - prev) / (float64(hopCount[d]) - prev)
+			return float64(d-1) + frac
+		}
+	}
+	return float64(len(hopCount) - 1)
+}
+
+// DegreeHistogram returns sorted (degree, count) pairs of out-degrees,
+// useful for verifying that synthetic datasets are heavy-tailed.
+func (g *Graph) DegreeHistogram() ([]int32, []int64) {
+	hist := make(map[int32]int64)
+	for u := int32(0); u < g.n; u++ {
+		hist[g.OutDegree(u)]++
+	}
+	degs := make([]int32, 0, len(hist))
+	for d := range hist {
+		degs = append(degs, d)
+	}
+	sort.Slice(degs, func(i, j int) bool { return degs[i] < degs[j] })
+	counts := make([]int64, len(degs))
+	for i, d := range degs {
+		counts[i] = hist[d]
+	}
+	return degs, counts
+}

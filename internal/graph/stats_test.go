@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sigdata/goinfmax/internal/rng"
+)
+
+// path returns the directed path 0→1→…→n−1.
+func pathGraph(t *testing.T, n int32) *Graph {
+	t.Helper()
+	b := NewBuilder(n, true)
+	for i := int32(0); i < n-1; i++ {
+		if err := b.AddEdge(i, i+1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestEffectiveDiameterPath(t *testing.T) {
+	g := pathGraph(t, 11)
+	// Exact hop plot from all sources: pairs at distance d. With q = 1.0 we
+	// must recover the full diameter (10).
+	d := g.EffectiveDiameter(rng.New(1), int(g.N()), 1.0)
+	if d != 10 {
+		t.Fatalf("full diameter = %v want 10", d)
+	}
+	d90 := g.EffectiveDiameter(rng.New(1), int(g.N()), 0.9)
+	if d90 <= 0 || d90 > 10 {
+		t.Fatalf("90%% diameter = %v out of (0,10]", d90)
+	}
+	if d90 >= d {
+		t.Fatalf("90%% diameter %v should be below full diameter %v", d90, d)
+	}
+}
+
+func TestEffectiveDiameterSingleton(t *testing.T) {
+	g := NewBuilder(1, true).Build()
+	if d := g.EffectiveDiameter(rng.New(1), 1, 0.9); d != 0 {
+		t.Fatalf("singleton diameter %v", d)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	b := NewBuilder(4, false)
+	for _, e := range [][2]NodeID{{0, 1}, {1, 2}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.SetName("line4")
+	g := b.Build()
+	st := g.ComputeStats(rng.New(1), 4)
+	if st.Name != "line4" {
+		t.Fatalf("name %q", st.Name)
+	}
+	if st.N != 4 || st.M != 6 {
+		t.Fatalf("n=%d m=%d", st.N, st.M)
+	}
+	if st.Directed {
+		t.Fatal("undirected graph reported directed")
+	}
+	// Undirected avg degree counts each edge once: 3 edges / 4 nodes.
+	if st.AvgDegree != 0.75 {
+		t.Fatalf("avg degree %v want 0.75", st.AvgDegree)
+	}
+	if st.MaxOutDegree != 2 || st.MaxInDegree != 2 {
+		t.Fatalf("max degrees %d/%d", st.MaxOutDegree, st.MaxInDegree)
+	}
+	if !strings.Contains(st.String(), "line4") {
+		t.Fatalf("String() = %q", st.String())
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	b := NewBuilder(4, true)
+	// Node 0 has out-degree 3; others 0.
+	for v := NodeID(1); v < 4; v++ {
+		if err := b.AddEdge(0, v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	degs, counts := g.DegreeHistogram()
+	if len(degs) != 2 || degs[0] != 0 || degs[1] != 3 {
+		t.Fatalf("degs %v", degs)
+	}
+	if counts[0] != 3 || counts[1] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+}

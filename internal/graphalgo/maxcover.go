@@ -1,0 +1,161 @@
+package graphalgo
+
+import "container/heap"
+
+// Greedy maximum coverage
+//
+// The RR-set methods select seeds by greedy max-cover over the sampled sets
+// (paper §4.2): iteratively pick the node contained in the most not-yet-
+// covered RR sets. Lazy (CELF-style) evaluation keeps this near-linear.
+
+// CoverageProblem is a universe of sets over node elements: sets[i] lists
+// the nodes of RR set i, and membership is inverted into per-node lists at
+// construction.
+type CoverageProblem struct {
+	numSets  int
+	nodeSets [][]int32 // node -> indices of sets containing it
+	covered  []bool    // set -> already covered
+	degree   []int64   // node -> number of uncovered sets containing it (lazy)
+}
+
+// NewCoverageProblem inverts sets (each a list of node ids over a universe
+// of n nodes) into the per-node index used by greedy max-cover. Duplicate
+// node entries within one set are ignored: a membership counted twice
+// would inflate the lazy heap's initial gains and break the greedy
+// invariant (cached gains must upper-bound true gains).
+func NewCoverageProblem(n int32, sets [][]int32) *CoverageProblem {
+	cp := &CoverageProblem{
+		numSets:  len(sets),
+		nodeSets: make([][]int32, n),
+		covered:  make([]bool, len(sets)),
+		degree:   make([]int64, n),
+	}
+	for si, set := range sets {
+		for _, v := range set {
+			ns := cp.nodeSets[v]
+			if len(ns) > 0 && ns[len(ns)-1] == int32(si) {
+				continue // duplicate within this set (sets arrive grouped)
+			}
+			cp.nodeSets[v] = append(cp.nodeSets[v], int32(si))
+			cp.degree[v]++
+		}
+	}
+	return cp
+}
+
+// MaxCoverResult reports the greedy max-cover outcome.
+type MaxCoverResult struct {
+	Seeds      []int32
+	NumCovered int64   // sets covered by Seeds
+	Fraction   float64 // NumCovered / numSets
+	// PerSeedCovered[i] = marginal sets covered by Seeds[i].
+	PerSeedCovered []int64
+}
+
+// GreedyMaxCover picks k nodes maximizing coverage with lazy evaluation.
+// Guarantees the (1−1/e) approximation of monotone submodular maximization.
+func (cp *CoverageProblem) GreedyMaxCover(k int) MaxCoverResult {
+	res := MaxCoverResult{}
+	h := make(coverHeap, 0, len(cp.nodeSets))
+	for v, d := range cp.degree {
+		if d > 0 {
+			h = append(h, coverItem{node: int32(v), gain: d, round: 0})
+		}
+	}
+	heap.Init(&h)
+	covered := int64(0)
+	for round := 0; round < k && len(h) > 0; round++ {
+		var pick coverItem
+		for {
+			top := h[0]
+			if int(top.round) == round {
+				pick = top
+				heap.Pop(&h)
+				break
+			}
+			// Recompute the stale gain lazily.
+			gain := int64(0)
+			for _, si := range cp.nodeSets[top.node] {
+				if !cp.covered[si] {
+					gain++
+				}
+			}
+			h[0].gain = gain
+			h[0].round = int32(round)
+			heap.Fix(&h, 0)
+		}
+		if pick.gain <= 0 {
+			// Everything coverable is covered; fill remaining seeds with the
+			// best leftover nodes so callers still receive k seeds.
+			res.Seeds = append(res.Seeds, pick.node)
+			res.PerSeedCovered = append(res.PerSeedCovered, 0)
+			continue
+		}
+		for _, si := range cp.nodeSets[pick.node] {
+			if !cp.covered[si] {
+				cp.covered[si] = true
+				covered++
+			}
+		}
+		res.Seeds = append(res.Seeds, pick.node)
+		res.PerSeedCovered = append(res.PerSeedCovered, pick.gain)
+	}
+	// Pad with unused nodes when fewer than k nodes appear in any set, so
+	// callers always receive k distinct seeds.
+	if len(res.Seeds) < k {
+		chosen := make(map[int32]struct{}, len(res.Seeds))
+		for _, s := range res.Seeds {
+			chosen[s] = struct{}{}
+		}
+		for v := int32(0); len(res.Seeds) < k && int(v) < len(cp.nodeSets); v++ {
+			if _, dup := chosen[v]; dup {
+				continue
+			}
+			res.Seeds = append(res.Seeds, v)
+			res.PerSeedCovered = append(res.PerSeedCovered, 0)
+		}
+	}
+	res.NumCovered = covered
+	if cp.numSets > 0 {
+		res.Fraction = float64(covered) / float64(cp.numSets)
+	}
+	return res
+}
+
+// CoverageOf returns the number of sets covered by the given seed set,
+// without mutating the problem.
+func (cp *CoverageProblem) CoverageOf(seeds []int32) int64 {
+	seen := make(map[int32]struct{})
+	for _, v := range seeds {
+		if v < 0 || int(v) >= len(cp.nodeSets) {
+			continue
+		}
+		for _, si := range cp.nodeSets[v] {
+			seen[si] = struct{}{}
+		}
+	}
+	return int64(len(seen))
+}
+
+// NumSets returns the universe size.
+func (cp *CoverageProblem) NumSets() int { return cp.numSets }
+
+type coverItem struct {
+	node  int32
+	gain  int64
+	round int32 // round at which gain was last computed
+}
+
+type coverHeap []coverItem
+
+func (h coverHeap) Len() int            { return len(h) }
+func (h coverHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h coverHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *coverHeap) Push(x interface{}) { *h = append(*h, x.(coverItem)) }
+func (h *coverHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

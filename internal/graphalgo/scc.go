@@ -1,0 +1,173 @@
+// Package graphalgo provides the classical graph kernels the IM algorithms
+// build on: strongly connected components and condensation (PMC's pruned
+// Monte-Carlo estimation, paper §4.3), shortest-path search on −log weights
+// (LDAG's local DAG construction, paper §4.4) and greedy maximum coverage
+// (the seed-selection step of the RR-set methods, paper §4.2).
+package graphalgo
+
+// Forward is the minimal adjacency view the kernels need: any structure that
+// can enumerate out-neighbors. Both *graph.Graph and *diffusion.Snapshot
+// satisfy it via small adapters.
+type Forward interface {
+	N() int32
+	// VisitOut calls fn for every out-neighbor of u.
+	VisitOut(u int32, fn func(v int32))
+}
+
+// SCC computes strongly connected components with Tarjan's algorithm,
+// implemented iteratively so million-node snapshots do not overflow the
+// goroutine stack. It returns comp (node -> component id) and the number of
+// components. Component IDs are in reverse topological order of the
+// condensation (standard Tarjan property): every arc in the condensation
+// goes from a higher comp id to a lower one.
+func SCC(g Forward) (comp []int32, ncomp int32) {
+	n := g.N()
+	comp = make([]int32, n)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+		comp[i] = -1
+	}
+	var stack []int32
+	var next int32
+
+	type frame struct {
+		v     int32
+		neigh []int32 // materialized out-neighbors of v
+		i     int     // next neighbor index to process
+	}
+	var callStack []frame
+	neighbors := func(v int32) []int32 {
+		var ns []int32
+		g.VisitOut(v, func(w int32) { ns = append(ns, w) })
+		return ns
+	}
+
+	for root := int32(0); root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		callStack = callStack[:0]
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		callStack = append(callStack, frame{v: root, neigh: neighbors(root)})
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			advanced := false
+			for f.i < len(f.neigh) {
+				w := f.neigh[f.i]
+				f.i++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w, neigh: neighbors(w)})
+					advanced = true
+					break
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.v finished.
+			v := f.v
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := &callStack[len(callStack)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+		}
+	}
+	return comp, ncomp
+}
+
+// Condensation is the DAG of strongly connected components.
+type Condensation struct {
+	NComp int32
+	Comp  []int32 // node -> component
+	Size  []int32 // component -> member count
+	// Out-adjacency of the DAG, deduplicated.
+	Off []int64
+	To  []int32
+}
+
+// Condense builds the condensation DAG of g given a component labelling.
+func Condense(g Forward, comp []int32, ncomp int32) *Condensation {
+	n := g.N()
+	c := &Condensation{NComp: ncomp, Comp: comp}
+	c.Size = make([]int32, ncomp)
+	for v := int32(0); v < n; v++ {
+		c.Size[comp[v]]++
+	}
+	type arc struct{ a, b int32 }
+	seen := make(map[arc]struct{})
+	deg := make([]int64, ncomp)
+	var arcs []arc
+	for v := int32(0); v < n; v++ {
+		cv := comp[v]
+		g.VisitOut(v, func(w int32) {
+			cw := comp[w]
+			if cv == cw {
+				return
+			}
+			a := arc{cv, cw}
+			if _, ok := seen[a]; ok {
+				return
+			}
+			seen[a] = struct{}{}
+			arcs = append(arcs, a)
+			deg[cv]++
+		})
+	}
+	c.Off = make([]int64, ncomp+1)
+	for i := int32(0); i < ncomp; i++ {
+		c.Off[i+1] = c.Off[i] + deg[i]
+	}
+	c.To = make([]int32, len(arcs))
+	cur := make([]int64, ncomp)
+	copy(cur, c.Off[:ncomp])
+	for _, a := range arcs {
+		c.To[cur[a.a]] = a.b
+		cur[a.a]++
+	}
+	return c
+}
+
+// OutNeighbors returns component c's out-neighbors in the DAG.
+func (c *Condensation) OutNeighbors(comp int32) []int32 {
+	return c.To[c.Off[comp]:c.Off[comp+1]]
+}
+
+// TopoOrder returns the components in topological order (sources first).
+// Tarjan assigns component ids in reverse topological order, so this is
+// simply ncomp-1 .. 0.
+func (c *Condensation) TopoOrder() []int32 {
+	order := make([]int32, c.NComp)
+	for i := int32(0); i < c.NComp; i++ {
+		order[i] = c.NComp - 1 - i
+	}
+	return order
+}

@@ -1,0 +1,128 @@
+package learn
+
+import (
+	"testing"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+func icGraph(seed uint64, n int32, m int, p float64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n, true)
+	for i := 0; i < m; i++ {
+		u, v := graph.NodeID(r.Int31n(n)), graph.NodeID(r.Int31n(n))
+		if u != v {
+			_ = b.AddEdge(u, v, 1)
+		}
+	}
+	return weights.ICConstant{P: p}.Apply(b.BuildSimple())
+}
+
+func TestGenerateLogShape(t *testing.T) {
+	g := icGraph(1, 30, 150, 0.3)
+	logs := GenerateLog(g, 50, 7)
+	if len(logs) != 50 {
+		t.Fatalf("%d cascades", len(logs))
+	}
+	for i, c := range logs {
+		if len(c) == 0 {
+			t.Fatalf("cascade %d empty", i)
+		}
+		if c[0].Step != 0 {
+			t.Fatalf("cascade %d seed step %d", i, c[0].Step)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("cascade %d: %v", i, err)
+		}
+	}
+}
+
+func TestCascadeValidate(t *testing.T) {
+	bad := Cascade{{Node: 1, Step: 2}, {Node: 2, Step: 1}}
+	if bad.Validate() == nil {
+		t.Fatal("out-of-order cascade accepted")
+	}
+	dup := Cascade{{Node: 1, Step: 0}, {Node: 1, Step: 1}}
+	if dup.Validate() == nil {
+		t.Fatal("duplicate activation accepted")
+	}
+}
+
+// TestEstimateRecoversConstant: with abundant cascades on an IC(p) graph,
+// the learned weights on well-exercised arcs must approach p.
+func TestEstimateRecoversConstant(t *testing.T) {
+	const p = 0.3
+	g := icGraph(3, 40, 300, p)
+	logs := GenerateLog(g, 4000, 11)
+	learned, st := Estimate(g, logs, p)
+	if st.Trials == 0 || st.ArcsObserved == 0 {
+		t.Fatalf("no trials recorded: %+v", st)
+	}
+	mae, err := MeanAbsError(g, learned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae > 0.08 {
+		t.Fatalf("mean abs error %v too high with 4000 cascades", mae)
+	}
+	if err := weights.Validate(learned, weights.IC); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEstimateRecoversHeterogeneous: arcs with different true weights must
+// be distinguished by the estimator.
+func TestEstimateRecoversHeterogeneous(t *testing.T) {
+	// Star with one strong (0.8) and one weak (0.1) arc, many cascades
+	// seeded at the hub by construction (singleton seeds are uniform, so
+	// use a 2-node fan where hub selection is frequent).
+	b := graph.NewBuilder(3, true)
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(0, 2, 1)
+	g0 := b.Build()
+	g := g0.Reweighted(func(u, v graph.NodeID) float64 {
+		if v == 1 {
+			return 0.8
+		}
+		return 0.1
+	})
+	logs := GenerateLog(g, 9000, 13)
+	learned, _ := Estimate(g, logs, 0.5)
+	w1, _ := learned.Weight(0, 1)
+	w2, _ := learned.Weight(0, 2)
+	if w1 < 0.7 || w1 > 0.9 {
+		t.Fatalf("strong arc learned as %v", w1)
+	}
+	if w2 < 0.03 || w2 > 0.2 {
+		t.Fatalf("weak arc learned as %v", w2)
+	}
+}
+
+func TestEstimateUnobservedFallsBackToPrior(t *testing.T) {
+	g := icGraph(5, 20, 80, 0.2)
+	learned, st := Estimate(g, nil, 0.05)
+	if st.Trials != 0 {
+		t.Fatalf("trials %d from empty log", st.Trials)
+	}
+	for _, e := range learned.Edges() {
+		if e.Weight != 0.05 {
+			t.Fatalf("arc (%d,%d) weight %v want prior", e.From, e.To, e.Weight)
+		}
+	}
+}
+
+func TestMeanAbsErrorShapeMismatch(t *testing.T) {
+	a := icGraph(7, 10, 30, 0.1)
+	b := icGraph(7, 11, 30, 0.1)
+	if _, err := MeanAbsError(a, b); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestModel(t *testing.T) {
+	if Model() != weights.IC {
+		t.Fatal("learned weights target IC")
+	}
+}

@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ASCII charts
+//
+// The paper communicates every result as a log- or linear-scale line plot.
+// Chart renders the same series as a terminal plot so `imexp` output can be
+// read without a plotting stack: multi-series scatter/line over a labelled
+// grid, optional log-y, one glyph per series.
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// Chart is a multi-series terminal plot.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogY   bool
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 16)
+	series []Series
+}
+
+// seriesGlyphs assigns one of these to each added series, in order.
+const seriesGlyphs = "*o+x#@%&"
+
+// AddSeries appends a named series; x/y lengths must match.
+func (c *Chart) AddSeries(name string, xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("metrics: series %q has %d xs vs %d ys", name, len(xs), len(ys))
+	}
+	c.series = append(c.series, Series{Name: name, Xs: xs, Ys: ys})
+	return nil
+}
+
+// Render draws the chart to w.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.series {
+		for i := range s.Xs {
+			y := s.Ys[i]
+			if c.LogY {
+				if y <= 0 {
+					continue // log scale drops non-positive values
+				}
+				y = math.Log10(y)
+			}
+			points++
+			minX = math.Min(minX, s.Xs[i])
+			maxX = math.Max(maxX, s.Xs[i])
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("metrics: chart %q has no plottable points", c.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for i := range s.Xs {
+			y := s.Ys[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			col := int((s.Xs[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = glyph
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yTop, yBot := maxY, minY
+	if c.LogY {
+		yTop, yBot = math.Pow(10, maxY), math.Pow(10, minY)
+	}
+	axisW := 10
+	for r, row := range grid {
+		label := strings.Repeat(" ", axisW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", axisW, compactFloat(yTop))
+		case height - 1:
+			label = fmt.Sprintf("%*s", axisW, compactFloat(yBot))
+		case height / 2:
+			mid := (maxY + minY) / 2
+			if c.LogY {
+				mid = math.Pow(10, mid)
+			}
+			label = fmt.Sprintf("%*s", axisW, compactFloat(mid))
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", axisW), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", axisW),
+		width-len(compactFloat(maxX)), compactFloat(minX), compactFloat(maxX))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s", strings.Repeat(" ", axisW), c.XLabel)
+		if c.YLabel != "" {
+			fmt.Fprintf(&b, "   y: %s", c.YLabel)
+			if c.LogY {
+				b.WriteString(" (log)")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	// Legend.
+	for si, s := range c.series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", axisW),
+			seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func compactFloat(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	case av == math.Trunc(av):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// ChartFromTable builds a chart from a rendered Table: xCol supplies the
+// x-axis, yCol the values, and groupCols (joined) the series names. Rows
+// whose x or y fail to parse (DNF/Crashed markers) are skipped.
+func ChartFromTable(t *Table, xCol, yCol string, groupCols ...string) (*Chart, error) {
+	xi, err := columnIndex(t, xCol)
+	if err != nil {
+		return nil, err
+	}
+	yi, err := columnIndex(t, yCol)
+	if err != nil {
+		return nil, err
+	}
+	var gis []int
+	for _, gc := range groupCols {
+		gi, err := columnIndex(t, gc)
+		if err != nil {
+			return nil, err
+		}
+		gis = append(gis, gi)
+	}
+	type pt struct{ x, y float64 }
+	groups := map[string][]pt{}
+	var order []string
+	for _, row := range t.Rows {
+		var x, y float64
+		if _, err := fmt.Sscanf(row[xi], "%g", &x); err != nil {
+			continue
+		}
+		if _, err := fmt.Sscanf(row[yi], "%g", &y); err != nil {
+			continue
+		}
+		parts := make([]string, len(gis))
+		for i, gi := range gis {
+			parts[i] = row[gi]
+		}
+		key := strings.Join(parts, "/")
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], pt{x, y})
+	}
+	c := &Chart{Title: t.Title, XLabel: xCol, YLabel: yCol}
+	for _, key := range order {
+		pts := groups[key]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+		xs := make([]float64, len(pts))
+		ys := make([]float64, len(pts))
+		for i, p := range pts {
+			xs[i], ys[i] = p.x, p.y
+		}
+		if err := c.AddSeries(key, xs, ys); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func columnIndex(t *Table, name string) (int, error) {
+	for i, h := range t.Headers {
+		if h == name {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("metrics: table has no column %q (have %v)", name, t.Headers)
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChartRenderBasic(t *testing.T) {
+	c := &Chart{Title: "demo", XLabel: "k", YLabel: "spread", Width: 30, Height: 8}
+	if err := c.AddSeries("a", []float64{1, 2, 3}, []float64{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSeries("b", []float64{1, 2, 3}, []float64{30, 20, 10}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "* a", "o b", "x: k", "y: spread", "30", "10"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Series a rises, series b falls: 'a' glyph must appear in the top row
+	// right side... verify top row contains exactly one glyph of each.
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	if !strings.Contains(top, "*") || !strings.Contains(top, "o") {
+		t.Fatalf("top row %q should contain both max points", top)
+	}
+}
+
+func TestChartLogY(t *testing.T) {
+	c := &Chart{LogY: true, Width: 20, Height: 6}
+	if err := c.AddSeries("s", []float64{1, 2, 3}, []float64{1, 100, 10000}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "(log)") && !strings.Contains(out, "10.0K") {
+		t.Fatalf("log chart output:\n%s", out)
+	}
+}
+
+func TestChartLogYDropsNonPositive(t *testing.T) {
+	c := &Chart{LogY: true}
+	_ = c.AddSeries("s", []float64{1, 2}, []float64{-5, 0})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err == nil {
+		t.Fatal("expected no-plottable-points error")
+	}
+}
+
+func TestChartSeriesLengthMismatch(t *testing.T) {
+	c := &Chart{}
+	if err := c.AddSeries("s", []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := &Chart{}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err == nil {
+		t.Fatal("empty chart rendered")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	c := &Chart{Width: 10, Height: 4}
+	_ = c.AddSeries("flat", []float64{5, 5}, []float64{3, 3})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err) // degenerate ranges must not divide by zero
+	}
+}
+
+func TestChartFromTable(t *testing.T) {
+	tbl := NewTable("Figure X", "Algorithm", "k", "Time(s)")
+	tbl.AddRow("IMM", 1, 0.5)
+	tbl.AddRow("IMM", 50, 1.5)
+	tbl.AddRow("CELF", 1, 2.0)
+	tbl.AddRow("CELF", 50, "DNF") // non-numeric rows skipped
+	c, err := ChartFromTable(tbl, "k", "Time(s)", "Algorithm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.series) != 2 {
+		t.Fatalf("%d series", len(c.series))
+	}
+	if c.series[0].Name != "IMM" || len(c.series[0].Xs) != 2 {
+		t.Fatalf("series[0] %+v", c.series[0])
+	}
+	if c.series[1].Name != "CELF" || len(c.series[1].Xs) != 1 {
+		t.Fatalf("series[1] %+v (DNF row must be dropped)", c.series[1])
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartFromTableMissingColumn(t *testing.T) {
+	tbl := NewTable("", "a")
+	if _, err := ChartFromTable(tbl, "zz", "a"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	if _, err := ChartFromTable(tbl, "a", "zz"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	if _, err := ChartFromTable(tbl, "a", "a", "zz"); err == nil {
+		t.Fatal("missing group column accepted")
+	}
+}
+
+func TestCompactFloat(t *testing.T) {
+	cases := map[float64]string{
+		2500000: "2.5M",
+		1500:    "1.5K",
+		42:      "42",
+		0.125:   "0.12",
+	}
+	for in, want := range cases {
+		if got := compactFloat(in); got != want {
+			t.Fatalf("compactFloat(%v)=%q want %q", in, got, want)
+		}
+	}
+}

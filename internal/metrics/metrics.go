@@ -1,0 +1,203 @@
+// Package metrics provides the instrumentation layer of the benchmarking
+// platform: wall-clock timing, heap-footprint sampling, operation counters,
+// summary statistics and tabular/CSV emission. Paper §5 evaluates every
+// algorithm along quality, running time (Fig. 7) and memory (Fig. 8); this
+// package supplies the latter two measurements plus the DNF/Crashed budget
+// enforcement used in Table 3.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Stopwatch measures wall-clock durations.
+type Stopwatch struct {
+	start time.Time
+}
+
+// Start returns a running stopwatch.
+func Start() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Elapsed returns the time since Start.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }
+
+// MemSampler tracks the peak live-heap growth over a region of code.
+//
+// The paper reports per-algorithm main-memory footprint; in-process we
+// approximate it as the increase of live heap bytes over the algorithm run
+// (after a GC at the start), sampled at Checkpoint calls plus explicitly
+// accounted data-structure sizes.
+type MemSampler struct {
+	baseline uint64
+	peak     uint64
+	// Accounted bytes registered by algorithms for structures whose size is
+	// known exactly (RR sets, snapshots, DAGs); max of accounted and sampled
+	// is reported.
+	accounted int64
+	peakAcct  int64
+}
+
+// StartMem garbage-collects and records the live-heap baseline.
+func StartMem() *MemSampler {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &MemSampler{baseline: ms.HeapAlloc}
+}
+
+// Checkpoint samples the live heap; call it at phase boundaries.
+func (m *MemSampler) Checkpoint() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > m.peak {
+		m.peak = ms.HeapAlloc
+	}
+}
+
+// Account registers delta explicitly-tracked bytes (may be negative on
+// release).
+func (m *MemSampler) Account(delta int64) {
+	m.accounted += delta
+	if m.accounted > m.peakAcct {
+		m.peakAcct = m.accounted
+	}
+}
+
+// PeakBytes returns the peak footprint estimate: max(sampled growth,
+// explicitly accounted peak).
+func (m *MemSampler) PeakBytes() int64 {
+	m.Checkpoint()
+	sampled := int64(0)
+	if m.peak > m.baseline {
+		sampled = int64(m.peak - m.baseline)
+	}
+	if m.peakAcct > sampled {
+		return m.peakAcct
+	}
+	return sampled
+}
+
+// Counter is a simple named operation counter (e.g. CELF node-lookups,
+// RR-sampler arc traversals; paper Appendix C argues lookups are the
+// environment-independent comparison metric for CELF vs CELF++).
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(delta int64) { c.Value += delta }
+
+// Summary is a running mean / standard-deviation accumulator.
+type Summary struct {
+	n            int
+	sum, sumSq   float64
+	min, max     float64
+	observations []float64 // retained for percentile queries
+}
+
+// Observe adds a sample.
+func (s *Summary) Observe(x float64) {
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	s.sum += x
+	s.sumSq += x * x
+	s.observations = append(s.observations, x)
+}
+
+// N returns the sample count.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// SD returns the sample standard deviation (0 when n < 2).
+func (s *Summary) SD() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	v := (s.sumSq - s.sum*s.sum/float64(s.n)) / float64(s.n-1)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest sample.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample.
+func (s *Summary) Max() float64 { return s.max }
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) by linear interpolation.
+func (s *Summary) Percentile(p float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	xs := make([]float64, len(s.observations))
+	copy(xs, s.observations)
+	sort.Float64s(xs)
+	if p <= 0 {
+		return xs[0]
+	}
+	if p >= 1 {
+		return xs[len(xs)-1]
+	}
+	pos := p * float64(len(xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return xs[lo]
+	}
+	frac := pos - float64(lo)
+	return xs[lo]*(1-frac) + xs[hi]*frac
+}
+
+// String renders "mean ± sd [min,max] (n)".
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.2f ± %.2f [%.2f, %.2f] (n=%d)", s.Mean(), s.SD(), s.min, s.max, s.n)
+}
+
+// HumanBytes formats a byte count the way the paper's memory plots do (MB).
+func HumanBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// HumanDuration formats a duration in the paper's seconds-first style.
+func HumanDuration(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

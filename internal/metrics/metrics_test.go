@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestStopwatch(t *testing.T) {
+	sw := Start()
+	time.Sleep(5 * time.Millisecond)
+	if e := sw.Elapsed(); e < 4*time.Millisecond {
+		t.Fatalf("elapsed %v too small", e)
+	}
+}
+
+func TestMemSamplerGrowth(t *testing.T) {
+	m := StartMem()
+	buf := make([]byte, 16<<20)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	m.Checkpoint()
+	peak := m.PeakBytes()
+	if peak < 8<<20 {
+		t.Fatalf("peak %d did not register 16MB allocation", peak)
+	}
+	_ = buf[0]
+}
+
+func TestMemSamplerAccounting(t *testing.T) {
+	m := StartMem()
+	m.Account(1000)
+	m.Account(500)
+	m.Account(-1500)
+	if m.peakAcct != 1500 {
+		t.Fatalf("peak accounted %d want 1500", m.peakAcct)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter{Name: "lookups"}
+	c.Add(3)
+	c.Add(4)
+	if c.Value != 7 {
+		t.Fatalf("counter %d", c.Value)
+	}
+}
+
+func TestSummaryBasic(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Observe(x)
+	}
+	if s.N() != 5 || s.Mean() != 3 {
+		t.Fatalf("n=%d mean=%v", s.N(), s.Mean())
+	}
+	if math.Abs(s.SD()-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("sd %v", s.SD())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min/max %v/%v", s.Min(), s.Max())
+	}
+	if p := s.Percentile(0.5); p != 3 {
+		t.Fatalf("median %v", p)
+	}
+	if p := s.Percentile(0); p != 1 {
+		t.Fatalf("p0 %v", p)
+	}
+	if p := s.Percentile(1); p != 5 {
+		t.Fatalf("p100 %v", p)
+	}
+	if !strings.Contains(s.String(), "n=5") {
+		t.Fatalf("String %q", s.String())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.SD() != 0 || s.Percentile(0.5) != 0 {
+		t.Fatal("empty summary must be zeros")
+	}
+}
+
+// TestSummaryMatchesNaive: streaming mean/sd equals two-pass computation.
+func TestSummaryMatchesNaive(t *testing.T) {
+	check := func(xs []float64) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		var s Summary
+		mean := 0.0
+		for _, x := range xs {
+			s.Observe(x)
+			mean += x
+		}
+		mean /= float64(len(xs))
+		varr := 0.0
+		for _, x := range xs {
+			varr += (x - mean) * (x - mean)
+		}
+		varr /= float64(len(xs) - 1)
+		return math.Abs(s.Mean()-mean) < 1e-6 && math.Abs(s.SD()-math.Sqrt(varr)) < 1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:       "512B",
+		2048:      "2.0KB",
+		3 << 20:   "3.0MB",
+		5 << 30:   "5.0GB",
+		1536 << 0: "1.5KB",
+	}
+	for in, want := range cases {
+		if got := HumanBytes(in); got != want {
+			t.Errorf("HumanBytes(%d) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestHumanDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Microsecond: "500µs",
+		20 * time.Millisecond:  "20.00ms",
+		3 * time.Second:        "3.00s",
+		90 * time.Second:       "1.5m",
+		2 * time.Hour:          "2.0h",
+	}
+	for in, want := range cases {
+		if got := HumanDuration(in); got != want {
+			t.Errorf("HumanDuration(%v) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Demo", "algo", "time", "spread")
+	tbl.AddRow("IMM", 1.5, 1234.0)
+	tbl.AddRow("CELF", 0.001, 8.0)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Demo", "algo", "IMM", "CELF", "1234", "0.0010"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow(1, "x")
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,x\n"
+	if buf.String() != want {
+		t.Fatalf("csv %q want %q", buf.String(), want)
+	}
+}
+
+func TestTableSaveCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "out.csv")
+	tbl := NewTable("", "h")
+	tbl.AddRow("v")
+	if err := tbl.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "h\nv\n" {
+		t.Fatalf("file content %q", data)
+	}
+}

@@ -1,0 +1,76 @@
+package weights
+
+import (
+	"testing"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+)
+
+func TestTrivalencyCustomValues(t *testing.T) {
+	g := randomGraph(101, 15, 60)
+	s := Trivalency{Values: []float64{0.5}, Seed: 3}
+	wg := s.Apply(g)
+	for _, e := range wg.Edges() {
+		if e.Weight != 0.5 {
+			t.Fatalf("weight %v want 0.5", e.Weight)
+		}
+	}
+	// Empty Values falls back to the classic set.
+	wg2 := Trivalency{Seed: 3}.Apply(g)
+	valid := map[float64]bool{0.001: true, 0.01: true, 0.1: true}
+	for _, e := range wg2.Edges() {
+		if !valid[e.Weight] {
+			t.Fatalf("fallback weight %v", e.Weight)
+		}
+	}
+}
+
+func TestWCZeroInDegree(t *testing.T) {
+	b := graph.NewBuilder(3, true)
+	_ = b.AddEdge(0, 1, 1)
+	g := b.Build()
+	wg := WeightedCascade{}.Apply(g)
+	// Node 0 has no in-arcs; the only arc (0,1) gets 1/indeg(1) = 1.
+	if w, _ := wg.Weight(0, 1); w != 1 {
+		t.Fatalf("weight %v", w)
+	}
+	if err := Validate(wg, IC); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLTParallelEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(4, true).Build()
+	wg := LTParallel{}.Apply(g)
+	if wg.M() != 0 {
+		t.Fatalf("m=%d", wg.M())
+	}
+	if err := Validate(wg, LT); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateNegativeWeight(t *testing.T) {
+	b := graph.NewBuilder(2, true)
+	_ = b.AddEdge(0, 1, -0.5)
+	g := b.Build()
+	if err := Validate(g, IC); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestSchemesPreserveStructure(t *testing.T) {
+	g := randomGraph(103, 25, 120)
+	for _, s := range []Scheme{
+		ICConstant{P: 0.2}, WeightedCascade{}, DefaultTrivalency(1),
+		LTUniform{}, LTRandom{Seed: 2},
+	} {
+		wg := s.Apply(g)
+		if wg.N() != g.N() || wg.M() != g.M() {
+			t.Fatalf("%s changed structure: n=%d m=%d", s.Name(), wg.N(), wg.M())
+		}
+		if err := wg.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+	}
+}

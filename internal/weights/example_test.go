@@ -1,0 +1,37 @@
+package weights_test
+
+import (
+	"fmt"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// ExampleWeightedCascade shows the WC rule: every in-neighbor of a node
+// gets probability 1/indegree.
+func ExampleWeightedCascade() {
+	b := graph.NewBuilder(3, true)
+	_ = b.AddEdge(0, 2, 1)
+	_ = b.AddEdge(1, 2, 1)
+	g := weights.WeightedCascade{}.Apply(b.Build())
+
+	w, _ := g.Weight(0, 2)
+	fmt.Println(w)
+	// Output: 0.5
+}
+
+// ExampleLTParallel consolidates a multigraph's parallel arcs into
+// call-count-proportional LT weights (paper §2.1.2).
+func ExampleLTParallel() {
+	b := graph.NewBuilder(3, true)
+	_ = b.AddEdge(0, 2, 1) // u calls v three times,
+	_ = b.AddEdge(0, 2, 1)
+	_ = b.AddEdge(0, 2, 1)
+	_ = b.AddEdge(1, 2, 1) // u' calls once
+	g := weights.LTParallel{}.Apply(b.Build())
+
+	w02, _ := g.Weight(0, 2)
+	w12, _ := g.Weight(1, 2)
+	fmt.Println(w02, w12)
+	// Output: 0.75 0.25
+}

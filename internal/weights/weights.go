@@ -1,0 +1,255 @@
+// Package weights implements the edge-weight assignment models of paper
+// §2.1, which parameterize the two diffusion semantics (IC and LT).
+//
+// The paper's three benchmark configurations are:
+//
+//	IC — Independent Cascade with constant probability p = 0.1
+//	WC — Weighted Cascade, p(u,v) = 1/|In(v)| (an instance of IC)
+//	LT — Linear Threshold with uniform weights w(u,v) = 1/|In(v)|
+//
+// plus the trivalency IC model, the LT-random model and the LT-"parallel
+// edges" model for multigraphs (used by SIMPATH's original evaluation,
+// paper §6 M5).
+package weights
+
+import (
+	"fmt"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+)
+
+// Model is the diffusion semantics under which weights are interpreted.
+type Model int
+
+const (
+	// IC is the Independent Cascade model (paper Def. 4): each newly
+	// activated u gets one independent attempt to activate each out-neighbor
+	// v with probability W(u,v).
+	IC Model = iota
+	// LT is the Linear Threshold model (paper Def. 5): v activates when the
+	// total incoming weight from active neighbors exceeds its uniform-random
+	// threshold θv.
+	LT
+)
+
+// String returns "IC" or "LT".
+func (m Model) String() string {
+	switch m {
+	case IC:
+		return "IC"
+	case LT:
+		return "LT"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Scheme assigns weights to a graph's arcs.
+type Scheme interface {
+	// Name is a short identifier, e.g. "IC(0.1)", "WC", "LT-uniform".
+	Name() string
+	// Model is the diffusion semantics the weights are intended for.
+	Model() Model
+	// Apply returns a graph with the same structure and fresh weights.
+	Apply(g *graph.Graph) *graph.Graph
+}
+
+// ICConstant is the constant-probability IC model: W(u,v) = p for all arcs.
+// The vast majority of IM papers use p = 0.01 or p = 0.1 (paper §2.1.1).
+type ICConstant struct{ P float64 }
+
+// Name implements Scheme.
+func (s ICConstant) Name() string { return fmt.Sprintf("IC(%g)", s.P) }
+
+// Model implements Scheme.
+func (s ICConstant) Model() Model { return IC }
+
+// Apply implements Scheme.
+func (s ICConstant) Apply(g *graph.Graph) *graph.Graph {
+	p := s.P
+	return g.Reweighted(func(u, v graph.NodeID) float64 { return p })
+}
+
+// WeightedCascade is the WC model: W(u,v) = 1/|In(v)|; all in-neighbors of v
+// influence it with equal probability, so low-degree nodes are easier to
+// influence (paper §2.1.1).
+type WeightedCascade struct{}
+
+// Name implements Scheme.
+func (WeightedCascade) Name() string { return "WC" }
+
+// Model implements Scheme.
+func (WeightedCascade) Model() Model { return IC }
+
+// Apply implements Scheme.
+func (WeightedCascade) Apply(g *graph.Graph) *graph.Graph {
+	return g.Reweighted(func(u, v graph.NodeID) float64 {
+		d := g.InDegree(v)
+		if d == 0 {
+			return 0
+		}
+		return 1 / float64(d)
+	})
+}
+
+// Trivalency assigns each arc a weight drawn uniformly at random from
+// Values, classically {0.001, 0.01, 0.1} (paper §2.1.1). Seed makes the
+// assignment deterministic.
+type Trivalency struct {
+	Values []float64
+	Seed   uint64
+}
+
+// DefaultTrivalency returns the classic {0.001, 0.01, 0.1} model.
+func DefaultTrivalency(seed uint64) Trivalency {
+	return Trivalency{Values: []float64{0.001, 0.01, 0.1}, Seed: seed}
+}
+
+// Name implements Scheme.
+func (s Trivalency) Name() string { return "IC-TV" }
+
+// Model implements Scheme.
+func (s Trivalency) Model() Model { return IC }
+
+// Apply implements Scheme.
+func (s Trivalency) Apply(g *graph.Graph) *graph.Graph {
+	vals := s.Values
+	if len(vals) == 0 {
+		vals = []float64{0.001, 0.01, 0.1}
+	}
+	// A per-arc hash keeps the choice deterministic and identical for the
+	// out- and in-CSR copies of the same arc.
+	seed := s.Seed
+	return g.Reweighted(func(u, v graph.NodeID) float64 {
+		h := arcHash(seed, u, v)
+		return vals[h%uint64(len(vals))]
+	})
+}
+
+// LTUniform is the uniform LT model: W(u,v) = 1/|In(v)|, the LT analogue of
+// WC (paper §2.1.2). Incoming weights sum to at most 1 by construction.
+type LTUniform struct{}
+
+// Name implements Scheme.
+func (LTUniform) Name() string { return "LT-uniform" }
+
+// Model implements Scheme.
+func (LTUniform) Model() Model { return LT }
+
+// Apply implements Scheme.
+func (LTUniform) Apply(g *graph.Graph) *graph.Graph {
+	return g.Reweighted(func(u, v graph.NodeID) float64 {
+		d := g.InDegree(v)
+		if d == 0 {
+			return 0
+		}
+		return 1 / float64(d)
+	})
+}
+
+// LTRandom assigns each arc a uniform [0,1] value and normalizes incoming
+// weights per node to sum to 1 (paper §2.1.2).
+type LTRandom struct{ Seed uint64 }
+
+// Name implements Scheme.
+func (LTRandom) Name() string { return "LT-random" }
+
+// Model implements Scheme.
+func (LTRandom) Model() Model { return LT }
+
+// Apply implements Scheme.
+func (s LTRandom) Apply(g *graph.Graph) *graph.Graph {
+	// First pass: compute per-node incoming raw-sum using the same arc hash
+	// for determinism across the two CSR copies.
+	n := g.N()
+	sums := make([]float64, n)
+	for v := graph.NodeID(0); v < n; v++ {
+		from, _ := g.InNeighbors(v)
+		for _, u := range from {
+			sums[v] += rawLTValue(s.Seed, u, v)
+		}
+	}
+	return g.Reweighted(func(u, v graph.NodeID) float64 {
+		if sums[v] == 0 {
+			return 0
+		}
+		return rawLTValue(s.Seed, u, v) / sums[v]
+	})
+}
+
+func rawLTValue(seed uint64, u, v graph.NodeID) float64 {
+	h := arcHash(seed, u, v)
+	return float64(h>>11) / (1 << 53)
+}
+
+// LTParallel is the LT-"parallel edges" model for multigraphs (paper
+// §2.1.2): consolidate parallel arcs (u,v) into one arc weighted
+// c(u,v) / Σ_{u'∈In(v)} c(u',v), where c counts parallel arcs. It is the
+// generalization of LTUniform to multigraphs; Apply also consolidates the
+// graph structure.
+type LTParallel struct{}
+
+// Name implements Scheme.
+func (LTParallel) Name() string { return "LT-parallel" }
+
+// Model implements Scheme.
+func (LTParallel) Model() Model { return LT }
+
+// Apply implements Scheme. Unlike the other schemes it returns a simple
+// (consolidated) graph, because LT is defined on simple graphs.
+func (LTParallel) Apply(g *graph.Graph) *graph.Graph {
+	n := g.N()
+	b := graph.NewBuilder(n, true)
+	b.SetName(g.Name())
+	// Total parallel-arc count into each node.
+	inCount := make([]float64, n)
+	for v := graph.NodeID(0); v < n; v++ {
+		inCount[v] = float64(g.InDegree(v))
+	}
+	type key struct{ u, v graph.NodeID }
+	counts := make(map[key]int)
+	for _, e := range g.Edges() {
+		counts[key{e.From, e.To}]++
+	}
+	for k, c := range counts {
+		w := 0.0
+		if inCount[k.v] > 0 {
+			w = float64(c) / inCount[k.v]
+		}
+		if err := b.AddEdge(k.u, k.v, w); err != nil {
+			// Arcs come from a valid graph; out-of-range is impossible.
+			panic(fmt.Sprintf("weights: LTParallel rebuild: %v", err))
+		}
+	}
+	return b.BuildSimple()
+}
+
+// arcHash mixes (seed, u, v) into a uniform 64-bit value.
+func arcHash(seed uint64, u, v graph.NodeID) uint64 {
+	x := seed ^ (uint64(uint32(u)) << 32) ^ uint64(uint32(v))
+	r := rng.New(x)
+	return r.Uint64()
+}
+
+// Validate checks scheme-specific invariants on an applied graph; tests use
+// it and loaders may call it on untrusted input. For LT schemes it verifies
+// Σ_in W ≤ 1 (+tolerance); for IC it verifies weights lie in [0,1].
+func Validate(g *graph.Graph, m Model) error {
+	const tol = 1e-9
+	n := g.N()
+	for v := graph.NodeID(0); v < n; v++ {
+		from, ws := g.InNeighbors(v)
+		sum := 0.0
+		for i, w := range ws {
+			if w < -tol || w > 1+tol {
+				return fmt.Errorf("weights: arc (%d,%d) weight %g outside [0,1]", from[i], v, w)
+			}
+			sum += w
+		}
+		if m == LT && sum > 1+1e-6 {
+			return fmt.Errorf("weights: node %d incoming LT weight sum %g > 1", v, sum)
+		}
+	}
+	return nil
+}

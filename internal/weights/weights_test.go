@@ -1,0 +1,236 @@
+package weights
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+)
+
+// randomGraph builds a random simple directed graph for property tests.
+func randomGraph(seed uint64, n int32, m int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n, true)
+	type pair struct{ u, v graph.NodeID }
+	seen := map[pair]struct{}{}
+	for i := 0; i < m; i++ {
+		u, v := graph.NodeID(r.Int31n(n)), graph.NodeID(r.Int31n(n))
+		if u == v {
+			continue
+		}
+		if _, dup := seen[pair{u, v}]; dup {
+			continue
+		}
+		seen[pair{u, v}] = struct{}{}
+		_ = b.AddEdge(u, v, 1)
+	}
+	return b.Build()
+}
+
+func TestICConstant(t *testing.T) {
+	g := randomGraph(1, 20, 60)
+	wg := ICConstant{P: 0.1}.Apply(g)
+	for _, e := range wg.Edges() {
+		if e.Weight != 0.1 {
+			t.Fatalf("arc weight %v want 0.1", e.Weight)
+		}
+	}
+	if got := (ICConstant{P: 0.1}).Name(); got != "IC(0.1)" {
+		t.Fatalf("name %q", got)
+	}
+	if (ICConstant{}).Model() != IC {
+		t.Fatal("model")
+	}
+	if err := Validate(wg, IC); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedCascade(t *testing.T) {
+	g := randomGraph(2, 20, 80)
+	wg := WeightedCascade{}.Apply(g)
+	for v := graph.NodeID(0); v < wg.N(); v++ {
+		from, ws := wg.InNeighbors(v)
+		d := float64(len(from))
+		for _, w := range ws {
+			if math.Abs(w-1/d) > 1e-12 {
+				t.Fatalf("WC weight %v want %v", w, 1/d)
+			}
+		}
+	}
+	if err := Validate(wg, IC); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWCRowSumsAtMostOne(t *testing.T) {
+	check := func(seed uint64, rawN uint8, rawM uint8) bool {
+		g := randomGraph(seed, int32(rawN%40)+2, int(rawM))
+		wg := WeightedCascade{}.Apply(g)
+		for v := graph.NodeID(0); v < wg.N(); v++ {
+			if wg.TotalInWeight(v) > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrivalencyValuesAndDeterminism(t *testing.T) {
+	g := randomGraph(3, 30, 150)
+	s := DefaultTrivalency(7)
+	wg1 := s.Apply(g)
+	wg2 := s.Apply(g)
+	valid := map[float64]bool{0.001: true, 0.01: true, 0.1: true}
+	distinct := map[float64]bool{}
+	for _, e := range wg1.Edges() {
+		if !valid[e.Weight] {
+			t.Fatalf("trivalency weight %v", e.Weight)
+		}
+		distinct[e.Weight] = true
+		w2, _ := wg2.Weight(e.From, e.To)
+		if w2 != e.Weight {
+			t.Fatal("trivalency not deterministic")
+		}
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("trivalency used only %d distinct values on 150 arcs", len(distinct))
+	}
+	// Out- and in-CSR must agree per arc.
+	for v := graph.NodeID(0); v < wg1.N(); v++ {
+		from, ws := wg1.InNeighbors(v)
+		for i, u := range from {
+			w, _ := wg1.Weight(u, v)
+			if w != ws[i] {
+				t.Fatalf("in/out CSR weight mismatch on (%d,%d): %v vs %v", u, v, w, ws[i])
+			}
+		}
+	}
+}
+
+func TestLTUniformSumsToOne(t *testing.T) {
+	g := randomGraph(4, 25, 120)
+	wg := LTUniform{}.Apply(g)
+	for v := graph.NodeID(0); v < wg.N(); v++ {
+		if wg.InDegree(v) == 0 {
+			continue
+		}
+		if s := wg.TotalInWeight(v); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("node %d in-weight sum %v want 1", v, s)
+		}
+	}
+	if err := Validate(wg, LT); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLTRandomNormalized(t *testing.T) {
+	g := randomGraph(5, 25, 120)
+	wg := LTRandom{Seed: 9}.Apply(g)
+	for v := graph.NodeID(0); v < wg.N(); v++ {
+		if wg.InDegree(v) == 0 {
+			continue
+		}
+		if s := wg.TotalInWeight(v); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("node %d in-weight sum %v want 1", v, s)
+		}
+	}
+	// Deterministic under the same seed.
+	wg2 := LTRandom{Seed: 9}.Apply(g)
+	for _, e := range wg.Edges() {
+		w2, _ := wg2.Weight(e.From, e.To)
+		if w2 != e.Weight {
+			t.Fatal("LTRandom not deterministic")
+		}
+	}
+	if err := Validate(wg, LT); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLTParallelConsolidates(t *testing.T) {
+	b := graph.NewBuilder(3, true)
+	// 2 parallel arcs 0→2, 1 arc 1→2: weights must be 2/3 and 1/3.
+	for _, e := range [][2]graph.NodeID{{0, 2}, {0, 2}, {1, 2}} {
+		if err := b.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	wg := LTParallel{}.Apply(g)
+	if wg.M() != 2 {
+		t.Fatalf("consolidated m=%d want 2", wg.M())
+	}
+	w02, _ := wg.Weight(0, 2)
+	w12, _ := wg.Weight(1, 2)
+	if math.Abs(w02-2.0/3) > 1e-12 || math.Abs(w12-1.0/3) > 1e-12 {
+		t.Fatalf("weights %v %v want 2/3 1/3", w02, w12)
+	}
+	if err := Validate(wg, LT); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLTParallelEqualsUniformOnSimpleGraphs(t *testing.T) {
+	// On a simple graph, LT-parallel degenerates to LT-uniform (paper
+	// §2.1.2: "a generalization of the Uniform model for multi-graphs").
+	g := randomGraph(6, 15, 60)
+	pu := LTParallel{}.Apply(g)
+	un := LTUniform{}.Apply(g)
+	for _, e := range un.Edges() {
+		w, ok := pu.Weight(e.From, e.To)
+		if !ok || math.Abs(w-e.Weight) > 1e-12 {
+			t.Fatalf("arc (%d,%d): parallel %v uniform %v", e.From, e.To, w, e.Weight)
+		}
+	}
+}
+
+func TestValidateCatchesBadWeights(t *testing.T) {
+	b := graph.NewBuilder(2, true)
+	if err := b.AddEdge(0, 1, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if err := Validate(g, IC); err == nil {
+		t.Fatal("expected validation error for weight > 1")
+	}
+	b2 := graph.NewBuilder(3, true)
+	_ = b2.AddEdge(0, 2, 0.8)
+	_ = b2.AddEdge(1, 2, 0.8)
+	g2 := b2.Build()
+	if err := Validate(g2, LT); err == nil {
+		t.Fatal("expected LT row-sum validation error")
+	}
+	if err := Validate(g2, IC); err != nil {
+		t.Fatalf("IC should accept per-arc weights ≤ 1: %v", err)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if IC.String() != "IC" || LT.String() != "LT" {
+		t.Fatal("model strings")
+	}
+	if Model(9).String() == "" {
+		t.Fatal("unknown model string empty")
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	cases := map[string]Scheme{
+		"WC":          WeightedCascade{},
+		"LT-uniform":  LTUniform{},
+		"LT-random":   LTRandom{},
+		"LT-parallel": LTParallel{},
+		"IC-TV":       Trivalency{},
+	}
+	for want, s := range cases {
+		if s.Name() != want {
+			t.Fatalf("scheme name %q want %q", s.Name(), want)
+		}
+	}
+}
