@@ -1,37 +1,60 @@
-// Command imbench runs one instrumented benchmark cell: a single
-// (algorithm, dataset, model, k) combination, printing the selected seeds,
-// the decoupled MC spread, running time, memory footprint and lookups.
+// Command imbench runs one instrumented benchmark cell — a single
+// (algorithm, dataset, model, k) combination — or, with -ks, a k sweep
+// with checkpoint/resume, printing the selected seeds, the decoupled MC
+// spread, running time, memory footprint and lookups.
 //
 // Usage:
 //
 //	imbench -algo IMM -dataset nethept -model WC -k 50
 //	imbench -algo CELF -dataset hepph -model LT -k 10 -param 100
 //	imbench -algo PMC -file my_graph.txt -directed -model IC -k 20
+//	imbench -algo IMM -ks 1,25,50,100 -journal run.jsonl -resume run.jsonl
 //
 // Models: IC (constant 0.1), WC (weighted cascade), LT (uniform); or use
 // -icp to change the IC constant.
+//
+// Sweeps are resilient: each completed cell is appended to the -journal
+// JSONL file, Ctrl-C stops cleanly after the cell in flight, and -resume
+// skips cells already journaled. -budget plus the hard watchdog
+// (-hardbudget, default 2× budget) bound even algorithms that never poll
+// the cooperative budget checks.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	goinfmax "github.com/sigdata/goinfmax"
+	"github.com/sigdata/goinfmax/internal/core"
 	"github.com/sigdata/goinfmax/internal/graph"
 	"github.com/sigdata/goinfmax/internal/metrics"
 	"github.com/sigdata/goinfmax/internal/weights"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:]); err != nil {
+		if errors.Is(err, core.ErrCancelled) {
+			fmt.Fprintln(os.Stderr, "imbench: interrupted — journaled cells are safe; rerun with -resume to continue")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "imbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string) error { return runCtx(context.Background(), args) }
+
+func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("imbench", flag.ContinueOnError)
 	algoName := fs.String("algo", "IMM", "algorithm name (see -listalgos)")
 	dataset := fs.String("dataset", "nethept", "synthetic dataset name")
@@ -45,7 +68,11 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 42, "random seed")
 	evalSims := fs.Int("evalsims", 10000, "MC simulations for spread evaluation")
 	budget := fs.Duration("budget", 0, "time budget for seed selection (0 = unlimited)")
+	hardBudget := fs.Duration("hardbudget", 0, "hard watchdog deadline for non-cooperative algorithms (0 = 2x budget)")
 	memBudget := fs.Int64("membudget", 0, "memory budget in bytes (0 = unlimited)")
+	ksFlag := fs.String("ks", "", "comma-separated k values: run a sweep instead of a single cell")
+	journalPath := fs.String("journal", "", "append each completed sweep cell to this JSONL journal")
+	resumePath := fs.String("resume", "", "skip sweep cells already recorded in this JSONL journal")
 	listAlgos := fs.Bool("listalgos", false, "list registered algorithms and exit")
 	listData := fs.Bool("listdatasets", false, "list synthetic datasets and exit")
 	if err := fs.Parse(args); err != nil {
@@ -99,10 +126,23 @@ func run(args []string) error {
 
 	cfg := goinfmax.RunConfig{
 		K: *k, Model: m, Seed: *seed, ParamValue: *param,
-		EvalSims: *evalSims, TimeBudget: *budget, MemBudgetBytes: *memBudget,
+		EvalSims: *evalSims, TimeBudget: *budget, HardBudget: *hardBudget,
+		MemBudgetBytes: *memBudget,
 	}
+
+	if *ksFlag != "" {
+		ks, err := parseKs(*ksFlag)
+		if err != nil {
+			return err
+		}
+		return sweep(ctx, alg, g, cfg, ks, *journalPath, *resumePath)
+	}
+
 	start := time.Now()
-	res := goinfmax.Run(alg, g, cfg)
+	res := goinfmax.RunCtx(ctx, alg, g, cfg)
+	if res.Status == goinfmax.StatusCancelled {
+		return core.ErrCancelled
+	}
 	fmt.Printf("status:    %s\n", res.Status)
 	if res.Err != nil {
 		fmt.Printf("error:     %v\n", res.Err)
@@ -119,5 +159,74 @@ func run(args []string) error {
 		fmt.Printf("seeds:     %v\n", res.Seeds)
 	}
 	fmt.Printf("total:     %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// parseKs parses the -ks flag: a comma-separated list of positive ints.
+func parseKs(s string) ([]int, error) {
+	var ks []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := strconv.Atoi(part)
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("invalid k %q in -ks (want positive integers)", part)
+		}
+		ks = append(ks, k)
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("-ks %q contains no k values", s)
+	}
+	return ks, nil
+}
+
+// sweep runs the k sweep with checkpoint/resume: cells already present in
+// the resume journal are skipped, every freshly completed cell is appended
+// to the journal, and ctx cancellation (SIGINT) stops cleanly between
+// cells with the journal flushed.
+func sweep(ctx context.Context, alg goinfmax.Algorithm, g *goinfmax.Graph, cfg goinfmax.RunConfig, ks []int, journalPath, resumePath string) error {
+	var resume map[string]goinfmax.Result
+	if resumePath != "" {
+		prior, err := goinfmax.LoadJournal(resumePath)
+		if err != nil {
+			return err
+		}
+		resume = goinfmax.JournalIndex(prior)
+		fmt.Printf("resume:    %d completed cells loaded from %s\n", len(resume), resumePath)
+	}
+	var journal *goinfmax.Journal
+	if journalPath != "" {
+		var err error
+		journal, err = goinfmax.OpenJournal(journalPath)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+	}
+
+	for _, k := range ks {
+		if ctx.Err() != nil {
+			return core.ErrCancelled
+		}
+		c := cfg
+		c.K = k
+		probe := goinfmax.Result{Algorithm: alg.Name(), Dataset: g.Name(), Model: c.Model, K: k, Param: c.ParamValue}
+		if prior, ok := resume[probe.CellKey()]; ok {
+			fmt.Printf("%s   [journal]\n", prior)
+			continue
+		}
+		res := goinfmax.RunCtx(ctx, alg, g, c)
+		if res.Status == goinfmax.StatusCancelled {
+			return core.ErrCancelled
+		}
+		fmt.Println(res)
+		if journal != nil {
+			if err := journal.Append(res); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }

@@ -54,6 +54,50 @@ func TestFileInput(t *testing.T) {
 	}
 }
 
+func TestSweepJournalResume(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "sweep.jsonl")
+	base := []string{"-algo", "Random", "-dataset", "nethept", "-scale", "256",
+		"-model", "WC", "-ks", "1,2,3", "-evalsims", "20"}
+	if err := run(append(base, "-journal", journal)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := goinfmax.LoadJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("journal holds %d cells, want 3", len(recs))
+	}
+	// Resuming against the same journal skips every cell: the journal must
+	// not grow.
+	if err := run(append(base, "-journal", journal, "-resume", journal)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = goinfmax.LoadJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("after resume journal holds %d cells, want 3 (cells re-ran)", len(recs))
+	}
+}
+
+func TestParseKs(t *testing.T) {
+	ks, err := parseKs("1,5, 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 3 || ks[0] != 1 || ks[1] != 5 || ks[2] != 10 {
+		t.Fatalf("parseKs: %v", ks)
+	}
+	for _, bad := range []string{"", "0", "a", "-3"} {
+		if _, err := parseKs(bad); err == nil {
+			t.Fatalf("parseKs(%q) accepted", bad)
+		}
+	}
+}
+
 func TestErrors(t *testing.T) {
 	if err := run([]string{"-model", "XX"}); err == nil {
 		t.Fatal("expected model error")

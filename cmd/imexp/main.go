@@ -15,25 +15,44 @@
 //	-seed N       master seed (default 42)
 //	-evalsims N   MC simulations for spread evaluation
 //	-budget DUR   per-cell time budget
+//	-journal F    checkpoint each completed grid cell to the JSONL file F
+//	-resume F     skip grid cells already journaled in F
+//
+// Ctrl-C (SIGINT) stops a campaign cleanly: the journal is flushed after
+// the cell in flight and a rerun with -resume pointed at it (or with
+// -journal and -resume on the same file) picks up where it left off.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"github.com/sigdata/goinfmax/internal/core"
 	"github.com/sigdata/goinfmax/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:]); err != nil {
+		if errors.Is(err, core.ErrCancelled) {
+			fmt.Fprintln(os.Stderr, "imexp: interrupted — journaled cells are safe; rerun with -resume to continue")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "imexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string) error { return runCtx(context.Background(), args) }
+
+func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("imexp", flag.ContinueOnError)
 	quick := fs.Bool("quick", true, "quick mode: tiny datasets and budgets")
 	out := fs.String("out", "results", "CSV output directory (empty to disable)")
@@ -42,6 +61,8 @@ func run(args []string) error {
 	budget := fs.Duration("budget", 0, "per-cell time budget (0 = mode default)")
 	scale := fs.Int64("scale", 0, "extra dataset scale divisor (0 = mode default; larger = smaller graphs)")
 	archive := fs.String("archive", "", "write raw grid results as JSON to this path")
+	journal := fs.String("journal", "", "checkpoint each completed grid cell to this JSONL journal")
+	resume := fs.String("resume", "", "skip grid cells already recorded in this JSONL journal")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,6 +88,9 @@ func run(args []string) error {
 		cfg.ExtraScale = *scale
 	}
 	cfg.ArchivePath = *archive
+	cfg.JournalPath = *journal
+	cfg.ResumeFrom = *resume
+	cfg.Ctx = ctx
 
 	if names[0] == "list" {
 		fmt.Println("available experiments:")

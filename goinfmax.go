@@ -20,6 +20,8 @@
 package goinfmax
 
 import (
+	"context"
+
 	_ "github.com/sigdata/goinfmax/internal/algo/register" // populate core.Default
 	"github.com/sigdata/goinfmax/internal/core"
 	"github.com/sigdata/goinfmax/internal/datasets"
@@ -50,6 +52,12 @@ type (
 	ParamSearch = core.ParamSearch
 	// Scenario feeds the Fig. 11b decision tree.
 	Scenario = core.Scenario
+	// Journal is the append-only JSONL checkpoint of completed cells used
+	// by interrupted-and-resumed benchmark campaigns.
+	Journal = core.Journal
+	// PanicError is a recovered algorithm panic (Status Panicked) with the
+	// captured stack.
+	PanicError = core.PanicError
 )
 
 // Weight schemes (paper §2.1).
@@ -91,6 +99,12 @@ const (
 	StatusUnsupported = core.Unsupported
 	// StatusFailed means the algorithm returned an unexpected error.
 	StatusFailed = core.Failed
+	// StatusPanicked means the algorithm panicked; the panic was recovered
+	// by the resilience layer and the campaign continued.
+	StatusPanicked = core.Panicked
+	// StatusCancelled means the run was interrupted from outside (context
+	// cancellation / SIGINT) and is eligible for re-execution on resume.
+	StatusCancelled = core.Cancelled
 )
 
 // NewAlgorithm instantiates a registered technique by canonical name:
@@ -120,6 +134,31 @@ func Datasets() []string { return datasets.Names() }
 // Run executes one instrumented benchmark cell (seed selection + decoupled
 // MC spread evaluation).
 func Run(alg Algorithm, g *Graph, cfg RunConfig) Result { return core.Run(alg, g, cfg) }
+
+// RunCtx is Run under an external context: cancellation interrupts the
+// cell cleanly (Status Cancelled), panics are isolated (Status Panicked)
+// and the hard watchdog bounds non-cooperative algorithms (DNF with
+// Result.HardKilled set).
+func RunCtx(ctx context.Context, alg Algorithm, g *Graph, cfg RunConfig) Result {
+	return core.RunCtx(ctx, alg, g, cfg)
+}
+
+// RunSweepCtx runs alg over the k values under ctx, stopping early (with
+// partial results) once ctx is cancelled.
+func RunSweepCtx(ctx context.Context, alg Algorithm, g *Graph, cfg RunConfig, ks []int) []Result {
+	return core.RunSweepCtx(ctx, alg, g, cfg, ks)
+}
+
+// OpenJournal opens (or extends) an append-only JSONL checkpoint journal.
+func OpenJournal(path string) (*Journal, error) { return core.OpenJournal(path) }
+
+// LoadJournal reads a checkpoint journal; a missing file is an empty
+// journal and a truncated trailing line (crash mid-write) is dropped.
+func LoadJournal(path string) ([]Result, error) { return core.LoadJournal(path) }
+
+// JournalIndex maps Result.CellKey → Result for resume lookups, excluding
+// incomplete (Cancelled) cells.
+func JournalIndex(results []Result) map[string]Result { return core.JournalIndex(results) }
 
 // DefaultRunConfig returns the paper-standard cell configuration.
 func DefaultRunConfig(m Model, k int) RunConfig { return core.DefaultRunConfig(m, k) }

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -74,6 +75,157 @@ func TestArchiveFileRoundTrip(t *testing.T) {
 	}
 	if len(out) != 2 {
 		t.Fatalf("%d records", len(out))
+	}
+}
+
+func TestJournalAppendLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs", "grid.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := sampleResults()
+	rs[1].Status = Panicked
+	hk := Result{Algorithm: "SPIN", Dataset: "dblp", Model: weights.IC, K: 5,
+		Status: DNF, HardKilled: true, Err: ErrHardKilled, EstimatedSpread: -1}
+	rs = append(rs, hk)
+	for _, r := range rs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("%d records", len(out))
+	}
+	if out[1].Status != Panicked {
+		t.Fatalf("status %v want Panicked", out[1].Status)
+	}
+	if !out[2].HardKilled || out[2].Status != DNF {
+		t.Fatalf("hard-kill lost: %+v", out[2])
+	}
+
+	// Appending to an existing journal extends it.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(sampleResults()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err = LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("after re-open: %d records, want 4", len(out))
+	}
+}
+
+func TestLoadJournalMissingFileIsEmpty(t *testing.T) {
+	out, err := LoadJournal(filepath.Join(t.TempDir(), "never-written.jsonl"))
+	if err != nil || out != nil {
+		t.Fatalf("missing journal: %v, %v", out, err)
+	}
+}
+
+func TestLoadJournalTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(sampleResults()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: a half-record at the end.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"algorithm":"IMM","data`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadJournal(path)
+	if err != nil {
+		t.Fatalf("truncated tail must be tolerated: %v", err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("%d records, want 1 (tail dropped)", len(out))
+	}
+
+	// But garbage FOLLOWED by more data is corruption, not truncation.
+	f, err = os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\n" + `{"algorithm":"IMM","dataset":"x","model":"IC","status":"OK","k":1,"estimated_spread":-1}` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadJournal(path); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+func TestCellKeyAndJournalIndex(t *testing.T) {
+	base := Result{Algorithm: "IMM", Dataset: "nethept/WC", Model: weights.IC, K: 50, Param: 0.1}
+	same := base
+	keys := map[string]bool{base.CellKey(): true}
+	for _, variant := range []func(*Result){
+		func(r *Result) { r.Algorithm = "TIM+" },
+		func(r *Result) { r.Dataset = "nethept/IC" },
+		func(r *Result) { r.Model = weights.LT },
+		func(r *Result) { r.K = 51 },
+		func(r *Result) { r.Param = 0.2 },
+	} {
+		r := base
+		variant(&r)
+		if keys[r.CellKey()] {
+			t.Fatalf("key collision: %q", r.CellKey())
+		}
+		keys[r.CellKey()] = true
+	}
+	if same.CellKey() != base.CellKey() {
+		t.Fatal("identical cells must share a key")
+	}
+	// Status and measurements do not change identity.
+	done := base
+	done.Status = DNF
+	done.Lookups = 99
+	if done.CellKey() != base.CellKey() {
+		t.Fatal("outcome fields leaked into CellKey")
+	}
+
+	cancelled := base
+	cancelled.K = 99
+	cancelled.Status = Cancelled
+	rerun := base
+	rerun.Status = DNF
+	idx := JournalIndex([]Result{base, cancelled, rerun})
+	if len(idx) != 1 {
+		t.Fatalf("index size %d want 1 (cancelled excluded, later record wins)", len(idx))
+	}
+	if got := idx[base.CellKey()]; got.Status != DNF {
+		t.Fatalf("later record must win, got %v", got.Status)
 	}
 }
 

@@ -16,6 +16,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/sigdata/goinfmax/internal/graph"
@@ -50,6 +51,14 @@ const (
 	Unsupported
 	// Failed means the algorithm returned an unexpected error.
 	Failed
+	// Panicked means the algorithm panicked during seed selection; the
+	// panic was recovered and stack-captured by the resilience layer so
+	// that one broken technique cannot abort a whole benchmark grid.
+	Panicked
+	// Cancelled means the run was interrupted from outside (context
+	// cancellation / SIGINT) before it could finish; the cell is
+	// incomplete and eligible for re-execution on resume.
+	Cancelled
 )
 
 // String renders the status the way the paper's tables do.
@@ -65,6 +74,10 @@ func (s Status) String() string {
 		return "N/A"
 	case Failed:
 		return "Failed"
+	case Panicked:
+		return "Panicked"
+	case Cancelled:
+		return "Cancelled"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -106,6 +119,12 @@ type Context struct {
 	memUsed  int64
 	mem      *metrics.MemSampler
 
+	// cancelCause is set (once) by the watchdog or an external canceller
+	// and surfaced through Check/CheckNow. It is the only Context field
+	// shared between the algorithm goroutine and the supervising runner,
+	// hence the atomic.
+	cancelCause atomic.Pointer[error]
+
 	// Lookups counts algorithm-defined dominant operations (spread
 	// evaluations for CELF/CELF++, paper Appendix C).
 	Lookups int64
@@ -136,15 +155,38 @@ func (c *Context) Check() error {
 	return c.CheckNow()
 }
 
-// CheckNow consults the deadline unconditionally; call it around coarse
-// units of work (a full MC estimate, a snapshot, a scoring round) where the
-// amortized Check would detect exhaustion too late.
+// CheckNow consults the deadline and the cancel flag unconditionally; call
+// it around coarse units of work (a full MC estimate, a snapshot, a scoring
+// round) where the amortized Check would detect exhaustion too late.
 func (c *Context) CheckNow() error {
+	if err := c.CancelErr(); err != nil {
+		return err
+	}
 	if c.memLimit > 0 && c.memUsed > c.memLimit {
 		return ErrMemory
 	}
 	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
 		return ErrBudget
+	}
+	return nil
+}
+
+// Cancel asynchronously marks the context cancelled with the given cause;
+// subsequent Check/CheckNow calls return it. A nil cause means ErrCancelled.
+// The first cause wins; later calls are no-ops. Safe to call from any
+// goroutine — the watchdog and SIGINT paths use it to stop a cooperative
+// algorithm that is still polling.
+func (c *Context) Cancel(cause error) {
+	if cause == nil {
+		cause = ErrCancelled
+	}
+	c.cancelCause.CompareAndSwap(nil, &cause)
+}
+
+// CancelErr returns the cancellation cause, or nil when not cancelled.
+func (c *Context) CancelErr() error {
+	if p := c.cancelCause.Load(); p != nil {
+		return *p
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -64,6 +65,16 @@ func (c ParamChoice) String() string {
 // chosen value. Algorithms without an external parameter return a zero
 // choice immediately (LDAG, IRIE, SIMPATH — paper §5.1.1).
 func (ps ParamSearch) Search(alg Algorithm, g *graph.Graph) ParamChoice {
+	return ps.SearchCtx(context.Background(), alg, g)
+}
+
+// SearchCtx is Search under an external context: cancelling stdctx stops
+// the sweep after the probe in flight, and the choice falls back to the
+// best information gathered so far (or the default when nothing completed).
+func (ps ParamSearch) SearchCtx(stdctx context.Context, alg Algorithm, g *graph.Graph) ParamChoice {
+	if stdctx == nil {
+		stdctx = context.Background()
+	}
 	choice := ParamChoice{
 		Algorithm: alg.Name(),
 		Model:     ps.Config.Model,
@@ -92,18 +103,27 @@ func (ps ParamSearch) Search(alg Algorithm, g *graph.Graph) ParamChoice {
 	}
 	var sweeps []atLargest
 	for _, v := range choice.Param.Spectrum {
+		if stdctx.Err() != nil {
+			break
+		}
 		entry := atLargest{value: v}
 		for _, k := range ks {
 			cfg := ps.Config
 			cfg.K = k
 			cfg.ParamValue = v
-			res := Run(alg, g, cfg)
+			res := RunCtx(stdctx, alg, g, cfg)
 			choice.Probes = append(choice.Probes, ParamProbe{Value: v, K: k, Result: res})
 			if k == largestK {
 				entry.spread = res.Spread.Mean
 				entry.sd = res.Spread.SD
 				entry.time = res.SelectionTime
 				entry.ok = res.Status == OK
+			}
+			if res.Status == DNF || res.Status == Crashed || res.Status == Panicked || res.Status == Cancelled {
+				// Larger k will not fare better under the same budgets —
+				// the same early break the grid applies (and cancellation
+				// invalidates the rest of the sweep outright).
+				break
 			}
 		}
 		sweeps = append(sweeps, entry)
@@ -128,14 +148,21 @@ func (ps ParamSearch) Search(alg Algorithm, g *graph.Graph) ParamChoice {
 	choice.BestSpread = sweeps[best].spread
 	choice.BestSD = sweeps[best].sd
 
-	// Cheapest value within one sd* of μ*.
+	// Cheapest value within one sd* of μ*. Sub-millisecond running-time
+	// differences are scheduler noise, not signal: on such an effective
+	// tie the later spectrum value (less accurate, hence the cheaper
+	// parameter setting) wins.
+	const timeNoise = time.Millisecond
 	threshold := choice.BestSpread - choice.BestSD
 	chosen := best
 	for i, s := range sweeps {
 		if !s.ok || s.spread < threshold {
 			continue
 		}
-		if s.time < sweeps[chosen].time {
+		switch {
+		case i > chosen && s.time < sweeps[chosen].time+timeNoise:
+			chosen = i
+		case s.time < sweeps[chosen].time:
 			chosen = i
 		}
 	}
@@ -158,6 +185,14 @@ func Converged(spreadAlpha1, spreadAlphaI, tol float64) bool {
 // direct transcription of Alg. 3's outer loop. It is cheaper than Search
 // (no per-k sweep) and is used by the quickstart path.
 func (ps ParamSearch) SearchDescending(alg Algorithm, g *graph.Graph, tol float64) ParamChoice {
+	return ps.SearchDescendingCtx(context.Background(), alg, g, tol)
+}
+
+// SearchDescendingCtx is SearchDescending under an external context.
+func (ps ParamSearch) SearchDescendingCtx(stdctx context.Context, alg Algorithm, g *graph.Graph, tol float64) ParamChoice {
+	if stdctx == nil {
+		stdctx = context.Background()
+	}
 	choice := ParamChoice{
 		Algorithm: alg.Name(),
 		Model:     ps.Config.Model,
@@ -167,16 +202,21 @@ func (ps ParamSearch) SearchDescending(alg Algorithm, g *graph.Graph, tol float6
 		return choice
 	}
 	var spreadAlpha1 float64
+	alpha1OK := false
 	lastGood := choice.Param.Spectrum[0]
 	for i, v := range choice.Param.Spectrum {
+		if stdctx.Err() != nil {
+			break
+		}
 		cfg := ps.Config
 		cfg.ParamValue = v
-		res := Run(alg, g, cfg)
+		res := RunCtx(stdctx, alg, g, cfg)
 		choice.Probes = append(choice.Probes, ParamProbe{Value: v, K: cfg.K, Result: res})
 		if res.Status != OK {
 			break
 		}
 		if i == 0 {
+			alpha1OK = true
 			spreadAlpha1 = res.Spread.Mean
 			choice.BestValue = v
 			choice.BestSpread = res.Spread.Mean
@@ -187,6 +227,14 @@ func (ps ParamSearch) SearchDescending(alg Algorithm, g *graph.Graph, tol float6
 			break
 		}
 		lastGood = v
+	}
+	if !alpha1OK {
+		// The most accurate value α1 itself DNF'd/crashed: there is no
+		// convergence reference, and recommending Spectrum[0] would
+		// recommend the very setting that just failed. Fall back to the
+		// author default, as Search does when nothing completes.
+		choice.Optimal = choice.Param.Default
+		return choice
 	}
 	choice.Optimal = lastGood
 	return choice

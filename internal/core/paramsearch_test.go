@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// paramStub is a stub algorithm with an external parameter whose per-probe
+// behavior is scripted by fail.
+func paramStub(spectrum []float64, def float64, fail func(value float64, k int) error) stubAlgo {
+	return stubAlgo{
+		name:  "paramstub",
+		param: Param{Name: "knob", Spectrum: spectrum, Default: def},
+		selectFn: func(ctx *Context) ([]graph.NodeID, error) {
+			if err := fail(ctx.ParamValue, ctx.K); err != nil {
+				return nil, err
+			}
+			return firstK(ctx)
+		},
+	}
+}
+
+// The α1 probe failing must fall back to the author default — returning
+// Spectrum[0] would recommend the very setting that just DNF'd.
+func TestSearchDescendingAlpha1FailureFallsBackToDefault(t *testing.T) {
+	g := chainGraph(20, 1)
+	alg := paramStub([]float64{1000, 100, 10}, 100, func(v float64, k int) error {
+		if v == 1000 {
+			return ErrBudget // the most accurate value DNFs
+		}
+		return nil
+	})
+	ps := ParamSearch{Config: RunConfig{K: 3, Model: weights.IC, EvalSims: 20}}
+	choice := ps.SearchDescending(alg, g, 0.05)
+	if choice.Optimal != 100 {
+		t.Fatalf("Optimal %g want Default 100 (α1 DNF'd)", choice.Optimal)
+	}
+	if len(choice.Probes) != 1 {
+		t.Fatalf("%d probes want 1 (sweep stops at the failed α1)", len(choice.Probes))
+	}
+}
+
+func TestSearchDescendingStillConverges(t *testing.T) {
+	g := chainGraph(20, 1)
+	alg := paramStub([]float64{1000, 100, 10}, 100, func(float64, int) error { return nil })
+	ps := ParamSearch{Config: RunConfig{K: 3, Model: weights.IC, EvalSims: 20}}
+	// p=1 chain: every value yields identical spread, so the cheapest
+	// (last) value converges.
+	choice := ps.SearchDescending(alg, g, 0.05)
+	if choice.Optimal != 10 {
+		t.Fatalf("Optimal %g want 10", choice.Optimal)
+	}
+}
+
+// Once a probe DNFs at some k, larger k cannot fare better under the same
+// budgets: the remaining k values for that parameter value are skipped.
+func TestSearchStopsProbingLargerKAfterDNF(t *testing.T) {
+	g := chainGraph(20, 1)
+	alg := paramStub([]float64{2, 1}, 1, func(v float64, k int) error {
+		if v == 2 && k >= 2 {
+			return ErrBudget
+		}
+		return nil
+	})
+	ps := ParamSearch{
+		Ks:     []int{1, 2, 3},
+		Config: RunConfig{Model: weights.IC, EvalSims: 20},
+	}
+	choice := ps.Search(alg, g)
+	// Value 2: probes k=1 (OK) and k=2 (DNF), skips k=3. Value 1: all
+	// three ks complete.
+	var v2 int
+	for _, p := range choice.Probes {
+		if p.Value == 2 {
+			v2++
+		}
+	}
+	if v2 != 2 {
+		t.Fatalf("value 2 probed %d times, want 2 (early break after DNF)", v2)
+	}
+	if len(choice.Probes) != 5 {
+		t.Fatalf("%d probes total, want 5", len(choice.Probes))
+	}
+	if choice.Optimal != 1 {
+		t.Fatalf("Optimal %g want 1 (the only value completing the largest k)", choice.Optimal)
+	}
+}
+
+func TestSearchAllFailedFallsBackToDefault(t *testing.T) {
+	g := chainGraph(20, 1)
+	alg := paramStub([]float64{2, 1}, 7, func(float64, int) error { return ErrBudget })
+	ps := ParamSearch{Config: RunConfig{K: 2, Model: weights.IC, EvalSims: 10}}
+	choice := ps.Search(alg, g)
+	if choice.Optimal != 7 {
+		t.Fatalf("Optimal %g want Default 7", choice.Optimal)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+)
+
+// Resilience layer
+//
+// The paper's headline outcomes (Table 3) are FAILURE outcomes — DNF after
+// 40 hours, "Crashed" on memory exhaustion — so the harness must survive
+// its subjects' worst behavior. Budget enforcement via Context.Check is
+// cooperative: an algorithm that panics, or that never polls, would take
+// the whole benchmark grid down with it. This file adds the supervising
+// side: Select runs in its own goroutine so a panic is recovered and
+// classified (Panicked), a hard watchdog enforces the time budget even
+// against non-cooperative algorithms (DNF with Result.HardKilled set), and
+// an external context.Context cancels a campaign cleanly (Cancelled).
+
+var (
+	// ErrCancelled reports that the run was interrupted from outside
+	// (context cancellation / SIGINT) rather than by a budget.
+	ErrCancelled = errors.New("core: run cancelled")
+	// ErrHardKilled reports that the hard watchdog abandoned a seed
+	// selection that overran the time budget without ever observing it.
+	// It wraps ErrBudget so the outcome still classifies as DNF.
+	ErrHardKilled = fmt.Errorf("core: hard watchdog deadline exceeded, cell abandoned: %w", ErrBudget)
+)
+
+// PanicError is a recovered panic from Algorithm.Select, with the stack
+// captured at the panic site. Run classifies it as the Panicked status.
+type PanicError struct {
+	Value interface{} // the value passed to panic()
+	Stack []byte      // debug.Stack() captured inside the recovering goroutine
+}
+
+// Error renders the panic value; the stack is available on the field.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: algorithm panicked: %v", e.Value)
+}
+
+// selectOutcome is what guardedSelect delivers back to the runner.
+type selectOutcome struct {
+	seeds []graph.NodeID
+	err   error
+	// hardKilled means the Select goroutine was abandoned mid-flight; its
+	// Context instrumentation must not be read (the goroutine may still be
+	// mutating it).
+	hardKilled bool
+}
+
+// hardDeadline derives the watchdog budget: the explicit HardBudget when
+// set, otherwise twice the cooperative budget (never less than it).
+func hardDeadline(cfg RunConfig) time.Duration {
+	if cfg.TimeBudget <= 0 {
+		return 0 // unlimited: no watchdog
+	}
+	hard := cfg.HardBudget
+	if hard <= 0 {
+		hard = 2 * cfg.TimeBudget
+	}
+	if hard < cfg.TimeBudget {
+		hard = cfg.TimeBudget
+	}
+	return hard
+}
+
+// killGrace is how long a just-cancelled algorithm gets to observe the
+// cancel flag (through Check/CheckNow) and return on its own before the
+// cell is abandoned: a quarter of the time budget, clamped to [20ms, 2s].
+func killGrace(cfg RunConfig) time.Duration {
+	g := cfg.TimeBudget / 4
+	if g < 20*time.Millisecond {
+		g = 20 * time.Millisecond
+	}
+	if g > 2*time.Second {
+		g = 2 * time.Second
+	}
+	return g
+}
+
+// guardedSelect runs alg.Select supervised: in its own goroutine (panic
+// isolation), under the hard watchdog (budget enforcement against
+// non-cooperative algorithms) and under stdctx (external cancellation).
+//
+// When the watchdog or stdctx fires, the Context cancel flag is set first
+// so that an algorithm which still polls Check can return promptly; only
+// after killGrace expires is the cell abandoned. An abandoned goroutine
+// cannot be forcibly stopped in Go — it is leaked until it next polls the
+// cancel flag (or the process exits), which is exactly the paper's DNF
+// contract: the cell is recorded lost and the campaign moves on.
+func guardedSelect(stdctx context.Context, ctx *Context, alg Algorithm, cfg RunConfig) selectOutcome {
+	done := make(chan selectOutcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- selectOutcome{err: &PanicError{Value: r, Stack: debug.Stack()}}
+			}
+		}()
+		seeds, err := alg.Select(ctx)
+		done <- selectOutcome{seeds: seeds, err: err}
+	}()
+
+	var watchdog <-chan time.Time
+	if hard := hardDeadline(cfg); hard > 0 {
+		timer := time.NewTimer(hard)
+		defer timer.Stop()
+		watchdog = timer.C
+	}
+
+	select {
+	case o := <-done:
+		return o
+	case <-stdctx.Done():
+		ctx.Cancel(ErrCancelled)
+		return awaitOrAbandon(done, killGrace(cfg), ErrCancelled)
+	case <-watchdog:
+		ctx.Cancel(ErrHardKilled)
+		return awaitOrAbandon(done, killGrace(cfg), ErrHardKilled)
+	}
+}
+
+// awaitOrAbandon gives the cancelled Select goroutine grace to finish
+// cooperatively; past that the cell is abandoned with cause.
+func awaitOrAbandon(done <-chan selectOutcome, grace time.Duration, cause error) selectOutcome {
+	timer := time.NewTimer(grace)
+	defer timer.Stop()
+	select {
+	case o := <-done:
+		return o
+	case <-timer.C:
+		return selectOutcome{err: cause, hardKilled: true}
+	}
+}

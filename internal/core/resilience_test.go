@@ -1,0 +1,256 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// The adversarial algorithms of the resilience layer's threat model: one
+// that panics, one that busy-loops without ever polling ctx.Check, and one
+// that allocates past the memory cap. A robust harness classifies each
+// (Panicked / DNF via the hard watchdog / Crashed) while the surrounding
+// sweep completes.
+
+// panicker panics partway through selection.
+func panicker() stubAlgo {
+	return stubAlgo{name: "panicker", selectFn: func(ctx *Context) ([]graph.NodeID, error) {
+		panic("deliberate test panic")
+	}}
+}
+
+// spinner busy-loops forever without ever calling ctx.Check. stop is the
+// test's own kill switch so the abandoned goroutine does not burn CPU for
+// the rest of the test binary; the harness never touches it.
+func spinner(stop *atomic.Bool) stubAlgo {
+	return stubAlgo{name: "spinner", selectFn: func(ctx *Context) ([]graph.NodeID, error) {
+		for !stop.Load() {
+		}
+		return nil, errors.New("spinner released")
+	}}
+}
+
+// glutton accounts allocations far past any memory cap, polling Check as a
+// well-behaved algorithm would.
+func glutton() stubAlgo {
+	return stubAlgo{name: "glutton", selectFn: func(ctx *Context) ([]graph.NodeID, error) {
+		for {
+			ctx.Account(128 << 20)
+			if err := ctx.Check(); err != nil {
+				return nil, err
+			}
+		}
+	}}
+}
+
+func TestRunPanicked(t *testing.T) {
+	g := chainGraph(10, 1)
+	res := Run(panicker(), g, RunConfig{K: 2, Model: weights.IC, EvalSims: 10})
+	if res.Status != Panicked {
+		t.Fatalf("status %v want Panicked", res.Status)
+	}
+	var pe *PanicError
+	if !errors.As(res.Err, &pe) {
+		t.Fatalf("err %T want *PanicError", res.Err)
+	}
+	if pe.Value != "deliberate test panic" {
+		t.Fatalf("panic value %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic stack not captured")
+	}
+	if res.HardKilled {
+		t.Fatal("recovered panic must not be marked HardKilled")
+	}
+	if res.Status.String() != "Panicked" {
+		t.Fatalf("status string %q", res.Status)
+	}
+}
+
+func TestWatchdogHardKillsNonCooperative(t *testing.T) {
+	g := chainGraph(10, 1)
+	var stop atomic.Bool
+	defer stop.Store(true) // release the abandoned goroutine
+	start := time.Now()
+	res := Run(spinner(&stop), g, RunConfig{K: 2, Model: weights.IC, TimeBudget: 30 * time.Millisecond})
+	if res.Status != DNF {
+		t.Fatalf("status %v want DNF", res.Status)
+	}
+	if !res.HardKilled {
+		t.Fatal("watchdog kill must set HardKilled")
+	}
+	if !errors.Is(res.Err, ErrBudget) {
+		t.Fatalf("err %v must wrap ErrBudget", res.Err)
+	}
+	// 30ms budget → 60ms hard deadline → +20ms grace. Anything near a
+	// second means the watchdog did not fire.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("watchdog took %v", elapsed)
+	}
+}
+
+func TestHardBudgetOverride(t *testing.T) {
+	g := chainGraph(10, 1)
+	var stop atomic.Bool
+	defer stop.Store(true)
+	cfg := RunConfig{K: 2, Model: weights.IC, TimeBudget: 20 * time.Millisecond, HardBudget: 40 * time.Millisecond}
+	res := Run(spinner(&stop), g, cfg)
+	if res.Status != DNF || !res.HardKilled {
+		t.Fatalf("status %v hardKilled %v", res.Status, res.HardKilled)
+	}
+}
+
+func TestAdversarialAllocatorCrashes(t *testing.T) {
+	g := chainGraph(10, 1)
+	res := Run(glutton(), g, RunConfig{K: 2, Model: weights.IC, MemBudgetBytes: 256 << 20})
+	if res.Status != Crashed {
+		t.Fatalf("status %v want Crashed", res.Status)
+	}
+	if !errors.Is(res.Err, ErrMemory) {
+		t.Fatalf("err %v", res.Err)
+	}
+	if res.HardKilled {
+		t.Fatal("cooperative crash must not be HardKilled")
+	}
+}
+
+// TestSweepSurvivesAdversaries is the acceptance scenario: a sweep
+// containing a panicking, a non-cooperative and a memory-hungry algorithm
+// classifies each cell and still completes the remaining cells.
+func TestSweepSurvivesAdversaries(t *testing.T) {
+	g := chainGraph(10, 1)
+	var stop atomic.Bool
+	defer stop.Store(true)
+	good := stubAlgo{name: "good", selectFn: firstK}
+	algos := []Algorithm{panicker(), spinner(&stop), glutton(), good}
+	want := []Status{Panicked, DNF, Crashed, OK}
+
+	cfg := RunConfig{
+		K: 2, Model: weights.IC, EvalSims: 20,
+		TimeBudget:     30 * time.Millisecond,
+		MemBudgetBytes: 256 << 20,
+	}
+	for i, alg := range algos {
+		res := Run(alg, g, cfg)
+		if res.Status != want[i] {
+			t.Fatalf("cell %d (%s): status %v want %v (err %v)", i, alg.Name(), res.Status, want[i], res.Err)
+		}
+	}
+}
+
+func TestRunCtxPreCancelled(t *testing.T) {
+	g := chainGraph(10, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	alg := stubAlgo{name: "nope", selectFn: func(*Context) ([]graph.NodeID, error) {
+		called = true
+		return firstK(&Context{K: 2})
+	}}
+	res := RunCtx(ctx, alg, g, RunConfig{K: 2, Model: weights.IC})
+	if res.Status != Cancelled {
+		t.Fatalf("status %v want Cancelled", res.Status)
+	}
+	if called {
+		t.Fatal("Select ran under a pre-cancelled context")
+	}
+}
+
+func TestRunCtxCooperativeCancel(t *testing.T) {
+	g := chainGraph(10, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	// A cooperative algorithm: polls CheckNow each iteration and returns
+	// whatever budget error it observes.
+	alg := stubAlgo{name: "poller", selectFn: func(c *Context) ([]graph.NodeID, error) {
+		for {
+			time.Sleep(time.Millisecond)
+			if err := c.CheckNow(); err != nil {
+				return nil, err
+			}
+		}
+	}}
+	res := RunCtx(ctx, alg, g, RunConfig{K: 2, Model: weights.IC, TimeBudget: 10 * time.Second})
+	if res.Status != Cancelled {
+		t.Fatalf("status %v (err %v) want Cancelled", res.Status, res.Err)
+	}
+	if res.HardKilled {
+		t.Fatal("cooperative cancellation must not be HardKilled")
+	}
+}
+
+func TestRunCtxEvalCancelled(t *testing.T) {
+	g := chainGraph(10, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	// Selection succeeds but cancels the campaign before evaluation: the
+	// cell must come back Cancelled (incomplete), not OK.
+	alg := stubAlgo{name: "selfcancel", selectFn: func(c *Context) ([]graph.NodeID, error) {
+		cancel()
+		return firstK(c)
+	}}
+	res := RunCtx(ctx, alg, g, RunConfig{K: 2, Model: weights.IC, EvalSims: 500})
+	if res.Status != Cancelled {
+		t.Fatalf("status %v want Cancelled", res.Status)
+	}
+}
+
+func TestContextCancelFirstCauseWins(t *testing.T) {
+	ctx := NewContext(chainGraph(3, 1), weights.IC, 1, 1)
+	if ctx.CancelErr() != nil {
+		t.Fatal("fresh context already cancelled")
+	}
+	ctx.Cancel(ErrHardKilled)
+	ctx.Cancel(ErrCancelled)
+	if err := ctx.CancelErr(); !errors.Is(err, ErrHardKilled) {
+		t.Fatalf("cause %v want first (ErrHardKilled)", err)
+	}
+	if err := ctx.CheckNow(); !errors.Is(err, ErrBudget) {
+		t.Fatalf("CheckNow %v must surface the cancel cause (wrapping ErrBudget)", err)
+	}
+	// The amortized Check observes it within a cadence window too.
+	hit := false
+	for i := 0; i < 128; i++ {
+		if err := ctx.Check(); err != nil {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		t.Fatal("Check never surfaced the cancel flag")
+	}
+}
+
+func TestContextCancelNilCause(t *testing.T) {
+	ctx := NewContext(chainGraph(3, 1), weights.IC, 1, 1)
+	ctx.Cancel(nil)
+	if err := ctx.CancelErr(); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("nil cause %v want ErrCancelled", err)
+	}
+}
+
+func TestRunSweepCtxStopsOnCancel(t *testing.T) {
+	g := chainGraph(10, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var runs atomic.Int32
+	alg := stubAlgo{name: "counting", selectFn: func(c *Context) ([]graph.NodeID, error) {
+		if runs.Add(1) == 2 {
+			cancel()
+		}
+		return firstK(c)
+	}}
+	results := RunSweepCtx(ctx, alg, g, RunConfig{Model: weights.IC}, []int{1, 2, 3, 4})
+	if n := runs.Load(); n != 2 {
+		t.Fatalf("%d cells ran, want 2", n)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results, want 2", len(results))
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -23,6 +24,11 @@ type RunConfig struct {
 	// TimeBudget bounds seed selection (0 = unlimited). Reproduces the
 	// paper's 40 h / 2400 h DNF cutoffs at laptop scale.
 	TimeBudget time.Duration
+	// HardBudget is the watchdog deadline enforced even against an
+	// algorithm that never polls Context.Check: past it the cell is
+	// abandoned and recorded DNF with Result.HardKilled set. 0 derives
+	// 2×TimeBudget; it only applies when TimeBudget > 0.
+	HardBudget time.Duration
 	// MemBudgetBytes bounds algorithm-accounted memory (0 = unlimited).
 	// Reproduces the paper's 256 GB "Crashed" outcomes at laptop scale.
 	MemBudgetBytes int64
@@ -50,6 +56,10 @@ type Result struct {
 	Param     float64
 	Status    Status
 	Err       error
+	// HardKilled means the watchdog abandoned the selection goroutine
+	// (non-cooperative budget overrun); instrumentation fields
+	// (PeakMemBytes, Lookups) are unreliable for such cells and left zero.
+	HardKilled bool
 
 	Seeds []graph.NodeID
 	// Spread is the decoupled MC evaluation σ(S) (paper §5.1); zero-valued
@@ -85,6 +95,16 @@ func (r Result) String() string {
 // the decoupled uniform spread evaluation. It never panics on budget
 // exhaustion; DNF/Crashed outcomes are reported in Result.Status.
 func Run(alg Algorithm, g *graph.Graph, cfg RunConfig) Result {
+	return RunCtx(context.Background(), alg, g, cfg)
+}
+
+// RunCtx is Run under an external context: cancelling stdctx interrupts
+// both seed selection (via the Context cancel flag, then abandonment) and
+// the spread evaluation, yielding the Cancelled status. Selection runs
+// supervised (see guardedSelect): panics become Panicked, and the hard
+// watchdog turns non-cooperative budget overruns into DNF cells with
+// HardKilled set instead of hanging the campaign.
+func RunCtx(stdctx context.Context, alg Algorithm, g *graph.Graph, cfg RunConfig) Result {
 	res := Result{
 		Algorithm:       alg.Name(),
 		Dataset:         g.Name(),
@@ -100,6 +120,14 @@ func Run(alg Algorithm, g *graph.Graph, cfg RunConfig) Result {
 	if cfg.K <= 0 || int32(cfg.K) > g.N() {
 		res.Status = Failed
 		res.Err = fmt.Errorf("core: invalid k=%d for n=%d", cfg.K, g.N())
+		return res
+	}
+	if stdctx == nil {
+		stdctx = context.Background()
+	}
+	if stdctx.Err() != nil {
+		res.Status = Cancelled
+		res.Err = ErrCancelled
 		return res
 	}
 
@@ -119,31 +147,46 @@ func Run(alg Algorithm, g *graph.Graph, cfg RunConfig) Result {
 	}
 
 	sw := metrics.Start()
-	seeds, err := alg.Select(ctx)
+	o := guardedSelect(stdctx, ctx, alg, cfg)
 	res.SelectionTime = sw.Elapsed()
-	res.PeakMemBytes = mem.PeakBytes()
-	res.Lookups = ctx.Lookups
-	res.EstimatedSpread = ctx.EstimatedSpread
+	if o.hardKilled {
+		// The abandoned goroutine may still be mutating ctx and mem;
+		// reading the instrumentation here would race. Leave it zero.
+		res.HardKilled = true
+	} else {
+		res.PeakMemBytes = mem.PeakBytes()
+		res.Lookups = ctx.Lookups
+		res.EstimatedSpread = ctx.EstimatedSpread
+	}
 
+	var panicErr *PanicError
 	switch {
-	case err == nil:
+	case o.err == nil:
 		res.Status = OK
-		res.Seeds = seeds
-	case errors.Is(err, ErrBudget):
+		res.Seeds = o.seeds
+	case errors.Is(o.err, ErrBudget):
 		res.Status = DNF
-		res.Err = err
+		res.Err = o.err
 		return res
-	case errors.Is(err, ErrMemory):
+	case errors.Is(o.err, ErrMemory):
 		res.Status = Crashed
-		res.Err = err
+		res.Err = o.err
+		return res
+	case errors.Is(o.err, ErrCancelled):
+		res.Status = Cancelled
+		res.Err = o.err
+		return res
+	case errors.As(o.err, &panicErr):
+		res.Status = Panicked
+		res.Err = o.err
 		return res
 	default:
 		res.Status = Failed
-		res.Err = err
+		res.Err = o.err
 		return res
 	}
 
-	if err := validateSeeds(seeds, cfg.K, g.N()); err != nil {
+	if err := validateSeeds(o.seeds, cfg.K, g.N()); err != nil {
 		res.Status = Failed
 		res.Err = err
 		return res
@@ -151,8 +194,16 @@ func Run(alg Algorithm, g *graph.Graph, cfg RunConfig) Result {
 
 	if cfg.EvalSims > 0 {
 		sw = metrics.Start()
-		res.Spread = diffusion.EstimateSpreadParallel(g, cfg.Model, seeds, cfg.EvalSims, cfg.Seed^0x5eed, cfg.EvalWorkers)
+		est, err := diffusion.EstimateSpreadParallelCtx(stdctx, g, cfg.Model, o.seeds, cfg.EvalSims, cfg.Seed^0x5eed, cfg.EvalWorkers)
 		res.EvalTime = sw.Elapsed()
+		if err != nil {
+			// Selection finished but the evaluation was interrupted: the
+			// cell is incomplete and must be re-run on resume.
+			res.Status = Cancelled
+			res.Err = ErrCancelled
+			return res
+		}
+		res.Spread = est
 	}
 	return res
 }
@@ -177,11 +228,24 @@ func validateSeeds(seeds []graph.NodeID, k int, n int32) error {
 // RunSweep runs the same algorithm over a range of k values, reusing the
 // configuration. Paper Figs. 6–8 sweep k ∈ {1, 25, 50, …, 200}.
 func RunSweep(alg Algorithm, g *graph.Graph, cfg RunConfig, ks []int) []Result {
+	return RunSweepCtx(context.Background(), alg, g, cfg, ks)
+}
+
+// RunSweepCtx is RunSweep under an external context: once stdctx is
+// cancelled the remaining k values are skipped and the partial results
+// returned, so an interrupted campaign keeps what it has.
+func RunSweepCtx(stdctx context.Context, alg Algorithm, g *graph.Graph, cfg RunConfig, ks []int) []Result {
+	if stdctx == nil {
+		stdctx = context.Background()
+	}
 	out := make([]Result, 0, len(ks))
 	for _, k := range ks {
+		if stdctx.Err() != nil {
+			break
+		}
 		c := cfg
 		c.K = k
-		out = append(out, Run(alg, g, c))
+		out = append(out, RunCtx(stdctx, alg, g, c))
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package diffusion
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -18,6 +19,18 @@ import (
 // 10K-simulation evaluation to neither algorithm (paper §5.1); this parallel
 // estimator keeps that evaluation fast without perturbing the benchmarks.
 func EstimateSpreadParallel(g *graph.Graph, model weights.Model, seeds []graph.NodeID, r int, seed uint64, workers int) Estimate {
+	est, _ := EstimateSpreadParallelCtx(context.Background(), g, model, seeds, r, seed, workers)
+	return est
+}
+
+// EstimateSpreadParallelCtx is EstimateSpreadParallel under an external
+// context: workers poll ctx between simulations and abort promptly once it
+// is cancelled, returning a zero Estimate and ctx's error. An uncancelled
+// run returns exactly what EstimateSpreadParallel would.
+func EstimateSpreadParallelCtx(ctx context.Context, g *graph.Graph, model weights.Model, seeds []graph.NodeID, r int, seed uint64, workers int) (Estimate, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if r <= 0 {
 		r = 1
 	}
@@ -27,8 +40,9 @@ func EstimateSpreadParallel(g *graph.Graph, model weights.Model, seeds []graph.N
 	if workers > r {
 		workers = r
 	}
-	if workers == 1 {
-		return NewSimulator(g, model).EstimateSpread(seeds, r, seed)
+	done := ctx.Done()
+	if workers == 1 && done == nil {
+		return NewSimulator(g, model).EstimateSpread(seeds, r, seed), nil
 	}
 
 	// Pre-derive the per-run streams so that parallel and sequential runs
@@ -37,6 +51,22 @@ func EstimateSpreadParallel(g *graph.Graph, model weights.Model, seeds []graph.N
 	runSeeds := make([]uint64, r)
 	for i := range runSeeds {
 		runSeeds[i] = base.Uint64()
+	}
+
+	if workers == 1 {
+		sim := NewSimulator(g, model)
+		var sum, sumSq float64
+		for i := 0; i < r; i++ {
+			select {
+			case <-done:
+				return Estimate{}, ctx.Err()
+			default:
+			}
+			sp := float64(sim.Run(seeds, rng.New(runSeeds[i])))
+			sum += sp
+			sumSq += sp * sp
+		}
+		return finishEstimate(sum, sumSq, r), nil
 	}
 
 	type partial struct{ sum, sumSq float64 }
@@ -58,6 +88,11 @@ func EstimateSpreadParallel(g *graph.Graph, model weights.Model, seeds []graph.N
 			sim := NewSimulator(g, model)
 			var sum, sumSq float64
 			for i := lo; i < hi; i++ {
+				select {
+				case <-done:
+					return // partial sums discarded below via ctx.Err()
+				default:
+				}
 				sp := float64(sim.Run(seeds, rng.New(runSeeds[i])))
 				sum += sp
 				sumSq += sp * sp
@@ -66,12 +101,15 @@ func EstimateSpreadParallel(g *graph.Graph, model weights.Model, seeds []graph.N
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, err
+	}
 	var sum, sumSq float64
 	for _, p := range parts {
 		sum += p.sum
 		sumSq += p.sumSq
 	}
-	return finishEstimate(sum, sumSq, r)
+	return finishEstimate(sum, sumSq, r), nil
 }
 
 // MarginalGain estimates σ(S ∪ {v}) − σ(S) with r paired simulations: each

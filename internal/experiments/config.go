@@ -10,11 +10,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"path/filepath"
 	"time"
 
+	"github.com/sigdata/goinfmax/internal/core"
 	"github.com/sigdata/goinfmax/internal/metrics"
 )
 
@@ -41,6 +43,22 @@ type Config struct {
 	// ArchivePath, when set, receives the raw grid results as JSON (see
 	// core.WriteArchive) for cross-run comparison.
 	ArchivePath string
+	// Ctx cancels a long campaign cleanly (SIGINT plumbing); nil means
+	// context.Background(). Grid experiments stop between cells, flush the
+	// journal and return core.ErrCancelled-wrapped errors.
+	Ctx context.Context
+	// JournalPath, when set, appends every completed grid cell to this
+	// JSONL checkpoint journal (see core.Journal) so an interrupted sweep
+	// loses at most the cell in flight.
+	JournalPath string
+	// ResumeFrom, when set, loads this journal before the grid runs and
+	// skips every cell already recorded there, splicing the journaled
+	// results into the output. Point it at the same file as JournalPath to
+	// make a campaign restartable in place.
+	ResumeFrom string
+	// OnCell, when set, observes each freshly-executed grid cell (journal
+	// hits are not reported). Used by progress displays and tests.
+	OnCell func(core.Result)
 	// W receives rendered text tables (nil discards).
 	W io.Writer
 	// MCSims is the simulation-count parameter used for the MC-estimation
@@ -79,6 +97,14 @@ func Standard() Config {
 		MemBudget:  4 << 30,
 		MCSims:     50,
 	}
+}
+
+// context returns cfg.Ctx, defaulting to context.Background().
+func (cfg Config) context() context.Context {
+	if cfg.Ctx != nil {
+		return cfg.Ctx
+	}
+	return context.Background()
 }
 
 // logf writes a progress line to cfg.W (no-op when W is nil). Long

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/graph"
 	"github.com/sigdata/goinfmax/internal/metrics"
 )
 
@@ -32,16 +34,47 @@ type gridKey struct {
 	evalSims int
 	scale    int64
 	ksLen    int
+	journal  string
+	resume   string
 }
 
 var gridCache sync.Map
 
 // gridResults runs (or returns the cached) full benchmark grid.
+//
+// Resilience: each cell runs under cfg.Ctx through core.RunCtx — a
+// panicking technique is recorded Panicked, a non-cooperative one is
+// hard-killed to DNF — and the sweep continues with the next cell. When
+// cfg.JournalPath is set every completed cell is checkpointed; when
+// cfg.ResumeFrom is set, cells already journaled are spliced in without
+// re-running. On cancellation the partial results are returned alongside
+// an error wrapping core.ErrCancelled.
 func gridResults(cfg Config) ([]core.Result, error) {
-	key := gridKey{cfg.Seed, cfg.EvalSims, cfg.ExtraScale, len(cfg.Ks)}
+	key := gridKey{cfg.Seed, cfg.EvalSims, cfg.ExtraScale, len(cfg.Ks), cfg.JournalPath, cfg.ResumeFrom}
 	if rs, ok := gridCache.Load(key); ok {
 		return rs.([]core.Result), nil
 	}
+
+	ctx := cfg.context()
+	var resume map[string]core.Result
+	if cfg.ResumeFrom != "" {
+		prior, err := core.LoadJournal(cfg.ResumeFrom)
+		if err != nil {
+			return nil, err
+		}
+		resume = core.JournalIndex(prior)
+		cfg.logf("grid resume: %d completed cells loaded from %s", len(resume), cfg.ResumeFrom)
+	}
+	var journal *core.Journal
+	if cfg.JournalPath != "" {
+		var err error
+		journal, err = core.OpenJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		defer journal.Close()
+	}
+
 	var results []core.Result
 	for _, mc := range paperModels() {
 		for _, ds := range gridDatasets {
@@ -59,16 +92,29 @@ func gridResults(cfg Config) ([]core.Result, error) {
 					continue // paper: CELF/CELF++ DNF beyond HepPh
 				}
 				for _, k := range cfg.Ks {
+					if ctx.Err() != nil {
+						return results, fmt.Errorf("experiments: grid interrupted: %w", core.ErrCancelled)
+					}
 					rc := cfg.cell(mc, k)
 					if mcFamily(name) {
 						rc.ParamValue = cfg.MCSims
 					}
-					res := core.Run(alg, g, rc)
-					res.Dataset = ds // stable label even for shared graphs
-					cfg.logf("grid %s/%s %s k=%d: %s (%v)",
-						ds, mc.Label, name, k, res.Status, res.SelectionTime.Round(time.Millisecond))
-					results = append(results, withModelLabel(res, mc.Label))
-					if res.Status == core.DNF || res.Status == core.Crashed {
+					res, fresh := gridCell(ctx, cfg, alg, g, rc, ds, mc.Label, resume)
+					if res.Status == core.Cancelled {
+						// Interrupted mid-cell: the cell is NOT journaled
+						// and will be re-run on resume.
+						return results, fmt.Errorf("experiments: grid interrupted: %w", core.ErrCancelled)
+					}
+					if fresh && journal != nil {
+						if err := journal.Append(res); err != nil {
+							return results, err
+						}
+					}
+					if fresh && cfg.OnCell != nil {
+						cfg.OnCell(res)
+					}
+					results = append(results, res)
+					if res.Status == core.DNF || res.Status == core.Crashed || res.Status == core.Panicked {
 						break // larger k will not fare better
 					}
 				}
@@ -82,6 +128,21 @@ func gridResults(cfg Config) ([]core.Result, error) {
 		}
 	}
 	return results, nil
+}
+
+// gridCell resolves one cell: from the resume journal when available,
+// otherwise by running it. fresh reports whether the cell was executed.
+func gridCell(ctx context.Context, cfg Config, alg core.Algorithm, g *graph.Graph, rc core.RunConfig, ds, label string, resume map[string]core.Result) (res core.Result, fresh bool) {
+	probe := core.Result{Algorithm: alg.Name(), Dataset: ds + "/" + label, Model: rc.Model, K: rc.K, Param: rc.ParamValue}
+	if prior, ok := resume[probe.CellKey()]; ok {
+		cfg.logf("grid %s/%s %s k=%d: %s (journal)", ds, label, alg.Name(), rc.K, prior.Status)
+		return prior, false
+	}
+	res = core.RunCtx(ctx, alg, g, rc)
+	res.Dataset = ds // stable label even for shared graphs
+	cfg.logf("grid %s/%s %s k=%d: %s (%v)",
+		ds, label, alg.Name(), rc.K, res.Status, res.SelectionTime.Round(time.Millisecond))
+	return withModelLabel(res, label), true
 }
 
 // withModelLabel re-labels Result.Model-derived output with the paper's

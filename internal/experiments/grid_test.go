@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// Adversarial grid algorithms, registered once in the default registry so
+// gridResults can instantiate them by name. advSpinStop is the tests' own
+// kill switch releasing abandoned spinner goroutines; the harness itself
+// never touches it.
+var (
+	advRegister sync.Once
+	advSpinStop atomic.Bool
+)
+
+type advAlgo struct {
+	name     string
+	selectFn func(*core.Context) ([]graph.NodeID, error)
+}
+
+func (a advAlgo) Name() string                   { return a.name }
+func (a advAlgo) Supports(weights.Model) bool    { return true }
+func (a advAlgo) Param(weights.Model) core.Param { return core.Param{} }
+func (a advAlgo) Select(ctx *core.Context) ([]graph.NodeID, error) {
+	return a.selectFn(ctx)
+}
+
+func registerAdversaries() {
+	advRegister.Do(func() {
+		core.Default().Register("__adv_panic", func() core.Algorithm {
+			return advAlgo{name: "__adv_panic", selectFn: func(*core.Context) ([]graph.NodeID, error) {
+				panic("adversarial grid panic")
+			}}
+		})
+		core.Default().Register("__adv_spin", func() core.Algorithm {
+			return advAlgo{name: "__adv_spin", selectFn: func(*core.Context) ([]graph.NodeID, error) {
+				for !advSpinStop.Load() { // never polls ctx.Check
+				}
+				return nil, errors.New("spinner released")
+			}}
+		})
+	})
+}
+
+// overrideGrid shrinks the package-level grid to the given datasets and
+// algorithms for one test, restoring the paper grid afterwards.
+func overrideGrid(t *testing.T, datasets, algos []string) {
+	t.Helper()
+	prevDS, prevAlgos := gridDatasets, gridAlgos
+	gridDatasets, gridAlgos = datasets, algos
+	t.Cleanup(func() { gridDatasets, gridAlgos = prevDS, prevAlgos })
+}
+
+// tinyGridConfig is a seconds-scale grid configuration. Seeds must be
+// unique per test: gridResults caches by (seed, evalSims, scale, ksLen,
+// journal, resume) and the package grid differs between tests.
+func tinyGridConfig(seed uint64) Config {
+	return Config{
+		Seed:       seed,
+		EvalSims:   20,
+		Ks:         []int{1},
+		ExtraScale: 256,
+		CellBudget: 50 * time.Millisecond,
+		MemBudget:  512 << 20,
+		MCSims:     10,
+	}
+}
+
+// TestGridSurvivesAdversaries is the acceptance scenario: a grid sweep
+// containing a panicking algorithm and a non-cooperative (never-polling)
+// algorithm completes every remaining cell, reporting Panicked and DNF
+// respectively.
+func TestGridSurvivesAdversaries(t *testing.T) {
+	registerAdversaries()
+	defer advSpinStop.Store(true)
+	overrideGrid(t, []string{"nethept"}, []string{"__adv_panic", "__adv_spin", "Random"})
+
+	results, err := gridResults(tinyGridConfig(90001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 model configurations × 3 algorithms × 1 k.
+	if len(results) != 9 {
+		t.Fatalf("%d results, want 9 (grid aborted early?)", len(results))
+	}
+	byAlgo := map[string][]core.Result{}
+	for _, r := range results {
+		byAlgo[r.Algorithm] = append(byAlgo[r.Algorithm], r)
+	}
+	for _, r := range byAlgo["__adv_panic"] {
+		if r.Status != core.Panicked {
+			t.Fatalf("panicker cell %s: %v want Panicked", r.Dataset, r.Status)
+		}
+	}
+	for _, r := range byAlgo["__adv_spin"] {
+		if r.Status != core.DNF || !r.HardKilled {
+			t.Fatalf("spinner cell %s: %v hardKilled=%v want hard-killed DNF", r.Dataset, r.Status, r.HardKilled)
+		}
+	}
+	for _, r := range byAlgo["Random"] {
+		if r.Status != core.OK {
+			t.Fatalf("Random cell %s: %v (err %v) want OK", r.Dataset, r.Status, r.Err)
+		}
+	}
+}
+
+// TestGridJournalResume is the checkpoint/resume acceptance scenario: a
+// grid cancelled mid-sweep resumes from its journal, skips every completed
+// cell, and no cell runs twice.
+func TestGridJournalResume(t *testing.T) {
+	overrideGrid(t, []string{"nethept"}, []string{"HighDegree", "Random"})
+	dir := t.TempDir()
+	j1 := filepath.Join(dir, "run1.jsonl")
+	j2 := filepath.Join(dir, "run2.jsonl")
+	const seed = 90002
+	// 3 model configurations × 2 algorithms × 2 ks.
+	const totalCells = 12
+
+	// First run: cancel after the third completed cell.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	firstRun := map[string]bool{}
+	cfg1 := tinyGridConfig(seed)
+	cfg1.Ks = []int{1, 2}
+	cfg1.JournalPath = j1
+	cfg1.OnCell = func(r core.Result) {
+		firstRun[r.CellKey()] = true
+		if len(firstRun) == 3 {
+			cancel()
+		}
+	}
+	cfg1.Ctx = ctx
+	if _, err := gridResults(cfg1); !errors.Is(err, core.ErrCancelled) {
+		t.Fatalf("interrupted grid returned %v, want ErrCancelled", err)
+	}
+	if len(firstRun) != 3 {
+		t.Fatalf("first run executed %d cells, want 3", len(firstRun))
+	}
+	journaled, err := core.LoadJournal(j1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(journaled) != 3 {
+		t.Fatalf("journal holds %d cells, want 3", len(journaled))
+	}
+
+	// Second run: resume from the journal; completed cells must not run
+	// again.
+	secondRun := map[string]bool{}
+	cfg2 := tinyGridConfig(seed)
+	cfg2.Ks = []int{1, 2}
+	cfg2.ResumeFrom = j1
+	cfg2.JournalPath = j2
+	cfg2.OnCell = func(r core.Result) {
+		if firstRun[r.CellKey()] {
+			t.Errorf("cell %s ran twice", r.CellKey())
+		}
+		secondRun[r.CellKey()] = true
+	}
+	results, err := gridResults(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != totalCells {
+		t.Fatalf("resumed grid produced %d cells, want %d", len(results), totalCells)
+	}
+	if len(secondRun) != totalCells-3 {
+		t.Fatalf("second run executed %d cells, want %d", len(secondRun), totalCells-3)
+	}
+	// The union covers every cell exactly once.
+	seen := map[string]int{}
+	for _, r := range results {
+		seen[r.CellKey()]++
+	}
+	if len(seen) != totalCells {
+		t.Fatalf("%d distinct cells, want %d", len(seen), totalCells)
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Fatalf("cell %s appears %d times", key, n)
+		}
+	}
+	for key := range firstRun {
+		if _, ok := seen[key]; !ok {
+			t.Fatalf("journaled cell %s missing from resumed results", key)
+		}
+	}
+	// The second journal records only the freshly-run cells.
+	fresh, err := core.LoadJournal(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != totalCells-3 {
+		t.Fatalf("second journal holds %d cells, want %d", len(fresh), totalCells-3)
+	}
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"github.com/sigdata/goinfmax/internal/core"
 	"github.com/sigdata/goinfmax/internal/metrics"
 )
@@ -16,6 +18,7 @@ import (
 func Large(cfg Config) error {
 	t := metrics.NewTable("Table 3 — large datasets at k=max",
 		"Dataset", "Model", "Algorithm", "Status", "Spread%", "Time", "Memory")
+	ctx := cfg.context()
 	k := cfg.Ks[len(cfg.Ks)-1]
 	algos := []string{"PMC", "IMM", "TIM+", "EaSyIM"}
 	for _, ds := range []string{"livejournal", "orkut", "twitter", "friendster"} {
@@ -30,7 +33,13 @@ func Large(cfg Config) error {
 					t.AddRow(ds, mc.Label, name, core.Unsupported.String(), "-", "-", "-")
 					continue
 				}
-				res := core.Run(alg, g, cfg.cell(mc, k))
+				if ctx.Err() != nil {
+					return fmt.Errorf("experiments: large interrupted: %w", core.ErrCancelled)
+				}
+				res := core.RunCtx(ctx, alg, g, cfg.cell(mc, k))
+				if res.Status == core.Cancelled {
+					return fmt.Errorf("experiments: large interrupted: %w", core.ErrCancelled)
+				}
 				cfg.logf("large %s/%s %s: %s", ds, mc.Label, name, res.Status)
 				switch res.Status {
 				case core.OK:

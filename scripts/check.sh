@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Full verification gate: static analysis plus the complete test suite
+# under the race detector (the resilience layer's supervised goroutines
+# make -race load-bearing, not optional).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> all checks passed"
