@@ -186,7 +186,7 @@ func parseKs(s string) ([]int, error) {
 // the resume journal are skipped, every freshly completed cell is appended
 // to the journal, and ctx cancellation (SIGINT) stops cleanly between
 // cells with the journal flushed.
-func sweep(ctx context.Context, alg goinfmax.Algorithm, g *goinfmax.Graph, cfg goinfmax.RunConfig, ks []int, journalPath, resumePath string) error {
+func sweep(ctx context.Context, alg goinfmax.Algorithm, g *goinfmax.Graph, cfg goinfmax.RunConfig, ks []int, journalPath, resumePath string) (err error) {
 	var resume map[string]goinfmax.Result
 	if resumePath != "" {
 		prior, err := goinfmax.LoadJournal(resumePath)
@@ -203,7 +203,13 @@ func sweep(ctx context.Context, alg goinfmax.Algorithm, g *goinfmax.Graph, cfg g
 		if err != nil {
 			return err
 		}
-		defer journal.Close()
+		// The journal is a write path: a failed close can mean an
+		// unflushed final record, so it must surface.
+		defer func() {
+			if cerr := journal.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 	}
 
 	for _, k := range ks {

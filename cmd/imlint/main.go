@@ -1,0 +1,22 @@
+// Command imlint is the project's static-analysis gate: it enforces the
+// determinism and resilience invariants the benchmarking platform's
+// numbers depend on (no wall-clock seeding, no map-order output, budget
+// polling in hot paths, supervised goroutines, checked file I/O).
+//
+// Usage:
+//
+//	imlint [-list] [-only analyzer,...] ./...
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/load error. See DESIGN.md
+// §6.2 for the analyzer catalog and the suppression syntax.
+package main
+
+import (
+	"os"
+
+	"github.com/sigdata/goinfmax/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/sigdata/goinfmax/internal/lint"
+)
+
+// run drives the CLI in-process and returns (exit code, stdout, stderr).
+func run(args ...string) (int, string, string) {
+	var stdout, stderr bytes.Buffer
+	code := lint.Run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestExitCodeContract pins the 0/1/2 contract scripts/check.sh and CI
+// depend on.
+func TestExitCodeContract(t *testing.T) {
+	cleanPkg := filepath.Join("..", "..", "internal", "rng")
+	fixtures := filepath.Join("..", "..", "internal", "lint", "testdata", "src")
+
+	t.Run("clean package exits 0", func(t *testing.T) {
+		code, out, errOut := run(cleanPkg)
+		if code != 0 {
+			t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+		}
+		if out != "" {
+			t.Errorf("clean run printed findings:\n%s", out)
+		}
+	})
+
+	t.Run("each positive fixture exits 1", func(t *testing.T) {
+		for _, dir := range []string{"detrand", "maporder", "ctxpoll", "gosupervise", "ioerr"} {
+			code, out, _ := run(filepath.Join(fixtures, dir))
+			if code != 1 {
+				t.Errorf("%s: exit = %d, want 1\n%s", dir, code, out)
+			}
+			if !strings.Contains(out, dir+":") {
+				t.Errorf("%s: findings do not name the analyzer:\n%s", dir, out)
+			}
+		}
+	})
+
+	t.Run("usage errors exit 2", func(t *testing.T) {
+		cases := [][]string{
+			{},                          // no packages
+			{"-nosuchflag", cleanPkg},   // unknown flag
+			{"-only", "nope", cleanPkg}, // unknown analyzer
+			{"does/not/exist"},          // unloadable package
+		}
+		for _, args := range cases {
+			if code, _, _ := run(args...); code != 2 {
+				t.Errorf("imlint %v: exit = %d, want 2", args, code)
+			}
+		}
+	})
+
+	t.Run("-list exits 0 and names every analyzer", func(t *testing.T) {
+		code, out, _ := run("-list")
+		if code != 0 {
+			t.Fatalf("exit = %d, want 0", code)
+		}
+		for _, a := range lint.Analyzers() {
+			if !strings.Contains(out, a.Name) {
+				t.Errorf("-list output missing %s:\n%s", a.Name, out)
+			}
+		}
+	})
+
+	t.Run("-only filters analyzers", func(t *testing.T) {
+		// The ioerr fixture dir has ioerr findings but no detrand ones:
+		// filtering to detrand must turn the run clean.
+		code, out, errOut := run("-only", "detrand", filepath.Join(fixtures, "ioerr"))
+		if code != 0 {
+			t.Errorf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+		}
+	})
+}

@@ -62,7 +62,7 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only handle: close error is immaterial
 	records, err := csv.NewReader(f).ReadAll()
 	if err != nil {
 		return fmt.Errorf("reading %s: %w", *path, err)

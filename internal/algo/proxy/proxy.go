@@ -36,6 +36,9 @@ func (HighDegree) Select(ctx *core.Context) ([]graph.NodeID, error) {
 	for v := graph.NodeID(0); v < n; v++ {
 		order[v] = v
 	}
+	if err := ctx.CheckNow(); err != nil {
+		return nil, err
+	}
 	sort.Slice(order, func(i, j int) bool {
 		di, dj := g.OutDegree(order[i]), g.OutDegree(order[j])
 		if di != dj {
@@ -142,6 +145,9 @@ func (Random) Param(weights.Model) core.Param { return core.Param{} }
 
 // Select implements core.Algorithm.
 func (Random) Select(ctx *core.Context) ([]graph.NodeID, error) {
+	if err := ctx.CheckNow(); err != nil {
+		return nil, err
+	}
 	n := int(ctx.G.N())
 	perm := ctx.RNG.Perm(n)
 	seeds := make([]graph.NodeID, ctx.K)

@@ -280,6 +280,11 @@ func (IMM) Select(ctx *core.Context) ([]graph.NodeID, error) {
 	c := newCollection(ctx)
 	lb := 1.0
 	for i := 1.0; i < math.Log2(n); i++ {
+		// One phase is a coarse unit of work: poll the deadline
+		// unconditionally in addition to extend's amortized checks.
+		if err := ctx.CheckNow(); err != nil {
+			return nil, err
+		}
 		x := n / math.Exp2(i)
 		thetaI := int64(lambdaPrime / x)
 		if thetaI < 1 {

@@ -64,6 +64,11 @@ func (SSA) Select(ctx *core.Context) ([]graph.NodeID, error) {
 
 	var seeds []graph.NodeID
 	for round := 0; round < maxRounds; round++ {
+		// One generate-then-verify round is a coarse unit of work: poll
+		// the deadline unconditionally on top of extend's amortized checks.
+		if err := ctx.CheckNow(); err != nil {
+			return nil, err
+		}
 		if err := opt.extend(batch); err != nil {
 			return nil, err
 		}

@@ -194,6 +194,11 @@ func (sp SIMPATH) Select(ctx *core.Context) ([]graph.NodeID, error) {
 	var seeds []graph.NodeID
 	var sigmaS float64 // σ(S) under the current seed set
 	for len(seeds) < ctx.K && len(h) > 0 {
+		// One heap round is a coarse unit of work: poll the deadline
+		// unconditionally on top of the enumerator's amortized checks.
+		if err := ctx.CheckNow(); err != nil {
+			return nil, err
+		}
 		top := &h[0]
 		if int(top.round) == len(seeds) {
 			seeds = append(seeds, top.node)

@@ -162,7 +162,7 @@ func LoadArchive(path string) ([]Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: open %s: %w", path, err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only handle: close error is immaterial
 	return ReadArchive(f)
 }
 
@@ -237,7 +237,7 @@ func LoadJournal(path string) ([]Result, error) {
 		}
 		return nil, fmt.Errorf("core: open journal %s: %w", path, err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only handle: close error is immaterial
 
 	var out []Result
 	sc := bufio.NewScanner(f)

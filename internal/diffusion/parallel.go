@@ -83,6 +83,10 @@ func EstimateSpreadParallelCtx(ctx context.Context, g *graph.Graph, model weight
 			break
 		}
 		wg.Add(1)
+		// This pool runs harness-owned simulation code only (never an
+		// algorithm's); recovering here would hand back silently corrupt
+		// partial sums, so a panic crashing loudly is the correct outcome.
+		//imlint:ignore gosupervise worker runs trusted harness code; recover would mask corrupt partial sums
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			sim := NewSimulator(g, model)

@@ -49,7 +49,7 @@ var gridCache sync.Map
 // cfg.ResumeFrom is set, cells already journaled are spliced in without
 // re-running. On cancellation the partial results are returned alongside
 // an error wrapping core.ErrCancelled.
-func gridResults(cfg Config) ([]core.Result, error) {
+func gridResults(cfg Config) (results []core.Result, err error) {
 	key := gridKey{cfg.Seed, cfg.EvalSims, cfg.ExtraScale, len(cfg.Ks), cfg.JournalPath, cfg.ResumeFrom}
 	if rs, ok := gridCache.Load(key); ok {
 		return rs.([]core.Result), nil
@@ -67,15 +67,19 @@ func gridResults(cfg Config) ([]core.Result, error) {
 	}
 	var journal *core.Journal
 	if cfg.JournalPath != "" {
-		var err error
 		journal, err = core.OpenJournal(cfg.JournalPath)
 		if err != nil {
 			return nil, err
 		}
-		defer journal.Close()
+		// Write path: a failed close can mean an unflushed checkpoint
+		// record, so it must surface rather than vanish.
+		defer func() {
+			if cerr := journal.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 	}
 
-	var results []core.Result
 	for _, mc := range paperModels() {
 		for _, ds := range gridDatasets {
 			g, err := prepared(cfg, ds, mc)

@@ -87,7 +87,7 @@ func LoadEdgeListFile(path string, directed bool) (*Graph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("graph: open %s: %w", path, err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only handle: close error is immaterial
 	g, err := LoadEdgeList(f, directed)
 	if err != nil {
 		return nil, fmt.Errorf("graph: %s: %w", path, err)

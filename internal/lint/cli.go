@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CLI driver shared by cmd/imlint and its tests.
+//
+// Exit-code contract (stable; scripts/check.sh and CI depend on it):
+//
+//	0 — clean: every analyzed package satisfies every invariant
+//	1 — findings were reported
+//	2 — usage or load error (bad flags, no packages, unparseable source)
+
+// Run executes imlint with the given arguments, writing findings to
+// stdout and errors/usage to stderr, and returns the process exit code.
+func Run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("imlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: imlint [-list] [-only a,b] packages...\n\n"+
+			"imlint enforces the platform's determinism and resilience invariants.\n"+
+			"Packages are directories or ./... patterns. Findings exit 1, usage errors exit 2.\n"+
+			"Suppress a finding with `//imlint:ignore <analyzer> <reason>` on or above its line.\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				known := make([]string, 0, len(byName))
+				for n := range byName {
+					known = append(known, n)
+				}
+				sort.Strings(known)
+				fmt.Fprintf(stderr, "imlint: unknown analyzer %q (have: %s)\n", name, strings.Join(known, ", "))
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	dirs, err := ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "imlint: %v\n", err)
+		return 2
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintf(stderr, "imlint: no packages match %s\n", strings.Join(patterns, " "))
+		return 2
+	}
+
+	loader, err := NewLoader(dirs[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "imlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(dirs)
+	if err != nil {
+		fmt.Fprintf(stderr, "imlint: %v\n", err)
+		return 2
+	}
+
+	diags := Check(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, relativize(d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "imlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// relativize renders the diagnostic with a cwd-relative path when that
+// is shorter, matching compiler output conventions.
+func relativize(d Diagnostic) string {
+	if rel, err := filepath.Rel(".", d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}

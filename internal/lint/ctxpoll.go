@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxPoll keeps the hard watchdog a last resort. The resilience layer
+// (internal/core/resilience.go) enforces time budgets two ways: the
+// cooperative path — algorithms poll Context.Check/CheckNow and return
+// ErrBudget promptly — and the hard watchdog, which abandons the
+// goroutine (leaking it, per the DNF contract) when the algorithm never
+// polls. Abandonment costs a leaked goroutine and forfeits the cell's
+// instrumentation, so every seed-selection or spread-estimation hot
+// path that loops must reach a budget or cancellation poll.
+//
+// The rule: a function named Select or Estimate* that takes a context
+// parameter (a named type called Context — core.Context or
+// context.Context — possibly behind a pointer) and contains a loop must
+// call one of Check, CheckNow, CancelErr, Err, or Done somewhere in its
+// body. Helpers the hot path delegates to are not traced; put the poll
+// where the iteration is.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc: "Select/Estimate hot paths that take a Context and loop must poll the budget " +
+		"(Check/CheckNow/CancelErr/Err/Done) so the hard watchdog stays a last resort",
+	Run: runCtxPoll,
+}
+
+// pollMethodNames are the calls that count as a budget/cancellation
+// poll: the core.Context cooperative API and the context.Context one.
+var pollMethodNames = map[string]bool{
+	"Check": true, "CheckNow": true, "CancelErr": true, "Err": true, "Done": true,
+}
+
+func runCtxPoll(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !hotPathName(fn.Name.Name) {
+				continue
+			}
+			if !hasContextParam(fn.Type) {
+				continue
+			}
+			if !containsLoop(fn.Body) {
+				continue
+			}
+			if containsPoll(fn.Body) {
+				continue
+			}
+			pass.Reportf(fn.Name.Pos(),
+				"%s loops but never polls its context (Check/CheckNow/CancelErr/Err/Done); a budget overrun here is only caught by the hard watchdog, which abandons the cell and leaks the goroutine", fn.Name.Name)
+		}
+	}
+}
+
+// hotPathName matches the seed-selection and spread-estimation entry
+// points the benchmarking workflow calls into.
+func hotPathName(name string) bool {
+	return name == "Select" || strings.HasPrefix(name, "Estimate") || strings.HasPrefix(name, "estimate")
+}
+
+// hasContextParam reports whether the function signature includes a
+// parameter whose (possibly pointer-wrapped) named type is "Context".
+func hasContextParam(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		t := field.Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		switch tt := t.(type) {
+		case *ast.Ident:
+			if tt.Name == "Context" {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if tt.Sel.Name == "Context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func containsLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		case *ast.FuncLit:
+			// Loops inside nested function literals (e.g. worker bodies)
+			// are that literal's concern, not this function's.
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func containsPoll(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if pollMethodNames[methodCallName(call)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DetRand enforces the platform's single-seed reproducibility contract
+// (paper Alg. 1: spread estimates are Monte-Carlo means whose spread
+// across repetitions is part of the reported numbers — they are only
+// comparable across runs and machines if every random draw derives from
+// the experiment seed).
+//
+// Two things break that contract: importing math/rand (its global
+// generator is shared, lockable, and — since Go 1.20 — seeded randomly
+// at startup), and deriving seeds from the wall clock. All randomness
+// must flow through internal/rng per-worker Sources split from the
+// campaign seed.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid math/rand and time.Now()-derived seeds in internal/ and cmd/; " +
+		"all randomness must flow through internal/rng so one 64-bit seed reproduces a campaign",
+	Run: runDetRand,
+}
+
+// detrandScoped reports whether the package is inside the enforcement
+// perimeter: the platform's own code (internal/, cmd/) as opposed to
+// examples, which may legitimately show nondeterministic usage.
+func detrandScoped(modRel string) bool {
+	return modRel == "internal" || modRel == "cmd" ||
+		strings.HasPrefix(modRel, "internal/") || strings.HasPrefix(modRel, "cmd/")
+}
+
+func runDetRand(pass *Pass) {
+	if !detrandScoped(pass.ModRel) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s: the global generator defeats seed reproducibility; use internal/rng (per-worker Source, Split for goroutines)", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := timeNowDerived(pass, call); ok {
+				pass.Reportf(call.Pos(),
+					"time.Now().%s() derives a value from the wall clock; a seed built from it makes the run unreproducible — thread the campaign seed through internal/rng instead", name)
+			}
+			return true
+		})
+	}
+}
+
+// timeNowDerived matches time.Now().Unix()/UnixNano()/UnixMilli()/
+// UnixMicro() — the classic wall-clock seed idiom.
+func timeNowDerived(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Unix", "UnixNano", "UnixMilli", "UnixMicro":
+	default:
+		return "", false
+	}
+	inner, ok := sel.X.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	if !pass.pkgFuncCall(inner, "time", "Now") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

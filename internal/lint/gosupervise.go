@@ -1,0 +1,80 @@
+package lint
+
+import "go/ast"
+
+// GoSupervise extends the resilience layer's panic isolation to a
+// static check. guardedSelect (internal/core/resilience.go) recovers
+// panics on the algorithm goroutine and classifies them as the
+// Panicked status — but recover only catches panics on its own
+// goroutine. Any additional `go func` launched by an algorithm, an
+// estimator, or a CLI escapes that net: one panic there kills the
+// entire benchmark process and every journaled-but-unflushed cell with
+// it.
+//
+// The rule: a `go` statement whose function is a literal must install a
+// `defer func() { ... recover() ... }()` in that literal's body. The
+// supervised pools that intentionally run bare (e.g. the diffusion
+// worker pool, whose work is harness-owned and panic-free by
+// construction) carry a justified //imlint:ignore.
+var GoSupervise = &Analyzer{
+	Name: "gosupervise",
+	Doc: "a go func literal must defer a recover(); an unsupervised goroutine panic kills " +
+		"the whole benchmark process, bypassing the Panicked status",
+	Run: runGoSupervise,
+}
+
+func runGoSupervise(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true // named function: supervised at its definition
+			}
+			if !hasDeferredRecover(lit) {
+				pass.Reportf(g.Pos(),
+					"goroutine launched without a deferred recover(); a panic here kills the whole process instead of classifying the cell as Panicked — add defer/recover or route the work through the supervised runner")
+			}
+			return true
+		})
+	}
+}
+
+// hasDeferredRecover reports whether lit's body defers a function that
+// calls recover(). Nested go statements start their own goroutines and
+// are inspected separately, so their literals are skipped.
+func hasDeferredRecover(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch nn := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			if dl, ok := nn.Call.Fun.(*ast.FuncLit); ok && callsRecover(dl) {
+				found = true
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func callsRecover(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

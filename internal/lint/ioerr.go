@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// IOErr guards the durability story. The journal's whole value is that
+// a crash costs at most the cell in flight — which holds only if every
+// write, sync, flush and close on the journal/archive/CSV path actually
+// surfaces its error. A dropped Close error on a write path can mean a
+// truncated archive that LoadJournal later rejects as corruption.
+//
+// The rule: an expression statement (or a deferred call) that discards
+// an error from file-flavored I/O is a finding. Discarding explicitly
+// with `_ = f.Close()` is allowed — it is visible in review and greppable
+// — as is the named-return close idiom. Errors from in-memory buffers
+// (strings.Builder, bytes.Buffer) are exempt: they are defined never to
+// fail.
+var IOErr = &Analyzer{
+	Name: "ioerr",
+	Doc: "journal/file I/O error returns must not be silently discarded, including deferred " +
+		"Close/Flush/Sync; discard explicitly with `_ =` only when the handle is read-only",
+	Run: runIOErr,
+}
+
+// ioErrMethodNames flag on any receiver type (they are the platform's
+// own emission surface: Journal.Append, Table.Write..., Encoder.Encode)
+// provided the call is known to return an error.
+var ioErrMethodNames = map[string]bool{
+	"Close": true, "Flush": true, "Sync": true, "Encode": true, "Append": true,
+	"Write": true, "WriteString": true, "WriteAll": true, "WriteRecord": true,
+}
+
+// ioErrDeferNames is the conservative subset flagged even without type
+// information, and the set checked inside defer statements.
+var ioErrDeferNames = map[string]bool{"Close": true, "Flush": true, "Sync": true}
+
+// ioErrPkgs are stdlib packages whose error-returning calls are always
+// I/O-flavored.
+var ioErrPkgs = map[string]bool{
+	"os": true, "io": true, "bufio": true,
+	"encoding/json": true, "encoding/csv": true, "compress/gzip": true,
+}
+
+// inMemoryPkgs hold writer types that cannot fail; their error results
+// exist only to satisfy io interfaces.
+var inMemoryPkgs = map[string]bool{"strings": true, "bytes": true}
+
+func runIOErr(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.DeferStmt:
+				checkDeferred(pass, nn)
+			case *ast.ExprStmt:
+				if call, ok := nn.X.(*ast.CallExpr); ok {
+					checkDiscarded(pass, call)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkDeferred flags `defer x.Close()` (and Flush/Sync) when the error
+// is silently dropped. Deferring a wrapper literal that handles or
+// explicitly discards the error is the endorsed fix and never matches.
+func checkDeferred(pass *Pass, d *ast.DeferStmt) {
+	name := methodCallName(d.Call)
+	if !ioErrDeferNames[name] {
+		return
+	}
+	returnsErr, unknown := pass.callReturnsError(d.Call)
+	if !returnsErr && !unknown {
+		return
+	}
+	if inMemoryPkgs[pass.receiverPkgPath(d.Call)] {
+		return
+	}
+	pass.Reportf(d.Pos(),
+		"error from deferred %s is silently dropped; on a write path capture it into the named return error, or discard explicitly with `defer func() { _ = x.%s() }()` for read-only handles",
+		name, name)
+}
+
+// checkDiscarded flags expression statements that throw away an I/O
+// error result.
+func checkDiscarded(pass *Pass, call *ast.CallExpr) {
+	name := methodCallName(call)
+	returnsErr, unknown := pass.callReturnsError(call)
+	if unknown {
+		// Partial type info: only the unambiguous names are flagged.
+		if ioErrDeferNames[name] {
+			pass.Reportf(call.Pos(), "error from %s is silently discarded; check it or discard explicitly with `_ =`", name)
+		}
+		return
+	}
+	if !returnsErr {
+		return
+	}
+	calleePkg := pass.receiverPkgPath(call)
+	if inMemoryPkgs[calleePkg] {
+		return
+	}
+	switch {
+	case ioErrPkgs[calleePkg]:
+		// os.Remove, os.MkdirAll, file.Close, bufio Flush, Encoder.Encode...
+	case ioErrMethodNames[name]:
+		// I/O-shaped methods on project types (Journal.Append, ...).
+	case fprintToFile(pass, call):
+		// fmt.Fprintf to a real file (not an in-memory writer).
+	default:
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error from %s is silently discarded; a failed write here can truncate a journal/archive undetected — check it or discard explicitly with `_ =`",
+		types.ExprString(call.Fun))
+}
+
+// fprintToFile reports whether call is fmt.Fprint* targeting *os.File
+// or *bufio.Writer — destinations where a write error is real. Writes
+// to os.Stdout/os.Stderr are exempt: terminal output is best-effort.
+func fprintToFile(pass *Pass, call *ast.CallExpr) bool {
+	if !pass.pkgFuncCall(call, "fmt", "Fprint", "Fprintf", "Fprintln") {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	dst := call.Args[0]
+	if sel, ok := dst.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "os" &&
+			(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+			return false
+		}
+	}
+	t := pass.TypeOf(dst)
+	if t == nil {
+		return false
+	}
+	s := t.String()
+	return s == "*os.File" || s == "*bufio.Writer"
+}

@@ -1,0 +1,259 @@
+// Package lint implements imlint, the project-specific static-analysis
+// gate for the benchmarking platform.
+//
+// The paper's myth-analysis numbers are only trustworthy if every run is
+// reproducible from its seed and every grid cell is survivable. The
+// resilience layer (internal/core/resilience.go) and the deterministic
+// rng plumbing (internal/rng) provide those properties, but nothing in
+// the language stops the next algorithm port from quietly reintroducing
+// wall-clock seeding, map-order-dependent output, unsupervised
+// goroutines, or poll-free hot loops. imlint turns those review rules
+// into compile-time-checked invariants.
+//
+// The framework is deliberately stdlib-only (go/ast, go/parser,
+// go/types): the gate must run in any environment that can build the
+// repo, with no module downloads.
+//
+// Five analyzers ship with the gate:
+//
+//   - detrand: no math/rand and no time.Now()-derived integer seeds in
+//     internal/ or cmd/ non-test code; randomness flows through
+//     internal/rng so a 64-bit seed reproduces a whole campaign.
+//   - maporder: no `for range` over a map in an output path (journal,
+//     CSV, table, encoder emission); Go randomizes map iteration order
+//     per process, which corrupts checkpoint/resume keying and makes
+//     result files diff unstably.
+//   - ctxpoll: Select/Estimate hot paths that carry a Context and loop
+//     must poll the budget (Check/CheckNow/CancelErr/Err/Done) so the
+//     hard watchdog stays a last resort.
+//   - gosupervise: a `go func` literal must recover from panics (or be
+//     explicitly exempted); an unsupervised goroutine panic kills the
+//     whole benchmark process, bypassing the Panicked status.
+//   - ioerr: journal/file I/O error returns must not be silently
+//     discarded, including deferred Close on write paths.
+//
+// Findings can be locally waived with a justified suppression comment:
+//
+//	//imlint:ignore <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. The
+// reason is mandatory; a directive without one (or naming an unknown
+// analyzer) is itself reported, so suppressions cannot rot silently.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a human-readable message explaining the violated invariant.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects the package in pass and reports findings on it.
+	Run func(pass *Pass)
+}
+
+// Analyzers lists every registered analyzer in output order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetRand, MapOrder, CtxPoll, GoSupervise, IOErr}
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the parsed non-test files of the package under analysis.
+	Files []*ast.File
+	// Pkg and Info hold the (possibly partial) type-check result. The
+	// loader tolerates unresolved imports, so analyzers must degrade
+	// conservatively when a lookup returns nil.
+	Pkg  *types.Package
+	Info *types.Info
+	// PkgPath is the import path; ModRel is the path relative to the
+	// module root ("" for the root package), used for scoping rules.
+	PkgPath string
+	ModRel  string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil when type information is
+// unavailable (unresolved imports, fixtures with deliberate errors).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// Check runs the given analyzers over the loaded packages and returns
+// the surviving findings sorted by position. Suppression directives are
+// applied here, and malformed directives are reported under the
+// pseudo-analyzer name "directive".
+func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	// Directives are validated against the full registry, not just the
+	// analyzers selected for this run: `-only detrand` must not start
+	// reporting every legitimate ioerr suppression as unknown.
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectDirectives(pkg, known)
+		diags = append(diags, sup.problems...)
+
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				PkgPath:  pkg.Path,
+				ModRel:   pkg.ModRel,
+				diags:    &pkgDiags,
+			}
+			a.Run(pass)
+		}
+		for _, d := range pkgDiags {
+			if !sup.suppressed(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ---- shared AST helpers used by several analyzers ----
+
+// pkgFuncCall reports whether call invokes pkgName.fn for one of the
+// given function names, e.g. fmt.Fprintf. It prefers type information
+// (so aliased imports resolve correctly) and falls back to the literal
+// identifier when types are unavailable.
+func (p *Pass) pkgFuncCall(call *ast.CallExpr, pkgPath string, names ...string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	matched := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if p.Info != nil {
+		if obj, ok := p.Info.Uses[id]; ok {
+			pn, ok := obj.(*types.PkgName)
+			return ok && pn.Imported().Path() == pkgPath
+		}
+	}
+	// No resolution: match on the conventional package identifier.
+	base := pkgPath
+	if i := strings.LastIndex(base, "/"); i >= 0 {
+		base = base[i+1:]
+	}
+	return id.Name == base
+}
+
+// methodCallName returns the selector name when call is a method-style
+// call expression (x.Name(...)), or "".
+func methodCallName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// callReturnsError reports whether the call's last result is the
+// built-in error type. unknown is true when no type info is available.
+func (p *Pass) callReturnsError(call *ast.CallExpr) (returnsErr, unknown bool) {
+	t := p.TypeOf(call)
+	if t == nil || t == types.Typ[types.Invalid] {
+		return false, true
+	}
+	switch tt := t.(type) {
+	case *types.Tuple:
+		if tt.Len() == 0 {
+			return false, false
+		}
+		return isErrorType(tt.At(tt.Len() - 1).Type()), false
+	default:
+		return isErrorType(t), false
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// receiverPkgPath returns the defining package path of the method
+// invoked by call, or "" when it cannot be determined.
+func (p *Pass) receiverPkgPath(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || p.Info == nil {
+		return ""
+	}
+	obj, ok := p.Info.Uses[sel.Sel]
+	if !ok || obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// corpusDirs are the golden fixture packages: each analyzer has at
+// least one true-positive (`// want <analyzer> "substr"`), one
+// negative, and one suppressed case.
+var corpusDirs = []string{"detrand", "maporder", "ctxpoll", "gosupervise", "ioerr"}
+
+// wantRe matches expectation comments in fixture files.
+var wantRe = regexp.MustCompile(`// want (\w+) "([^"]+)"`)
+
+type expectation struct {
+	file     string
+	line     int
+	analyzer string
+	substr   string
+}
+
+// loadCorpus loads the named fixture directories with one shared
+// loader (amortizing the stdlib type-check) and returns all findings.
+func loadCorpus(t *testing.T, dirs ...string) []Diagnostic {
+	t.Helper()
+	paths := make([]string, len(dirs))
+	for i, d := range dirs {
+		paths[i] = filepath.Join("testdata", "src", d)
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != len(dirs) {
+		t.Fatalf("loaded %d packages, want %d", len(pkgs), len(dirs))
+	}
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			t.Errorf("fixture %s should type-check cleanly: %v", p.Path, e)
+		}
+	}
+	return Check(pkgs, Analyzers())
+}
+
+// readExpectations parses the want comments of every fixture file in dir.
+func readExpectations(t *testing.T, dir string) []expectation {
+	t.Helper()
+	var exps []expectation
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		line := 0
+		for sc.Scan() {
+			line++
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				exps = append(exps, expectation{file: path, line: line, analyzer: m[1], substr: m[2]})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		_ = f.Close()
+	}
+	return exps
+}
+
+// TestCorpus checks every analyzer against its golden fixtures: each
+// want comment must be matched by exactly the expected finding, and no
+// unexpected findings may appear (which also proves the negative and
+// suppressed fixtures stay silent).
+func TestCorpus(t *testing.T) {
+	diags := loadCorpus(t, corpusDirs...)
+
+	var exps []expectation
+	for _, d := range corpusDirs {
+		exps = append(exps, readExpectations(t, filepath.Join("testdata", "src", d))...)
+	}
+	if len(exps) == 0 {
+		t.Fatal("no want expectations found in corpus")
+	}
+
+	matched := make([]bool, len(diags))
+	for _, exp := range exps {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Analyzer != exp.analyzer {
+				continue
+			}
+			if filepath.Base(d.Pos.Filename) != filepath.Base(exp.file) ||
+				!strings.Contains(d.Pos.Filename, filepath.Dir(exp.file)) {
+				continue
+			}
+			if d.Pos.Line != exp.line || !strings.Contains(d.Message, exp.substr) {
+				continue
+			}
+			matched[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("missing finding: %s:%d: %s: ...%s...", exp.file, exp.line, exp.analyzer, exp.substr)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+}
+
+// TestDirectiveValidation checks that unusable suppressions are
+// themselves findings: no reason, unknown analyzer, no payload at all.
+func TestDirectiveValidation(t *testing.T) {
+	diags := loadCorpus(t, "directive")
+	wantSubstrs := []string{
+		"has no reason",
+		"unknown analyzer \"nosuchanalyzer\"",
+		"missing analyzer name",
+	}
+	if len(diags) != len(wantSubstrs) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(diags), len(wantSubstrs), diags)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos.Line < diags[j].Pos.Line })
+	for i, sub := range wantSubstrs {
+		if diags[i].Analyzer != "directive" {
+			t.Errorf("finding %d: analyzer = %q, want directive", i, diags[i].Analyzer)
+		}
+		if !strings.Contains(diags[i].Message, sub) {
+			t.Errorf("finding %d: message %q does not contain %q", i, diags[i].Message, sub)
+		}
+	}
+}
+
+// TestExpandPatternsSkipsTestdata ensures the repo-wide pattern never
+// descends into fixture corpora (which contain deliberate violations),
+// while explicit directories are always honored.
+func TestExpandPatternsSkipsTestdata(t *testing.T) {
+	dirs, err := ExpandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no dirs matched ./...")
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("pattern expansion descended into %s", d)
+		}
+	}
+
+	explicit := filepath.Join("testdata", "src", "detrand")
+	dirs, err = ExpandPatterns([]string{explicit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 1 || dirs[0] != explicit {
+		t.Errorf("explicit dir expansion = %v, want [%s]", dirs, explicit)
+	}
+}
+
+// TestRepoIsClean runs the full gate over the module in-process: the
+// shipping tree must satisfy its own invariants.
+func TestRepoIsClean(t *testing.T) {
+	dirs, err := ExpandPatterns([]string{filepath.Join("..", "..") + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			t.Errorf("%s: type error: %v", p.Path, e)
+		}
+	}
+	for _, d := range Check(pkgs, Analyzers()) {
+		t.Errorf("repo finding: %s", d)
+	}
+}

@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package loading
+//
+// imlint type-checks with the standard library only. Standard-library
+// imports are resolved by the go/importer "source" importer (which reads
+// GOROOT/src); imports inside this module are resolved by parsing the
+// corresponding directory under the module root. Anything else —
+// unresolvable imports, deliberate fixture errors — degrades to a
+// partial type-check: the loader records the errors and the analyzers
+// fall back to conservative syntactic reasoning instead of aborting,
+// so one broken file cannot take down the whole gate.
+
+// Package is one loaded, (partially) type-checked package.
+type Package struct {
+	// Path is the import path, ModRel the path relative to the module
+	// root ("" for the module root package itself).
+	Path   string
+	ModRel string
+	Dir    string
+	Fset   *token.FileSet
+	// Files are the parsed non-test .go files. Test files are out of
+	// scope by design: the invariants protect benchmark runs, and tests
+	// routinely (and legitimately) use fixed shortcuts.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors holds type-check problems tolerated during loading.
+	TypeErrors []error
+}
+
+// Loader loads and type-checks packages from a single module.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	ModuleDir  string
+
+	std  types.ImporterFrom
+	deps map[string]*depEntry
+}
+
+type depEntry struct {
+	pkg      *types.Package
+	err      error
+	loading  bool
+	finished bool
+}
+
+// NewLoader creates a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	modDir, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:       fset,
+		ModulePath: modPath,
+		ModuleDir:  modDir,
+		deps:       make(map[string]*depEntry),
+	}
+	src, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer unavailable")
+	}
+	l.std = src
+	return l, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module directory and module path.
+func findModule(dir string) (modDir, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Load parses and type-checks the packages in the given directories.
+func (l *Loader) Load(dirs []string) ([]*Package, error) {
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// loadDir loads one directory as a fully-inspected package. A directory
+// with no non-test Go files yields (nil, nil).
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	files, err := l.parseDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	rel, err := filepath.Rel(l.ModuleDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("lint: %s is outside module %s", abs, l.ModuleDir)
+	}
+	modRel := filepath.ToSlash(rel)
+	if modRel == "." {
+		modRel = ""
+	}
+	path := l.ModulePath
+	if modRel != "" {
+		path = l.ModulePath + "/" + modRel
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg := &Package{Path: path, ModRel: modRel, Dir: abs, Fset: l.Fset, Files: files, Info: info}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Errors are tolerated: Check still populates info for everything it
+	// could resolve, which is what the analyzers consume.
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files of dir, enforcing a single
+// package per directory.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	pkgName := ""
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("lint: %s: mixed packages %q and %q", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths are
+// loaded from source under the module root, everything else is handed
+// to the GOROOT source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		return l.importModulePkg(path)
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// importModulePkg type-checks a module-internal dependency, memoized.
+// Dependency bodies are skipped (IgnoreFuncBodies) — importers only
+// need the exported surface.
+func (l *Loader) importModulePkg(path string) (*types.Package, error) {
+	if e, ok := l.deps[path]; ok {
+		if e.loading {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		return e.pkg, e.err
+	}
+	e := &depEntry{loading: true}
+	l.deps[path] = e
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	dir := filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+	files, err := l.parseDir(dir)
+	if err == nil && len(files) == 0 {
+		err = fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	if err != nil {
+		e.loading, e.finished, e.err = false, true, err
+		return nil, err
+	}
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: true,
+		Error:            func(error) {}, // tolerated; surface what resolves
+	}
+	pkg, _ := conf.Check(path, l.Fset, files, nil)
+	e.loading, e.finished, e.pkg = false, true, pkg
+	return pkg, nil
+}
+
+// ExpandPatterns resolves package patterns into package directories.
+// Supported forms: a directory path ("./internal/core", "."), or a
+// recursive pattern ending in "/..." which walks the tree skipping
+// testdata, vendor, hidden and underscore-prefixed directories (the
+// same exclusions the go tool applies). Explicitly named directories
+// are never filtered, so fixture corpora can still be linted directly.
+func ExpandPatterns(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, p := range patterns {
+		root, recursive := strings.CutSuffix(p, "/...")
+		if p == "..." {
+			root, recursive = ".", true
+		}
+		if root == "" {
+			root = "."
+		}
+		if !recursive {
+			st, err := os.Stat(root)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+			if !st.IsDir() {
+				return nil, fmt.Errorf("lint: %s is not a directory", root)
+			}
+			add(filepath.Clean(root))
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			ents, err := os.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range ents {
+				n := e.Name()
+				if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+					add(filepath.Clean(path))
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+	}
+	return dirs, nil
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder guards the determinism of everything the platform writes
+// out. Go randomizes map iteration order on every range, so a map
+// ranged directly into a journal record, CSV row stream, table, or
+// encoder produces files that differ run to run — which breaks
+// checkpoint/resume keying (the journal index assumes stable cell
+// streams) and makes result diffs useless. The fix is mechanical:
+// collect the keys, sort them, range over the sorted slice.
+//
+// The analyzer flags a `for range` over a map only when the loop body
+// itself emits — calls fmt print functions or a writer/encoder-style
+// method. Ranging a map to accumulate, count, or build a slice that is
+// sorted afterwards is the endorsed pattern and is not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "forbid ranging over a map while emitting output (journal, CSV, table, encoder); " +
+		"map order is randomized per run — sort the keys first",
+	Run: runMapOrder,
+}
+
+// emitMethodNames are method selectors that count as emission when
+// called inside a map-range body.
+var emitMethodNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteRecord": true, "WriteAll": true, "Encode": true,
+	"AddRow": true, "Append": true,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rng.X)
+			if t == nil {
+				return true // no type info: stay conservative
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if call := firstEmitCall(pass, rng.Body); call != nil {
+				pass.Reportf(rng.Pos(),
+					"range over map %s emits output (%s) inside the loop; map iteration order is randomized per run — sort the keys into a slice first",
+					types.ExprString(rng.X), callLabel(call))
+			}
+			return true
+		})
+	}
+}
+
+// firstEmitCall finds an emission call in the loop body: a fmt print
+// function or a writer/encoder-style method call.
+func firstEmitCall(pass *Pass, body *ast.BlockStmt) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pass.pkgFuncCall(call, "fmt", "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln") {
+			found = call
+			return false
+		}
+		// Writer/encoder-style methods count on any receiver, including
+		// in-memory builders: bytes appended in map order still render
+		// in map order when the buffer is flushed.
+		if emitMethodNames[methodCallName(call)] {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// callLabel renders the called expression for the diagnostic.
+func callLabel(call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}

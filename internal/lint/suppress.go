@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Suppression directives
+//
+// A finding is waived by a comment of the form
+//
+//	//imlint:ignore <analyzer> <reason>
+//
+// on the same line as the finding (trailing comment) or on the line
+// directly above it. The reason is not optional: a suppression is an
+// exception to a project invariant and must say why the exception is
+// sound, so that a later reader can tell whether it still applies.
+// Directives with a missing reason or an unknown analyzer name are
+// reported as findings themselves (analyzer name "directive") — a typo
+// must fail the gate rather than silently disable a check.
+
+const directivePrefix = "imlint:ignore"
+
+// suppressions records, per file, which (line, analyzer) pairs are
+// waived, plus any malformed directives found while parsing.
+type suppressions struct {
+	// waived maps filename -> line -> analyzer names ignored on that
+	// line and the line below it.
+	waived   map[string]map[int]map[string]bool
+	problems []Diagnostic
+}
+
+// collectDirectives scans every comment in pkg for ignore directives.
+func collectDirectives(pkg *Package, known map[string]bool) *suppressions {
+	s := &suppressions{waived: make(map[string]map[int]map[string]bool)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				s.addComment(pkg.Fset, c, known)
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) addComment(fset *token.FileSet, c *ast.Comment, known map[string]bool) {
+	text, ok := directiveText(c.Text)
+	if !ok {
+		return
+	}
+	pos := fset.Position(c.Slash)
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		s.problems = append(s.problems, Diagnostic{
+			Pos: pos, Analyzer: "directive",
+			Message: "imlint:ignore directive missing analyzer name and reason",
+		})
+		return
+	}
+	name := fields[0]
+	if !known[name] {
+		s.problems = append(s.problems, Diagnostic{
+			Pos: pos, Analyzer: "directive",
+			Message: "imlint:ignore names unknown analyzer " + strconv.Quote(name),
+		})
+		return
+	}
+	if len(fields) < 2 {
+		s.problems = append(s.problems, Diagnostic{
+			Pos: pos, Analyzer: "directive",
+			Message: "imlint:ignore " + name + " has no reason; justify the exception",
+		})
+		return
+	}
+	byLine := s.waived[pos.Filename]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		s.waived[pos.Filename] = byLine
+	}
+	for _, line := range []int{pos.Line, pos.Line + 1} {
+		if byLine[line] == nil {
+			byLine[line] = make(map[string]bool)
+		}
+		byLine[line][name] = true
+	}
+}
+
+// directiveText extracts the payload after "imlint:ignore", reporting
+// ok=false when the comment is not a directive at all.
+func directiveText(comment string) (string, bool) {
+	body := strings.TrimPrefix(comment, "//")
+	body = strings.TrimSpace(body)
+	if !strings.HasPrefix(body, directivePrefix) {
+		return "", false
+	}
+	return strings.TrimSpace(strings.TrimPrefix(body, directivePrefix)), true
+}
+
+// suppressed reports whether d is waived by a directive on its line or
+// the line above.
+func (s *suppressions) suppressed(d Diagnostic) bool {
+	byLine := s.waived[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[d.Pos.Line][d.Analyzer]
+}

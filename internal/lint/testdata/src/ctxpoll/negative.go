@@ -1,0 +1,42 @@
+package fixture
+
+type polling struct{}
+
+// Select polls the amortized check each iteration: compliant.
+func (polling) Select(ctx *Context, n int) (int, error) {
+	total := 0
+	for i := 0; i < n; i++ {
+		if err := ctx.Check(); err != nil {
+			return 0, err
+		}
+		total += i
+	}
+	return total, nil
+}
+
+// EstimateOnce polls unconditionally around a coarse unit of work.
+func EstimateOnce(ctx *Context, xs []int) (int, error) {
+	if err := ctx.CheckNow(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total, nil
+}
+
+type trivial struct{}
+
+// Select has nothing to poll for: no iteration, no finding.
+func (trivial) Select(ctx *Context) int { return 1 }
+
+// EstimateNoContext takes no Context, so the budget contract does not
+// apply (whoever calls it owns the polling).
+func EstimateNoContext(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

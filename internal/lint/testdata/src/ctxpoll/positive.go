@@ -1,0 +1,31 @@
+// Package fixture exercises the ctxpoll analyzer: hot paths that carry
+// a Context and loop must poll the budget.
+package fixture
+
+// Context mimics the cooperative-budget API of internal/core.Context.
+type Context struct{ polls int }
+
+// Check is the amortized budget poll.
+func (c *Context) Check() error { c.polls++; return nil }
+
+// CheckNow is the unconditional budget poll.
+func (c *Context) CheckNow() error { c.polls++; return nil }
+
+// Select loops without ever polling: only the hard watchdog can stop
+// it, which abandons the cell and leaks the goroutine.
+func Select(ctx *Context, n int) int { // want ctxpoll "Select loops but never polls"
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// EstimateSpread has the same gap in an estimation path.
+func EstimateSpread(ctx *Context, xs []int) int { // want ctxpoll "EstimateSpread loops but never polls"
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,15 @@
+package fixture
+
+type bounded struct{}
+
+// Select demonstrates a justified waiver: the loop bound is a small
+// compile-time constant, so the budget cannot meaningfully overrun.
+//
+//imlint:ignore ctxpoll fixture: loop is bounded by a small constant
+func (bounded) Select(ctx *Context, xs [4]int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,24 @@
+package fixture
+
+import (
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/rng"
+)
+
+// SeededDraw threads an explicit seed through internal/rng — the
+// endorsed pattern.
+func SeededDraw(seed uint64) float64 {
+	return rng.New(seed).Float64()
+}
+
+// Stopwatch uses the wall clock for timing, not seeding: allowed.
+func Stopwatch() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// NotNowUnix calls Unix() on a value that is not time.Now(): allowed.
+func NotNowUnix(t time.Time) int64 {
+	return t.Unix()
+}

@@ -1,0 +1,24 @@
+// Package fixture exercises the detrand analyzer: wall-clock seeding
+// and math/rand both defeat single-seed reproducibility.
+package fixture
+
+import (
+	"math/rand" // want detrand "import of math/rand"
+	"time"
+)
+
+// WallClockSeed derives a seed from the wall clock — the classic
+// nondeterminism bug detrand exists to catch.
+func WallClockSeed() uint64 {
+	return uint64(time.Now().UnixNano()) // want detrand "time.Now().UnixNano()"
+}
+
+// WallClockMillis is the same bug through a different accessor.
+func WallClockMillis() int64 {
+	return time.Now().UnixMilli() // want detrand "time.Now().UnixMilli()"
+}
+
+// GlobalRNG consumes the global math/rand stream.
+func GlobalRNG() int {
+	return rand.Int()
+}

@@ -1,0 +1,15 @@
+package fixture
+
+import "time"
+
+// SuppressedWallClock shows a justified waiver: the directive on the
+// line above (or the same line) downgrades the finding.
+func SuppressedWallClock() uint64 {
+	//imlint:ignore detrand fixture demonstrating a justified suppression
+	return uint64(time.Now().UnixNano())
+}
+
+// SuppressedSameLine uses a trailing directive instead.
+func SuppressedSameLine() int64 {
+	return time.Now().Unix() //imlint:ignore detrand trailing-comment form of the waiver
+}

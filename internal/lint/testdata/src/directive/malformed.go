@@ -1,0 +1,13 @@
+// Package fixture exercises directive validation: a suppression that
+// cannot be honored must fail the gate instead of silently disabling a
+// check.
+package fixture
+
+//imlint:ignore detrand
+var MissingReason = 1
+
+//imlint:ignore nosuchanalyzer because it seemed like a good idea
+var UnknownAnalyzer = 2
+
+//imlint:ignore
+var MissingEverything = 3

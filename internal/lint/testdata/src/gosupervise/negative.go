@@ -1,0 +1,22 @@
+package fixture
+
+// SpawnSupervised recovers panics and reports them as values — the
+// pattern guardedSelect uses.
+func SpawnSupervised(work func(), panics chan<- interface{}) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panics <- r
+			}
+		}()
+		work()
+	}()
+}
+
+// SpawnNamed launches a named function: supervision is that function's
+// concern at its definition site, not the launch site's.
+func SpawnNamed() {
+	go namedWorker()
+}
+
+func namedWorker() {}

@@ -1,0 +1,19 @@
+// Package fixture exercises the gosupervise analyzer: goroutine
+// literals must defer a recover, or one panic kills the whole process.
+package fixture
+
+// SpawnBare launches an unsupervised goroutine: a panic inside it
+// bypasses the resilience layer entirely.
+func SpawnBare(work func()) {
+	go func() { // want gosupervise "without a deferred recover"
+		work()
+	}()
+}
+
+// SpawnDeferNoRecover defers cleanup but never recovers: still fatal.
+func SpawnDeferNoRecover(work, cleanup func()) {
+	go func() { // want gosupervise "without a deferred recover"
+		defer cleanup()
+		work()
+	}()
+}

@@ -1,0 +1,10 @@
+package fixture
+
+// SpawnExempt demonstrates a justified waiver, mirroring the diffusion
+// worker pool: the body runs trusted harness code only.
+func SpawnExempt(work func()) {
+	//imlint:ignore gosupervise fixture: body runs trusted harness code; recover would mask corruption
+	go func() {
+		work()
+	}()
+}

@@ -1,0 +1,58 @@
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// WriteChecked handles every error, using the named-return close idiom
+// on the write path.
+func WriteChecked(path string, rows []string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(f, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDiscard closes a read-only handle with an explicit discard: the
+// `_ =` makes the decision visible and greppable.
+func ReadDiscard(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// BuildString writes into an in-memory builder: defined never to fail,
+// so the discarded error results are fine.
+func BuildString(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// Diagnose writes to stderr: terminal output is best-effort.
+func Diagnose(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+}

@@ -1,0 +1,27 @@
+// Package fixture exercises the ioerr analyzer: file-flavored I/O
+// errors must not be silently discarded.
+package fixture
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// WriteReport drops errors at every stage of a write path.
+func WriteReport(path string, v interface{}) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close() // want ioerr "deferred Close"
+
+	enc := json.NewEncoder(f)
+	enc.Encode(v)                      // want ioerr "error from enc.Encode"
+	fmt.Fprintf(f, "trailer: %v\n", v) // want ioerr "error from fmt.Fprintf"
+}
+
+// Cleanup ignores the removal outcome.
+func Cleanup(path string) {
+	os.Remove(path) // want ioerr "error from os.Remove"
+}

@@ -1,0 +1,10 @@
+package fixture
+
+import "os"
+
+// BestEffortCleanup demonstrates a justified waiver: the file is a
+// temporary scratch artifact and the OS will reclaim it anyway.
+func BestEffortCleanup(path string) {
+	//imlint:ignore ioerr fixture: scratch file, best-effort removal
+	os.Remove(path)
+}

@@ -1,0 +1,29 @@
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// EmitSorted is the endorsed pattern: collect keys, sort, then emit
+// from the slice.
+func EmitSorted(w io.Writer, stats map[string]float64) {
+	keys := make([]string, 0, len(stats))
+	for k := range stats { // accumulation only: no emission in the body
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s,%g\n", k, stats[k])
+	}
+}
+
+// Total ranges a map without emitting: pure accumulation is fine.
+func Total(stats map[string]float64) float64 {
+	var sum float64
+	for _, v := range stats {
+		sum += v
+	}
+	return sum
+}

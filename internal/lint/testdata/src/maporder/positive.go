@@ -1,0 +1,31 @@
+// Package fixture exercises the maporder analyzer: emitting output
+// while ranging a map bakes the randomized iteration order into the
+// result stream.
+package fixture
+
+import (
+	"fmt"
+	"io"
+)
+
+// EmitDirect prints rows straight out of map iteration: the CSV/table
+// row order changes every run.
+func EmitDirect(w io.Writer, stats map[string]float64) {
+	for name, v := range stats { // want maporder "range over map stats"
+		fmt.Fprintf(w, "%s,%g\n", name, v)
+	}
+}
+
+// sink mimics a journal/table-style accumulator.
+type sink struct{ rows []string }
+
+// Append records one row.
+func (s *sink) Append(row string) { s.rows = append(s.rows, row) }
+
+// EmitViaMethod appends rows in map order: the journal record stream
+// is nondeterministic even though nothing is printed here.
+func EmitViaMethod(s *sink, cells map[int]string) {
+	for k, c := range cells { // want maporder "range over map cells"
+		s.Append(fmt.Sprintf("%d=%s", k, c))
+	}
+}

@@ -1,0 +1,15 @@
+package fixture
+
+import (
+	"fmt"
+	"io"
+)
+
+// EmitUnordered demonstrates a justified waiver for output whose
+// consumer is explicitly order-insensitive.
+func EmitUnordered(w io.Writer, stats map[string]float64) {
+	//imlint:ignore maporder fixture: consumer treats rows as an unordered set
+	for name, v := range stats {
+		fmt.Fprintf(w, "%s,%g\n", name, v)
+	}
+}

@@ -1,12 +1,24 @@
 #!/usr/bin/env sh
-# Full verification gate: static analysis plus the complete test suite
-# under the race detector (the resilience layer's supervised goroutines
-# make -race load-bearing, not optional).
+# Full verification gate: formatting, static analysis (go vet plus the
+# project's own imlint invariants), then the complete test suite under
+# the race detector (the resilience layer's supervised goroutines make
+# -race load-bearing, not optional).
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "==> gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files are not gofmt-formatted:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "==> go vet ./..."
 go vet ./...
+
+echo "==> imlint ./..."
+go run ./cmd/imlint ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
