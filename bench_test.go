@@ -5,6 +5,7 @@
 package goinfmax_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"github.com/sigdata/goinfmax/internal/core"
 	"github.com/sigdata/goinfmax/internal/diffusion"
 	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/serve"
 	"github.com/sigdata/goinfmax/internal/weights"
 )
 
@@ -356,6 +358,69 @@ func BenchmarkDiffusion_SingleCascade(b *testing.B) {
 		if est.Mean <= 0 {
 			b.Fatal("zero")
 		}
+	}
+}
+
+// benchOracles memoizes serving oracles across benchmark targets: the
+// whole point of the serving layer is that the build cost is paid once.
+var benchOracles = map[string]serve.Oracle{}
+
+func benchOracle(b *testing.B, backend string) (serve.Oracle, *graph.Graph) {
+	b.Helper()
+	// The acceptance target: a Barabási–Albert stand-in around 50k nodes
+	// (youtube at scale 22 ≈ 51k), WC weights, the serving default.
+	g := benchGraph(b, "youtube", 22, goinfmax.WeightedCascade{})
+	o, ok := benchOracles[backend]
+	if !ok {
+		var err error
+		o, err = serve.BuildOracle(context.Background(), backend, g, weights.IC, 0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchOracles[backend] = o
+	}
+	return o, g
+}
+
+// BenchmarkOracleSpread measures a warm /v1/spread point query: one
+// σ(S) estimate from the precomputed index, |S| = 10.
+func BenchmarkOracleSpread(b *testing.B) {
+	for _, backend := range serve.Backends() {
+		b.Run(backend, func(b *testing.B) {
+			o, g := benchOracle(b, backend)
+			seeds := make([]goinfmax.NodeID, 10)
+			for i := range seeds {
+				seeds[i] = goinfmax.NodeID(i * int(g.N()) / 10)
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp, err := o.Spread(ctx, seeds)
+				if err != nil || sp <= 0 {
+					b.Fatalf("spread %v err %v", sp, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOracleSeeds measures a warm /v1/seeds query: greedy top-10
+// selection over the precomputed index (the <100ms acceptance path).
+func BenchmarkOracleSeeds(b *testing.B) {
+	for _, backend := range serve.Backends() {
+		b.Run(backend, func(b *testing.B) {
+			o, _ := benchOracle(b, backend)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seeds, sp, err := o.Seeds(ctx, 10)
+				if err != nil || len(seeds) != 10 || sp <= 0 {
+					b.Fatalf("seeds %v spread %v err %v", seeds, sp, err)
+				}
+			}
+		})
 	}
 }
 

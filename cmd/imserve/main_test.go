@@ -1,0 +1,164 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServer runs the real run() on a free port and returns the base URL
+// plus a shutdown func that cancels the context (simulating SIGINT) and
+// returns run's error — the exit-0/exit-1 decision.
+func startServer(t *testing.T, extraArgs ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+
+	addrCh := make(chan string, 1)
+	testOnListen = func(addr string) { addrCh <- addr }
+	t.Cleanup(func() { testOnListen = nil })
+
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-dataset", "nethept", "-scale", "64",
+		"-indexsize", "2000",
+	}, extraArgs...)
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, args) }()
+
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, func() error {
+			cancel()
+			select {
+			case err := <-runErr:
+				return err
+			case <-time.After(30 * time.Second):
+				t.Fatal("run did not return after cancellation")
+				return nil
+			}
+		}
+	case err := <-runErr:
+		cancel()
+		t.Fatalf("run exited before listening: %v", err)
+		return "", nil
+	case <-time.After(60 * time.Second):
+		cancel()
+		t.Fatal("server did not start listening")
+		return "", nil
+	}
+}
+
+// TestServeAndDrain boots the binary's run(), issues real HTTP requests,
+// then cancels the signal context and asserts a clean (exit 0) drain.
+func TestServeAndDrain(t *testing.T) {
+	base, shutdown := startServer(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "ok\n" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post(base+"/v1/seeds", "application/json", strings.NewReader(`{"k":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("seeds = %d %s", resp.StatusCode, body)
+	}
+	var sr struct {
+		Seeds  []int64 `json:"seeds"`
+		Spread float64 `json:"spread"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Seeds) != 3 || sr.Spread <= 0 {
+		t.Fatalf("bad seeds body: %s", body)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("drain returned error (non-zero exit): %v", err)
+	}
+}
+
+// TestDrainWithRequestInFlight delivers the shutdown while a request is
+// mid-handler: the request must still complete with 200 and run must
+// return nil (graceful drain, not a hard close).
+func TestDrainWithRequestInFlight(t *testing.T) {
+	base, shutdown := startServer(t)
+
+	inFlight := make(chan int, 1)
+	go func() {
+		// A slow request: a fresh k under a generous budget. The handler
+		// holds the in-flight slot while the greedy selection runs.
+		resp, err := http.Post(base+"/v1/seeds", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"k":%d,"budget_ms":20000}`, 50)))
+		if err != nil {
+			inFlight <- -1
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		inFlight <- resp.StatusCode
+	}()
+	// Let the request reach the handler before pulling the plug. A fixed
+	// small sleep keeps this simple; if the request had already finished,
+	// the test still passes (it just degrades to TestServeAndDrain).
+	time.Sleep(50 * time.Millisecond)
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("drain returned error: %v", err)
+	}
+	if got := <-inFlight; got != 200 {
+		t.Fatalf("in-flight request finished with %d, want 200", got)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown model", []string{"-model", "XYZ"}, "unknown model"},
+		{"unknown backend", []string{"-backend", "nope", "-dataset", "nethept", "-scale", "64"}, "unknown oracle backend"},
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"missing file", []string{"-file", "/nonexistent/edges.txt"}, "nonexistent"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(context.Background(), tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestBuildCancelledBySignal delivers the shutdown signal during the
+// oracle build: run must abort the build and return the cancellation
+// error instead of serving.
+func TestBuildCancelledBySignal(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // signal already pending when the build starts
+	err := run(ctx, []string{
+		"-addr", "127.0.0.1:0",
+		"-dataset", "nethept", "-scale", "8",
+		"-indexsize", "2000000",
+	})
+	if err == nil {
+		t.Fatal("run completed despite a pre-cancelled context")
+	}
+}

@@ -1,0 +1,99 @@
+package rrset
+
+import (
+	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/graphalgo"
+)
+
+// Index is a precomputed RR-set influence oracle in the spirit of Cohen et
+// al.'s sketch-based oracles (arXiv:1408.6282): θ reverse-reachable sets
+// are sampled once, inverted into per-node membership lists, and then
+// arbitrary online queries are answered from the inversion without touching
+// the graph again.
+//
+//   - SpreadOf(S) returns the extrapolated estimate n·F(S), where F(S) is
+//     the fraction of RR sets hit by S — the same unbiased estimator the
+//     RR-set selection algorithms report (paper M4 / Appendix A), with
+//     relative error O(1/sqrt(θ·F)).
+//   - SelectSeeds(k) runs lazy greedy max-cover over the stored sets, i.e.
+//     the node-selection phase of TIM+/IMM decoupled from their sampling
+//     phase, so per-query k costs only the greedy, never the sampling.
+//
+// The index is immutable after construction and safe for concurrent
+// queries: SpreadOf reads shared state only, and SelectSeeds clones the
+// coverage marks per call.
+type Index struct {
+	n     int32
+	sets  [][]graph.NodeID
+	cp    *graphalgo.CoverageProblem
+	bytes int64
+}
+
+// BuildIndex samples theta RR sets under ctx (graph, model, RNG, budget)
+// and inverts them into a query index. Construction honors ctx's
+// cooperative budget/cancellation checks and accounts index memory through
+// ctx.Account, so a budgeted build DNFs/Crashes exactly like the offline
+// algorithms would.
+func BuildIndex(ctx *core.Context, theta int64) (*Index, error) {
+	if theta < 1 {
+		theta = 1
+	}
+	c := newCollection(ctx)
+	if err := c.extend(theta); err != nil {
+		return nil, err
+	}
+	var bytes int64
+	for _, s := range c.sets {
+		bytes += int64(len(s))*4 + rrSetOverheadBytes
+	}
+	return &Index{
+		n:     ctx.G.N(),
+		sets:  c.sets,
+		cp:    graphalgo.NewCoverageProblem(ctx.G.N(), c.sets),
+		bytes: bytes,
+	}, nil
+}
+
+// N returns the node count of the indexed graph.
+func (ix *Index) N() int32 { return ix.n }
+
+// NumSets returns θ, the number of stored RR sets.
+func (ix *Index) NumSets() int { return len(ix.sets) }
+
+// MemoryBytes returns the approximate resident size of the stored sets
+// (the inversion roughly doubles it; callers wanting the full footprint
+// should double this figure).
+func (ix *Index) MemoryBytes() int64 { return ix.bytes }
+
+// SpreadOf returns the index's spread estimate n·F(seeds). It does not
+// mutate the index and is safe for concurrent use.
+func (ix *Index) SpreadOf(seeds []graph.NodeID) float64 {
+	if len(ix.sets) == 0 {
+		return 0
+	}
+	covered := ix.cp.CoverageOf(seeds)
+	return float64(ix.n) * float64(covered) / float64(len(ix.sets))
+}
+
+// SelectSeeds greedily selects k seeds by max-cover over the stored sets
+// and returns them with the extrapolated spread estimate n·F(S). poll
+// (when non-nil) is invoked periodically; a non-nil return aborts the
+// selection with that error, which is how per-request deadlines reach the
+// greedy. Each call works on a private clone of the coverage marks, so
+// concurrent selections do not interfere.
+func (ix *Index) SelectSeeds(k int, poll func() error) ([]graph.NodeID, float64, error) {
+	if k < 1 {
+		k = 1
+	}
+	res, err := ix.cp.Clone().GreedyMaxCoverPoll(k, poll)
+	if err != nil {
+		return nil, 0, err
+	}
+	seeds := make([]graph.NodeID, len(res.Seeds))
+	copy(seeds, res.Seeds)
+	// Same expression as SpreadOf so a follow-up point query for the
+	// selected set returns bit-identical spread.
+	spread := float64(ix.n) * float64(res.NumCovered) / float64(len(ix.sets))
+	return seeds, spread, nil
+}

@@ -1,0 +1,221 @@
+package snapshot
+
+import (
+	"container/heap"
+
+	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/diffusion"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/graphalgo"
+)
+
+// Pool is a precomputed snapshot influence oracle: R live-edge
+// instantiations are sampled once, condensed into their SCC DAGs (the PMC
+// representation — raw snapshots are discarded), and online queries are
+// answered by DAG reachability.
+//
+//   - SpreadOf(S) averages |reach(S)| over the stored DAGs, the unbiased
+//     snapshot estimator of σ(S) (paper §4.3).
+//   - SelectSeeds(k) runs PMC's lazy greedy — descendant-mass upper bounds
+//     as optimistic priors, exact DAG BFS on demand — against per-call
+//     covered marks.
+//
+// The pool is immutable after construction; every query allocates its own
+// scratch (marks, queues, covered arrays), so concurrent queries are safe.
+type Pool struct {
+	n       int32
+	entries []poolEntry
+	maxComp int32
+	bytes   int64
+}
+
+// poolEntry is one condensed snapshot: the SCC DAG plus the per-component
+// descendant-mass upper bound. Unlike the offline `condensed` type it
+// carries no covered marks — those are per-query state.
+type poolEntry struct {
+	dag   *graphalgo.Condensation
+	bound []float64
+}
+
+// BuildPool samples r live-edge snapshots under ctx (graph, model, RNG,
+// budget) and condenses each into its SCC DAG. Construction honors ctx's
+// cooperative budget/cancellation checks and accounts DAG memory through
+// ctx.Account. Both IC and LT are supported: live-edge instantiations
+// exist for either semantics (under LT each node keeps at most one
+// in-arc, so the DAGs are forests of paths).
+func BuildPool(ctx *core.Context, r int) (*Pool, error) {
+	if r < 1 {
+		r = 1
+	}
+	p := &Pool{n: ctx.G.N(), entries: make([]poolEntry, 0, r)}
+	for i := 0; i < r; i++ {
+		if err := ctx.CheckNow(); err != nil {
+			return nil, err
+		}
+		sn := diffusion.SampleSnapshot(ctx.G, ctx.Model, ctx.RNG)
+		comp, ncomp := graphalgo.SCC(snapView{sn})
+		dag := graphalgo.Condense(snapView{sn}, comp, ncomp)
+		bytes := int64(len(dag.Comp))*4 + int64(len(dag.To))*4 + int64(len(dag.Off))*8 +
+			int64(ncomp)*12
+		ctx.Account(bytes)
+		p.bytes += bytes
+		p.entries = append(p.entries, poolEntry{dag: dag, bound: descendantBound(dag)})
+		if ncomp > p.maxComp {
+			p.maxComp = ncomp
+		}
+	}
+	return p, nil
+}
+
+// N returns the node count of the indexed graph.
+func (p *Pool) N() int32 { return p.n }
+
+// NumSnapshots returns R, the number of condensed snapshots.
+func (p *Pool) NumSnapshots() int { return len(p.entries) }
+
+// MemoryBytes returns the approximate resident size of the condensed DAGs.
+func (p *Pool) MemoryBytes() int64 { return p.bytes }
+
+// SpreadOf estimates σ(seeds) as the average mass reachable from the seed
+// components over the stored DAGs. poll (when non-nil) is invoked once per
+// snapshot; a non-nil return aborts with that error.
+func (p *Pool) SpreadOf(seeds []graph.NodeID, poll func() error) (float64, error) {
+	if len(p.entries) == 0 {
+		return 0, nil
+	}
+	mark := make([]uint32, p.maxComp)
+	var epoch uint32
+	queue := make([]int32, 0, 256)
+	total := int64(0)
+	for _, e := range p.entries {
+		if poll != nil {
+			if err := poll(); err != nil {
+				return 0, err
+			}
+		}
+		epoch++
+		queue = queue[:0]
+		for _, v := range seeds {
+			c := e.dag.Comp[v]
+			if mark[c] != epoch {
+				mark[c] = epoch
+				queue = append(queue, c)
+			}
+		}
+		for head := 0; head < len(queue); head++ {
+			x := queue[head]
+			total += int64(e.dag.Size[x])
+			for _, y := range e.dag.OutNeighbors(x) {
+				if mark[y] != epoch {
+					mark[y] = epoch
+					queue = append(queue, y)
+				}
+			}
+		}
+	}
+	return float64(total) / float64(len(p.entries)), nil
+}
+
+// SelectSeeds greedily selects k seeds with PMC's pruned lazy greedy and
+// returns them with the pool's spread estimate of the selected set. poll
+// (when non-nil) is invoked once per exact evaluation; a non-nil return
+// aborts with that error. Covered marks are per-call, so concurrent
+// selections do not interfere.
+func (p *Pool) SelectSeeds(k int, poll func() error) ([]graph.NodeID, float64, error) {
+	if k < 1 {
+		k = 1
+	}
+	r := len(p.entries)
+	if r == 0 {
+		return nil, 0, nil
+	}
+	covered := make([][]bool, r)
+	for i, e := range p.entries {
+		covered[i] = make([]bool, e.dag.NComp)
+	}
+	mark := make([]uint32, p.maxComp)
+	var epoch uint32
+	queue := make([]int32, 0, 256)
+
+	exactGain := func(v graph.NodeID) float64 {
+		total := int64(0)
+		for i, e := range p.entries {
+			c := e.dag.Comp[v]
+			if covered[i][c] {
+				continue
+			}
+			epoch++
+			queue = queue[:0]
+			queue = append(queue, c)
+			mark[c] = epoch
+			for head := 0; head < len(queue); head++ {
+				x := queue[head]
+				if !covered[i][x] {
+					total += int64(e.dag.Size[x])
+				}
+				for _, y := range e.dag.OutNeighbors(x) {
+					if mark[y] != epoch {
+						mark[y] = epoch
+						queue = append(queue, y)
+					}
+				}
+			}
+		}
+		return float64(total) / float64(r)
+	}
+
+	commit := func(v graph.NodeID) {
+		for i, e := range p.entries {
+			c := e.dag.Comp[v]
+			if covered[i][c] {
+				continue
+			}
+			epoch++
+			queue = queue[:0]
+			queue = append(queue, c)
+			mark[c] = epoch
+			for head := 0; head < len(queue); head++ {
+				x := queue[head]
+				covered[i][x] = true
+				for _, y := range e.dag.OutNeighbors(x) {
+					if mark[y] != epoch && !covered[i][y] {
+						mark[y] = epoch
+						queue = append(queue, y)
+					}
+				}
+			}
+		}
+	}
+
+	h := make(lazyHeap, 0, p.n)
+	for v := graph.NodeID(0); v < p.n; v++ {
+		ub := 0.0
+		for _, e := range p.entries {
+			ub += e.bound[e.dag.Comp[v]]
+		}
+		h = append(h, lazyItem{node: v, gain: ub / float64(r), round: -1})
+	}
+	heap.Init(&h)
+
+	seeds := make([]graph.NodeID, 0, k)
+	spread := 0.0
+	for len(seeds) < k && len(h) > 0 {
+		top := &h[0]
+		if int(top.round) == len(seeds) {
+			seeds = append(seeds, top.node)
+			spread += top.gain
+			commit(top.node)
+			heap.Pop(&h)
+			continue
+		}
+		if poll != nil {
+			if err := poll(); err != nil {
+				return nil, 0, err
+			}
+		}
+		top.gain = exactGain(top.node)
+		top.round = int32(len(seeds))
+		heap.Fix(&h, 0)
+	}
+	return seeds, spread, nil
+}

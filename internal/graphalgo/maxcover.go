@@ -55,6 +55,28 @@ type MaxCoverResult struct {
 // GreedyMaxCover picks k nodes maximizing coverage with lazy evaluation.
 // Guarantees the (1−1/e) approximation of monotone submodular maximization.
 func (cp *CoverageProblem) GreedyMaxCover(k int) MaxCoverResult {
+	res, _ := cp.GreedyMaxCoverPoll(k, nil)
+	return res
+}
+
+// Clone returns a coverage problem sharing the (immutable) set inversion
+// with cp but carrying fresh covered marks, so several greedy covers can
+// run concurrently over one index. The greedy never mutates nodeSets or
+// degree, only covered; cloning is therefore O(#sets).
+func (cp *CoverageProblem) Clone() *CoverageProblem {
+	return &CoverageProblem{
+		numSets:  cp.numSets,
+		nodeSets: cp.nodeSets,
+		covered:  make([]bool, cp.numSets),
+		degree:   cp.degree,
+	}
+}
+
+// GreedyMaxCoverPoll is GreedyMaxCover with a cooperative cancellation
+// hook: poll (when non-nil) is invoked once per selection round plus every
+// pollStride lazy re-evaluations, and a non-nil return aborts the greedy
+// with that error. Online serving uses it to honor per-request deadlines.
+func (cp *CoverageProblem) GreedyMaxCoverPoll(k int, poll func() error) (MaxCoverResult, error) {
 	res := MaxCoverResult{}
 	h := make(coverHeap, 0, len(cp.nodeSets))
 	for v, d := range cp.degree {
@@ -64,7 +86,13 @@ func (cp *CoverageProblem) GreedyMaxCover(k int) MaxCoverResult {
 	}
 	heap.Init(&h)
 	covered := int64(0)
+	reevals := 0
 	for round := 0; round < k && len(h) > 0; round++ {
+		if poll != nil {
+			if err := poll(); err != nil {
+				return res, err
+			}
+		}
 		var pick coverItem
 		for {
 			top := h[0]
@@ -74,6 +102,12 @@ func (cp *CoverageProblem) GreedyMaxCover(k int) MaxCoverResult {
 				break
 			}
 			// Recompute the stale gain lazily.
+			reevals++
+			if poll != nil && reevals%pollStride == 0 {
+				if err := poll(); err != nil {
+					return res, err
+				}
+			}
 			gain := int64(0)
 			for _, si := range cp.nodeSets[top.node] {
 				if !cp.covered[si] {
@@ -119,8 +153,13 @@ func (cp *CoverageProblem) GreedyMaxCover(k int) MaxCoverResult {
 	if cp.numSets > 0 {
 		res.Fraction = float64(covered) / float64(cp.numSets)
 	}
-	return res
+	return res, nil
 }
+
+// pollStride bounds how many lazy re-evaluations may run between two poll
+// calls; each re-evaluation touches one node's full set list, so this keeps
+// the deadline-check latency in the tens of microseconds on real indexes.
+const pollStride = 256
 
 // CoverageOf returns the number of sets covered by the given seed set,
 // without mutating the problem.

@@ -1,0 +1,155 @@
+package metrics
+
+import "math"
+
+// Histogram is a fixed-bucket histogram for long-running aggregation.
+//
+// Summary retains every observation (exact percentiles, unbounded memory)
+// and fits one-shot benchmark cells; a serving process observing millions
+// of request latencies needs constant memory instead. Histogram trades
+// exact percentiles for O(#buckets) state: Quantile interpolates linearly
+// inside the bucket containing the requested rank, clamped by the exact
+// observed min/max.
+//
+// Not safe for concurrent use; callers guard it with their own lock.
+type Histogram struct {
+	bounds   []float64 // ascending upper bounds; a final +Inf bucket is implicit
+	counts   []int64   // len(bounds)+1
+	n        int64
+	sum      float64
+	min, max float64
+}
+
+// NewHistogram builds a histogram over the given ascending bucket upper
+// bounds. An empty bounds slice yields a single catch-all bucket (count,
+// mean, min and max still work; Quantile degrades to min/max clamping).
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// LatencyBuckets returns the default request-latency bucket bounds in
+// milliseconds: a 1–2.5–5 decade ladder from 0.1ms to 10s, matching the
+// range between a cache hit and a saturated seeds query.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+		1000, 2500, 5000, 10000,
+	}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(x float64) {
+	if h.n == 0 || x < h.min {
+		h.min = x
+	}
+	if h.n == 0 || x > h.max {
+		h.max = x
+	}
+	h.n++
+	h.sum += x
+	h.counts[h.bucketOf(x)]++
+}
+
+// bucketOf returns the index of the bucket containing x by binary search:
+// bucket i covers (bounds[i-1], bounds[i]], the last bucket is unbounded.
+func (h *Histogram) bucketOf(x float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if x <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an estimate of the p-quantile (0 ≤ p ≤ 1): the bucket
+// holding the rank is located, and the value is interpolated linearly
+// through it, clamped to the exact observed [min, max].
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 1 {
+		return h.max
+	}
+	rank := p * float64(h.n)
+	cum := int64(0)
+	for i, c := range h.counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		lo := h.min
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.max
+		if i < len(h.bounds) && h.bounds[i] < hi {
+			hi = h.bounds[i]
+		}
+		if lo > hi {
+			lo = hi
+		}
+		if c == 0 {
+			return clamp(lo, h.min, h.max)
+		}
+		frac := (rank - float64(cum)) / float64(c)
+		return clamp(lo+(hi-lo)*frac, h.min, h.max)
+	}
+	return h.max
+}
+
+// Buckets invokes fn for each bucket in ascending order with its upper
+// bound (math.Inf(1) for the catch-all) and count, for renderers.
+func (h *Histogram) Buckets(fn func(upper float64, count int64)) {
+	for i, c := range h.counts {
+		upper := math.Inf(1)
+		if i < len(h.bounds) {
+			upper = h.bounds[i]
+		}
+		fn(upper, c)
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	if h.N() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not zeroed: n=%d sum=%v mean=%v min=%v max=%v",
+			h.N(), h.Sum(), h.Mean(), h.Min(), h.Max())
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("Quantile on empty = %v, want 0", q)
+	}
+}
+
+func TestHistogramMoments(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, x := range []float64{0.5, 2, 3, 50, 200} {
+		h.Observe(x)
+	}
+	if h.N() != 5 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Sum() != 255.5 {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+	if h.Mean() != 51.1 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 0.5 || h.Max() != 200 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramBucketOf(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0, 0}, {1, 0}, // bucket i covers (bounds[i-1], bounds[i]]
+		{1.001, 1}, {10, 1},
+		{10.001, 2}, {100, 2},
+		{100.001, 3}, {1e12, 3}, // implicit +Inf catch-all
+	}
+	for _, tc := range cases {
+		if got := h.bucketOf(tc.x); got != tc.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramBucketsIteration(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(50)
+	var uppers []float64
+	var counts []int64
+	h.Buckets(func(upper float64, count int64) {
+		uppers = append(uppers, upper)
+		counts = append(counts, count)
+	})
+	if len(uppers) != 3 || uppers[0] != 1 || uppers[1] != 10 || !math.IsInf(uppers[2], 1) {
+		t.Fatalf("uppers = %v", uppers)
+	}
+	if counts[0] != 1 || counts[1] != 2 || counts[2] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	// 100 uniform samples 1..100 against decade buckets: quantiles must
+	// land within one bucket width of the exact order statistic.
+	h := NewHistogram([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	for _, tc := range []struct {
+		p, exact float64
+	}{
+		{0.10, 10}, {0.50, 50}, {0.95, 95}, {0.99, 99},
+	} {
+		got := h.Quantile(tc.p)
+		if diff := math.Abs(got - tc.exact); diff > 10 {
+			t.Errorf("Quantile(%v) = %v, want within a bucket of %v", tc.p, got, tc.exact)
+		}
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want min 1", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("Quantile(1) = %v, want max 100", got)
+	}
+}
+
+func TestHistogramQuantileClampedToObserved(t *testing.T) {
+	// A single observation deep inside a wide bucket: every quantile must
+	// return exactly that value, not a bucket-edge interpolation.
+	h := NewHistogram([]float64{1000})
+	h.Observe(3.7)
+	for _, p := range []float64{0.01, 0.5, 0.99} {
+		if got := h.Quantile(p); got != 3.7 {
+			t.Fatalf("Quantile(%v) = %v, want the only observation 3.7", p, got)
+		}
+	}
+}
+
+func TestHistogramNoBounds(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(2)
+	h.Observe(8)
+	if h.N() != 2 || h.Mean() != 5 {
+		t.Fatalf("n=%d mean=%v", h.N(), h.Mean())
+	}
+	if q := h.Quantile(0.5); q < 2 || q > 8 {
+		t.Fatalf("Quantile(0.5) = %v outside observed range", q)
+	}
+}
+
+func TestHistogramPanicsOnUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram accepted non-ascending bounds")
+		}
+	}()
+	NewHistogram([]float64{1, 1, 2})
+}
+
+func TestLatencyBucketsAscending(t *testing.T) {
+	b := LatencyBuckets()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("LatencyBuckets not ascending at %d: %v", i, b)
+		}
+	}
+	// The ladder must span cache hits (sub-ms) through saturated queries.
+	if b[0] > 0.1 || b[len(b)-1] < 10000 {
+		t.Fatalf("LatencyBuckets range too narrow: %v", b)
+	}
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := NewTable("demo", "name", "count")
+	tb.AddRow("a", 1)
+	tb.AddRow("longer-name", 23456)
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "== demo ==" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// Header and separator pad to the widest cell in each column.
+	if !strings.HasPrefix(lines[1], "name         count") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "-----------  -----") {
+		t.Fatalf("separator = %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "a            1") {
+		t.Fatalf("row = %q", lines[3])
+	}
+}
+
+func TestTableRenderNoTitle(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow("v")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "==") {
+		t.Fatalf("untitled table rendered a title line:\n%s", sb.String())
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{0.12345, "0.1235"}, // < 1: four decimals
+		{2.5, "2.50"},       // [1, 1000): two decimals
+		{999.994, "999.99"},
+		{1234.56, "1235"}, // >= 1000: integral
+		{-2.5, "-2.50"},   // sign preserved, magnitude buckets
+	}
+	for _, tc := range cases {
+		if got := formatFloat(tc.in); got != tc.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTableAddRowMixedTypes(t *testing.T) {
+	tb := NewTable("t", "a", "b", "c", "d")
+	tb.AddRow("s", 42, 3.14159, int64(7))
+	row := tb.Rows[0]
+	if row[0] != "s" || row[1] != "42" || row[2] != "3.14" || row[3] != "7" {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := NewTable("t", "name", "value")
+	tb.AddRow("a,with,commas", 1.5)
+	tb.AddRow("b", 2)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("got %d records", len(records))
+	}
+	if records[0][0] != "name" || records[1][0] != "a,with,commas" || records[1][1] != "1.50" {
+		t.Fatalf("records = %v", records)
+	}
+}
+
+func TestTableSaveCSVCreatesDirs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested", "dir", "out.csv")
+	tb := NewTable("t", "h")
+	tb.AddRow("v")
+	if err := tb.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "h\nv\n" {
+		t.Fatalf("file contents = %q", data)
+	}
+}

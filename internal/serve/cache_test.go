@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUBasic(t *testing.T) {
+	c := newLRU(2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("Get on empty cache reported a hit")
+	}
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	// "a" was just touched, so inserting "c" must evict "b".
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction despite being least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a was evicted despite being most recently used")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUPutRefreshesExisting(t *testing.T) {
+	c := newLRU(2)
+	c.Put("a", []byte("old"))
+	c.Put("b", []byte("2"))
+	c.Put("a", []byte("new")) // refresh, not insert: no eviction, value replaced
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if v, _ := c.Get("a"); string(v) != "new" {
+		t.Fatalf("Get(a) = %q, want new", v)
+	}
+	c.Put("c", []byte("3")) // "b" is now LRU
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived; refresh did not move a to front")
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	for _, cap := range []int{0, -1} {
+		c := newLRU(cap)
+		c.Put("a", []byte("1"))
+		if _, ok := c.Get("a"); ok {
+			t.Fatalf("cap %d: disabled cache stored an entry", cap)
+		}
+		if c.Len() != 0 {
+			t.Fatalf("cap %d: Len = %d, want 0", cap, c.Len())
+		}
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRU(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%64)
+				if v, ok := c.Get(key); ok && len(v) == 0 {
+					t.Error("empty value from cache")
+					return
+				}
+				c.Put(key, []byte{byte(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("Len = %d exceeds capacity 32", c.Len())
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// newReplica stands up one full server stack — graph, oracle, server —
+// from nothing but a seed, exactly as two imserve replicas would boot.
+func newReplica(t *testing.T, backend string, seed uint64) *httptest.Server {
+	t.Helper()
+	g := testGraph(t)
+	oracle, err := BuildOracle(context.Background(), backend, g, weights.IC, 2000, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Oracle: oracle, Graph: g, Model: weights.IC, SchemeName: "WC", Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestReplicaDeterminism asserts the serving contract from the package
+// doc: two servers started with the same -seed answer the same request
+// sequence with byte-identical bodies — including the MC-refined spread
+// path, whose RNG derives from (server seed, canonical request) only.
+func TestReplicaDeterminism(t *testing.T) {
+	requests := []struct {
+		path, body string
+	}{
+		{"/v1/seeds", `{"k":3}`},
+		{"/v1/seeds", `{"k":7}`},
+		{"/v1/spread", `{"seeds":[5,3,1]}`},
+		{"/v1/spread", `{"seeds":[1,3,5]}`},              // cache-hit path on replica
+		{"/v1/spread", `{"seeds":[2,4],"evalsims":150}`}, // per-request RNG path
+		{"/v1/seeds", `{"k":3}`},                         // repeat → cached
+	}
+	for _, backend := range Backends() {
+		t.Run(backend, func(t *testing.T) {
+			a := newReplica(t, backend, 42)
+			b := newReplica(t, backend, 42)
+			for i, req := range requests {
+				respA, bodyA := postJSON(t, a.URL+req.path, req.body)
+				respB, bodyB := postJSON(t, b.URL+req.path, req.body)
+				if respA.StatusCode != 200 || respB.StatusCode != 200 {
+					t.Fatalf("request %d %s: status %d vs %d (bodies %s | %s)",
+						i, req.path, respA.StatusCode, respB.StatusCode, bodyA, bodyB)
+				}
+				if !bytes.Equal(bodyA, bodyB) {
+					t.Fatalf("request %d %s %s: replicas disagree\nA: %s\nB: %s",
+						i, req.path, req.body, bodyA, bodyB)
+				}
+			}
+		})
+	}
+}
+
+// TestSeedChangesAnswers is the negative control: a different server seed
+// must actually change the sampled index (otherwise the determinism test
+// above would pass vacuously on constant output).
+func TestSeedChangesAnswers(t *testing.T) {
+	a := newReplica(t, "rrset", 42)
+	b := newReplica(t, "rrset", 43)
+	var bodies [2][]byte
+	for i, ts := range []*httptest.Server{a, b} {
+		resp, body := postJSON(t, ts.URL+"/v1/spread", `{"seeds":[1,2,3],"evalsims":200}`)
+		if resp.StatusCode != 200 {
+			t.Fatalf("replica %d status %d: %s", i, resp.StatusCode, body)
+		}
+		bodies[i] = body
+	}
+	if bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatalf("different seeds produced identical MC-refined bodies: %s", bodies[0])
+	}
+}
+
+// TestCacheDoesNotChangeBodies replays a request on one server with the
+// cache enabled and on another with it disabled: the body must be the
+// same either way, since responses are pure functions of the request.
+func TestCacheDoesNotChangeBodies(t *testing.T) {
+	g := testGraph(t)
+	oracle, err := BuildOracle(context.Background(), "rrset", g, weights.IC, 2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(cacheEntries int) *httptest.Server {
+		srv, err := New(Config{
+			Oracle: oracle, Graph: g, Model: weights.IC, SchemeName: "WC", Seed: 42,
+			CacheEntries: cacheEntries,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	cached, uncached := mk(64), mk(-1)
+	for _, body := range []string{`{"seeds":[9,4,4,1]}`, `{"k":5}`} {
+		path := "/v1/spread"
+		if body == `{"k":5}` {
+			path = "/v1/seeds"
+		}
+		for trial := 0; trial < 2; trial++ { // second trial hits the cache
+			_, got := postJSON(t, cached.URL+path, body)
+			_, want := postJSON(t, uncached.URL+path, body)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s trial %d: cached body %s != uncached %s",
+					fmt.Sprintf("%s %s", path, body), trial, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/metrics"
+)
+
+// serverMetrics aggregates the serving-side instrumentation exposed at
+// /metrics: per-route request/status counts and latency histograms, the
+// in-flight gauge, admission rejections, recovered panics and response-
+// cache hit/miss counts. All counters are either atomic or guarded by mu;
+// memory is constant thanks to the fixed-bucket histograms.
+type serverMetrics struct {
+	mu     sync.Mutex
+	routes map[string]*routeStats
+
+	inFlight atomic.Int64
+	rejected atomic.Int64
+	panics   atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+
+	// lastPanic records the most recent recovered panic for /metrics;
+	// the full stack goes to the process log only.
+	lastPanic string
+}
+
+// routeStats is one route's aggregate: total requests, per-class status
+// counts and a latency histogram in milliseconds.
+type routeStats struct {
+	requests int64
+	status2x int64
+	status4x int64
+	status5x int64
+	latency  *metrics.Histogram
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{routes: make(map[string]*routeStats)}
+}
+
+func (m *serverMetrics) observe(route string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.routes[route]
+	if !ok {
+		rs = &routeStats{latency: metrics.NewHistogram(metrics.LatencyBuckets())}
+		m.routes[route] = rs
+	}
+	rs.requests++
+	switch {
+	case status >= 500:
+		rs.status5x++
+	case status >= 400:
+		rs.status4x++
+	default:
+		rs.status2x++
+	}
+	rs.latency.Observe(float64(d.Microseconds()) / 1000)
+}
+
+func (m *serverMetrics) enter()  { m.inFlight.Add(1) }
+func (m *serverMetrics) leave()  { m.inFlight.Add(-1) }
+func (m *serverMetrics) reject() { m.rejected.Add(1) }
+
+func (m *serverMetrics) panicked(route string, value interface{}, stack []byte) {
+	m.panics.Add(1)
+	m.mu.Lock()
+	m.lastPanic = fmt.Sprintf("%s: %v", route, value)
+	m.mu.Unlock()
+	_ = stack // callers log it; /metrics shows only the summary line
+}
+
+func (m *serverMetrics) cacheHit()  { m.hits.Add(1) }
+func (m *serverMetrics) cacheMiss() { m.misses.Add(1) }
+
+// render writes the plain-text /metrics payload: a requests table (the
+// metrics.Table renderer, same style the benchmark CLIs print) followed by
+// a server gauge table.
+func (m *serverMetrics) render(w io.Writer, oracle OracleStats, gateCap, cacheLen, cacheCap int) error {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.routes))
+	for name := range m.routes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	req := metrics.NewTable("requests",
+		"route", "count", "2xx", "4xx", "5xx", "mean_ms", "p50_ms", "p95_ms", "max_ms")
+	for _, name := range names {
+		rs := m.routes[name]
+		req.AddRow(name, rs.requests, rs.status2x, rs.status4x, rs.status5x,
+			rs.latency.Mean(), rs.latency.Quantile(0.50), rs.latency.Quantile(0.95),
+			rs.latency.Max())
+	}
+	lastPanic := m.lastPanic
+	m.mu.Unlock()
+
+	if err := req.Render(w); err != nil {
+		return err
+	}
+
+	srv := metrics.NewTable("server", "gauge", "value")
+	srv.AddRow("in_flight", m.inFlight.Load())
+	srv.AddRow("admission_capacity", int64(gateCap))
+	srv.AddRow("rejected_429", m.rejected.Load())
+	srv.AddRow("panics_recovered", m.panics.Load())
+	srv.AddRow("cache_hits", m.hits.Load())
+	srv.AddRow("cache_misses", m.misses.Load())
+	srv.AddRow("cache_entries", fmt.Sprintf("%d/%d", cacheLen, cacheCap))
+	srv.AddRow("oracle_backend", oracle.Backend)
+	srv.AddRow("oracle_index_units", int64(oracle.Units))
+	srv.AddRow("oracle_index_bytes", oracle.Bytes)
+	if lastPanic != "" {
+		srv.AddRow("last_panic", lastPanic)
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	return srv.Render(w)
+}

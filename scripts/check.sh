@@ -20,7 +20,13 @@ go vet ./...
 echo "==> imlint ./..."
 go run ./cmd/imlint ./...
 
+echo "==> go build ./..."
+go build ./...
+
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> serving smoke test"
+sh scripts/smoke_serve.sh
 
 echo "==> all checks passed"

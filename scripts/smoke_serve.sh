@@ -1,0 +1,95 @@
+#!/usr/bin/env sh
+# Curl-level smoke test for imserve: build the binary, boot it on a free
+# port against a small synthetic graph, exercise every endpoint with curl,
+# then deliver SIGINT and require a clean (exit 0) drain. This is the
+# black-box complement to the httptest suites — it proves the shipped
+# binary, not just the handler tree.
+set -eu
+cd "$(dirname "$0")/.."
+
+BIN=$(mktemp -d)/imserve
+LOG=$(mktemp)
+trap 'kill "$pid" 2>/dev/null || true; rm -f "$BIN" "$LOG"' EXIT
+
+echo "==> build cmd/imserve"
+go build -o "$BIN" ./cmd/imserve
+
+echo "==> start imserve on a free port"
+"$BIN" -addr 127.0.0.1:0 -dataset nethept -scale 64 -indexsize 5000 >"$LOG" 2>&1 &
+pid=$!
+
+# Wait for the listen line; the oracle build on this scale takes well
+# under a second, so 30s is a generous ceiling.
+addr=""
+i=0
+while [ $i -lt 300 ]; do
+	addr=$(sed -n 's/^imserve: listening on //p' "$LOG")
+	if [ -n "$addr" ]; then
+		break
+	fi
+	if ! kill -0 "$pid" 2>/dev/null; then
+		echo "imserve exited before listening:" >&2
+		cat "$LOG" >&2
+		exit 1
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+	echo "imserve never printed its listen address" >&2
+	cat "$LOG" >&2
+	exit 1
+fi
+base="http://$addr"
+echo "    listening at $base"
+
+fail() {
+	echo "smoke: $1" >&2
+	cat "$LOG" >&2
+	exit 1
+}
+
+echo "==> GET /healthz"
+out=$(curl -sf "$base/healthz") || fail "healthz failed"
+[ "$out" = "ok" ] || fail "healthz body: $out"
+
+echo "==> GET /v1/graph/stats"
+out=$(curl -sf "$base/v1/graph/stats") || fail "graph stats failed"
+case "$out" in
+*'"dataset":"nethept"'*) ;;
+*) fail "stats body: $out" ;;
+esac
+
+echo "==> POST /v1/seeds"
+out=$(curl -sf -X POST "$base/v1/seeds" -d '{"k":5}') || fail "seeds failed"
+case "$out" in
+*'"k":5'*'"spread":'*) ;;
+*) fail "seeds body: $out" ;;
+esac
+
+echo "==> POST /v1/spread"
+out=$(curl -sf -X POST "$base/v1/spread" -d '{"seeds":[3,1,2]}') || fail "spread failed"
+case "$out" in
+*'"seeds":[1,2,3]'*) ;;
+*) fail "spread did not canonicalize seeds: $out" ;;
+esac
+
+echo "==> POST /v1/spread (bad request must 400)"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/v1/spread" -d '{"seeds":[]}')
+[ "$code" = "400" ] || fail "empty seed set returned $code, want 400"
+
+echo "==> GET /metrics"
+out=$(curl -sf "$base/metrics") || fail "metrics failed"
+case "$out" in
+*'== requests =='*'== server =='*) ;;
+*) fail "metrics tables missing: $out" ;;
+esac
+
+echo "==> SIGINT, expect clean drain and exit 0"
+kill -INT "$pid"
+if ! wait "$pid"; then
+	fail "imserve exited non-zero after SIGINT"
+fi
+grep -q 'drained cleanly' "$LOG" || fail "drain message missing from log"
+
+echo "==> smoke passed"
