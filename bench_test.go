@@ -5,7 +5,9 @@
 package goinfmax_test
 
 import (
+	"container/heap"
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"github.com/sigdata/goinfmax/internal/core"
 	"github.com/sigdata/goinfmax/internal/diffusion"
 	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/graphalgo"
 	"github.com/sigdata/goinfmax/internal/serve"
 	"github.com/sigdata/goinfmax/internal/weights"
 )
@@ -373,7 +376,7 @@ func benchOracle(b *testing.B, backend string) (serve.Oracle, *graph.Graph) {
 	o, ok := benchOracles[backend]
 	if !ok {
 		var err error
-		o, err = serve.BuildOracle(context.Background(), backend, g, weights.IC, 0, 1)
+		o, err = serve.BuildOracle(context.Background(), backend, g, weights.IC, 0, 1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -422,6 +425,147 @@ func BenchmarkOracleSeeds(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRRSampleBatch measures bulk RR-set production into the flat
+// arena, serial vs 8 sampling workers at a fixed seed (the results are
+// byte-identical either way). On a single-core machine the 8-worker run
+// can only measure orchestration overhead; the speedup is linear in real
+// cores because workers share no state until the final ordered merge.
+func BenchmarkRRSampleBatch(b *testing.B) {
+	g := benchGraph(b, "dblp", 64, goinfmax.WeightedCascade{})
+	const count = 5000
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := diffusion.NewRRSampler(g, weights.IC)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				store := graphalgo.NewSetStore()
+				added, err := s.SampleBatch(store, count, uint64(i)+1, workers, nil, nil)
+				if err != nil || added != count {
+					b.Fatalf("added %d err %v", added, err)
+				}
+			}
+			b.ReportMetric(float64(count)*float64(b.N)/b.Elapsed().Seconds(), "sets/s")
+		})
+	}
+}
+
+// BenchmarkGreedyMaxCoverFlat contrasts the flat-arena coverage problem
+// (counting-sort inversion over the SetStore) with the slice-of-slices
+// layout it replaced, on identical RR sets. The baseline below replicates
+// the old append-grown inversion and lazy heap greedy verbatim.
+func BenchmarkGreedyMaxCoverFlat(b *testing.B) {
+	g := benchGraph(b, "dblp", 64, goinfmax.WeightedCascade{})
+	s := diffusion.NewRRSampler(g, weights.IC)
+	store := graphalgo.NewSetStore()
+	const numSets, k = 20000, 20
+	if _, err := s.SampleBatch(store, numSets, 1, 1, nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	sets := make([][]int32, store.Len())
+	for i := range sets {
+		sets[i] = store.Set(i)
+	}
+	n := int32(g.N())
+	var flatSeeds, sliceSeeds []int32
+	b.Run("flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cp := graphalgo.NewCoverageProblem(n, store)
+			res, err := cp.GreedyMaxCoverPoll(k, nil)
+			if err != nil || len(res.Seeds) != k {
+				b.Fatalf("seeds %v err %v", res.Seeds, err)
+			}
+			flatSeeds = res.Seeds
+		}
+	})
+	b.Run("slices", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sliceSeeds = greedySliceBaseline(n, sets, k)
+			if len(sliceSeeds) != k {
+				b.Fatalf("seeds %v", sliceSeeds)
+			}
+		}
+	})
+	for i := range flatSeeds { // both layouts must agree on the answer
+		if flatSeeds[i] != sliceSeeds[i] {
+			b.Fatalf("flat seeds %v != slice seeds %v", flatSeeds, sliceSeeds)
+		}
+	}
+}
+
+// greedySliceBaseline is the pre-arena implementation kept for the
+// benchmark above: append-grown per-node membership slices and the same
+// lazy (CELF-style) heap greedy.
+func greedySliceBaseline(n int32, sets [][]int32, k int) []int32 {
+	nodeSets := make([][]int32, n)
+	degree := make([]int64, n)
+	for si, set := range sets {
+		for _, v := range set {
+			ns := nodeSets[v]
+			if len(ns) > 0 && ns[len(ns)-1] == int32(si) {
+				continue
+			}
+			nodeSets[v] = append(nodeSets[v], int32(si))
+			degree[v]++
+		}
+	}
+	covered := make([]bool, len(sets))
+	h := make(baselineHeap, 0, n)
+	for v, d := range degree {
+		if d > 0 {
+			h = append(h, baselineItem{node: int32(v), gain: d, round: 0})
+		}
+	}
+	heap.Init(&h)
+	var seeds []int32
+	for round := 0; round < k && len(h) > 0; round++ {
+		var pick baselineItem
+		for {
+			top := h[0]
+			if int(top.round) == round {
+				pick = top
+				heap.Pop(&h)
+				break
+			}
+			gain := int64(0)
+			for _, si := range nodeSets[top.node] {
+				if !covered[si] {
+					gain++
+				}
+			}
+			h[0].gain = gain
+			h[0].round = int32(round)
+			heap.Fix(&h, 0)
+		}
+		for _, si := range nodeSets[pick.node] {
+			covered[si] = true
+		}
+		seeds = append(seeds, pick.node)
+	}
+	return seeds
+}
+
+type baselineItem struct {
+	node  int32
+	gain  int64
+	round int32
+}
+
+type baselineHeap []baselineItem
+
+func (h baselineHeap) Len() int            { return len(h) }
+func (h baselineHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h baselineHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *baselineHeap) Push(x interface{}) { *h = append(*h, x.(baselineItem)) }
+func (h *baselineHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
 }
 
 // BenchmarkDiffusion_RRSet measures RR-set sampling, the unit of the

@@ -67,6 +67,7 @@ func runCtx(ctx context.Context, args []string) error {
 	param := fs.Float64("param", 0, "external parameter value (0 = algorithm default)")
 	seed := fs.Uint64("seed", 42, "random seed")
 	evalSims := fs.Int("evalsims", 10000, "MC simulations for spread evaluation")
+	workers := fs.Int("workers", 1, "sampling workers for RR-set algorithms (1 = serial, the paper's measurement; seeds are identical for any value)")
 	budget := fs.Duration("budget", 0, "time budget for seed selection (0 = unlimited)")
 	hardBudget := fs.Duration("hardbudget", 0, "hard watchdog deadline for non-cooperative algorithms (0 = 2x budget)")
 	memBudget := fs.Int64("membudget", 0, "memory budget in bytes (0 = unlimited)")
@@ -127,7 +128,7 @@ func runCtx(ctx context.Context, args []string) error {
 	cfg := goinfmax.RunConfig{
 		K: *k, Model: m, Seed: *seed, ParamValue: *param,
 		EvalSims: *evalSims, TimeBudget: *budget, HardBudget: *hardBudget,
-		MemBudgetBytes: *memBudget,
+		MemBudgetBytes: *memBudget, Workers: *workers,
 	}
 
 	if *ksFlag != "" {

@@ -63,6 +63,7 @@ func runCtx(ctx context.Context, args []string) error {
 	archive := fs.String("archive", "", "write raw grid results as JSON to this path")
 	journal := fs.String("journal", "", "checkpoint each completed grid cell to this JSONL journal")
 	resume := fs.String("resume", "", "skip grid cells already recorded in this JSONL journal")
+	workers := fs.Int("workers", 1, "sampling workers for RR-set algorithm cells (1 = serial, the paper's measurement; seeds are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,6 +88,7 @@ func runCtx(ctx context.Context, args []string) error {
 	if *scale > 0 {
 		cfg.ExtraScale = *scale
 	}
+	cfg.Workers = *workers
 	cfg.ArchivePath = *archive
 	cfg.JournalPath = *journal
 	cfg.ResumeFrom = *resume

@@ -63,6 +63,7 @@ func run(ctx context.Context, args []string) error {
 	backend := fs.String("backend", "rrset", "oracle backend: rrset or snapshot")
 	indexSize := fs.Int64("indexsize", 0, "index size: RR sets (rrset) or snapshots (snapshot); 0 = auto")
 	seed := fs.Uint64("seed", 42, "server seed: index build and per-request RNG derive from it")
+	workers := fs.Int("workers", 0, "sampling workers for the rrset oracle build (0 = GOMAXPROCS); the index is byte-identical for any value")
 	maxInFlight := fs.Int("maxinflight", 0, "admission gate capacity (0 = 4x GOMAXPROCS)")
 	cacheEntries := fs.Int("cache", 1024, "LRU response-cache entries (negative disables)")
 	budget := fs.Duration("budget", 2*time.Second, "default per-request time budget")
@@ -103,7 +104,7 @@ func run(ctx context.Context, args []string) error {
 		base.Name(), g.N(), g.M(), scheme.Name(), m)
 
 	buildStart := time.Now()
-	oracle, err := serve.BuildOracle(ctx, *backend, g, m, *indexSize, *seed)
+	oracle, err := serve.BuildOracle(ctx, *backend, g, m, *indexSize, *seed, *workers)
 	if err != nil {
 		return err
 	}

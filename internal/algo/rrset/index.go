@@ -25,14 +25,18 @@ import (
 // coverage marks per call.
 type Index struct {
 	n     int32
-	sets  [][]graph.NodeID
+	store *graphalgo.SetStore
 	cp    *graphalgo.CoverageProblem
 	bytes int64
 }
 
 // BuildIndex samples theta RR sets under ctx (graph, model, RNG, budget)
-// and inverts them into a query index. Construction honors ctx's
-// cooperative budget/cancellation checks and accounts index memory through
+// and inverts them into a query index. The sampling fans out over
+// ctx.SampleWorkers() deterministic streams — the store, and therefore
+// every answer the index ever serves, is byte-identical for any worker
+// count — so imserve startup parallelizes without weakening the replica
+// determinism contract. Construction honors ctx's cooperative
+// budget/cancellation checks and accounts index memory through
 // ctx.Account, so a budgeted build DNFs/Crashes exactly like the offline
 // algorithms would.
 func BuildIndex(ctx *core.Context, theta int64) (*Index, error) {
@@ -43,15 +47,11 @@ func BuildIndex(ctx *core.Context, theta int64) (*Index, error) {
 	if err := c.extend(theta); err != nil {
 		return nil, err
 	}
-	var bytes int64
-	for _, s := range c.sets {
-		bytes += int64(len(s))*4 + rrSetOverheadBytes
-	}
 	return &Index{
 		n:     ctx.G.N(),
-		sets:  c.sets,
-		cp:    graphalgo.NewCoverageProblem(ctx.G.N(), c.sets),
-		bytes: bytes,
+		store: c.store,
+		cp:    graphalgo.NewCoverageProblem(ctx.G.N(), c.store),
+		bytes: c.store.Bytes(),
 	}, nil
 }
 
@@ -59,7 +59,7 @@ func BuildIndex(ctx *core.Context, theta int64) (*Index, error) {
 func (ix *Index) N() int32 { return ix.n }
 
 // NumSets returns θ, the number of stored RR sets.
-func (ix *Index) NumSets() int { return len(ix.sets) }
+func (ix *Index) NumSets() int { return ix.store.Len() }
 
 // MemoryBytes returns the approximate resident size of the stored sets
 // (the inversion roughly doubles it; callers wanting the full footprint
@@ -69,11 +69,11 @@ func (ix *Index) MemoryBytes() int64 { return ix.bytes }
 // SpreadOf returns the index's spread estimate n·F(seeds). It does not
 // mutate the index and is safe for concurrent use.
 func (ix *Index) SpreadOf(seeds []graph.NodeID) float64 {
-	if len(ix.sets) == 0 {
+	if ix.store.Len() == 0 {
 		return 0
 	}
 	covered := ix.cp.CoverageOf(seeds)
-	return float64(ix.n) * float64(covered) / float64(len(ix.sets))
+	return float64(ix.n) * float64(covered) / float64(ix.store.Len())
 }
 
 // SelectSeeds greedily selects k seeds by max-cover over the stored sets
@@ -94,6 +94,6 @@ func (ix *Index) SelectSeeds(k int, poll func() error) ([]graph.NodeID, float64,
 	copy(seeds, res.Seeds)
 	// Same expression as SpreadOf so a follow-up point query for the
 	// selected set returns bit-identical spread.
-	spread := float64(ix.n) * float64(res.NumCovered) / float64(len(ix.sets))
+	spread := float64(ix.n) * float64(res.NumCovered) / float64(ix.store.Len())
 	return seeds, spread, nil
 }

@@ -32,52 +32,63 @@ import (
 // epsSpectrum is the ε spectrum of the Table 2 sweep, most accurate first.
 var epsSpectrum = []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 
-// collection accumulates RR sets with budget-aware accounting.
+// collection accumulates RR sets in a flat SetStore arena with budget-aware
+// accounting: Context.Account is charged the arena's true (capacity-based)
+// footprint, so the paper's M6 memory-blow-up reproduction stays faithful —
+// budgeted runs still crash at the same scale they did with per-set slices,
+// while the flat layout drops the per-set header and allocator slack.
 type collection struct {
 	ctx     *core.Context
 	sampler *diffusion.RRSampler
-	sets    [][]graph.NodeID
+	store   *graphalgo.SetStore
 }
 
 func newCollection(ctx *core.Context) *collection {
-	return &collection{ctx: ctx, sampler: diffusion.NewRRSampler(ctx.G, ctx.Model)}
+	return &collection{
+		ctx:     ctx,
+		sampler: diffusion.NewRRSampler(ctx.G, ctx.Model),
+		store:   graphalgo.NewSetStore(),
+	}
 }
 
-const rrSetOverheadBytes = 24 // slice header per RR set
+// size returns the number of sets currently held.
+func (c *collection) size() int64 { return int64(c.store.Len()) }
 
-// extend samples RR sets until the collection holds target sets.
+// extend samples RR sets until the collection holds target sets, fanning
+// the sampling out over ctx.SampleWorkers() deterministic streams. The
+// resulting store is byte-identical for any worker count: each extend call
+// consumes exactly one draw of ctx.RNG for the batch's base seed, and the
+// batch sampler derives per-sample streams from it.
 func (c *collection) extend(target int64) error {
-	for int64(len(c.sets)) < target {
-		if err := c.ctx.Check(); err != nil {
-			return err
-		}
-		set := c.sampler.SampleUniformRoot(c.ctx.RNG, nil)
-		c.ctx.Account(int64(len(set))*4 + rrSetOverheadBytes)
-		c.sets = append(c.sets, set)
-		c.ctx.Lookups++ // one lookup = one RR set sampled
+	need := target - c.size()
+	if need <= 0 {
+		return nil
 	}
-	return nil
+	baseSeed := c.ctx.RNG.Uint64()
+	added, err := c.sampler.SampleBatch(c.store, need, baseSeed,
+		c.ctx.SampleWorkers(), c.ctx.Check, c.ctx.Account)
+	c.ctx.Lookups += added // one lookup = one RR set sampled
+	return err
 }
 
 // reset discards all sets (between IMM's sampling and selection phases the
-// original keeps them; TIM+'s KPT phase discards — both modeled).
+// original keeps them; TIM+'s KPT phase discards — both modeled). The
+// accounting credit is the exact arena footprint, returning the charge to
+// zero for an otherwise-idle context.
 func (c *collection) reset() {
-	var freed int64
-	for _, s := range c.sets {
-		freed += int64(len(s))*4 + rrSetOverheadBytes
-	}
-	c.ctx.Account(-freed)
-	c.sets = c.sets[:0]
+	c.ctx.Account(-c.store.Bytes())
+	c.store.Reset()
+	c.ctx.Account(c.store.Bytes())
 }
 
 // cover runs greedy max-cover for k seeds and returns them with the covered
-// fraction F(S).
+// fraction F(S). GreedyMaxCover allocates its Seeds slice fresh on every
+// call (it shares no memory with the problem), so the result is returned
+// without a defensive copy.
 func (c *collection) cover(k int) ([]graph.NodeID, float64) {
-	cp := graphalgo.NewCoverageProblem(c.ctx.G.N(), c.sets)
+	cp := graphalgo.NewCoverageProblem(c.ctx.G.N(), c.store)
 	res := cp.GreedyMaxCover(k)
-	seeds := make([]graph.NodeID, len(res.Seeds))
-	copy(seeds, res.Seeds)
-	return seeds, res.Fraction
+	return res.Seeds, res.Fraction
 }
 
 // logNChooseK computes ln C(n, k) via lgamma.
@@ -175,20 +186,29 @@ func (t TIMPlus) Select(ctx *core.Context) ([]graph.NodeID, error) {
 	// statistic κ(R) = 1 − (1 − w(R)/m)^k of sampled RR sets.
 	kpt := 1.0
 	logn := math.Log2(n)
+	scratch := graphalgo.NewSetStore()
 	for i := 1.0; i < logn; i++ {
+		if err := ctx.CheckNow(); err != nil {
+			return nil, err
+		}
 		ci := int64((6*l*math.Log(n) + 6*math.Log(logn)) * math.Exp2(i))
 		if ci < 1 {
 			ci = 1
 		}
+		// KPT sets are transient — sampled, measured, discarded — so the
+		// batch is drawn into an unaccounted scratch store (the original
+		// likewise never charged them) and reused across rounds.
+		scratch.Reset()
+		baseSeed := ctx.RNG.Uint64()
+		added, err := c.sampler.SampleBatch(scratch, ci, baseSeed, ctx.SampleWorkers(), ctx.Check, nil)
+		ctx.Lookups += added
+		if err != nil {
+			return nil, err
+		}
 		sum := 0.0
-		for j := int64(0); j < ci; j++ {
-			if err := ctx.Check(); err != nil {
-				return nil, err
-			}
-			set := c.sampler.SampleUniformRoot(ctx.RNG, nil)
-			ctx.Lookups++
+		for j := 0; j < scratch.Len(); j++ {
 			width := 0.0
-			for _, v := range set {
+			for _, v := range scratch.Set(j) {
 				width += float64(ctx.G.InDegree(v))
 			}
 			kappa := 1 - math.Pow(1-width/m, k)

@@ -85,8 +85,8 @@ func (SSA) Select(ctx *core.Context) ([]graph.NodeID, error) {
 		}
 		countCovered := func() int64 {
 			covered := int64(0)
-			for _, set := range ver.sets {
-				for _, v := range set {
+			for i := 0; i < ver.store.Len(); i++ {
+				for _, v := range ver.store.Set(i) {
 					if _, ok := inSeed[v]; ok {
 						covered++
 						break
@@ -95,24 +95,24 @@ func (SSA) Select(ctx *core.Context) ([]graph.NodeID, error) {
 			}
 			return covered
 		}
-		if err := ver.extend(int64(len(opt.sets))); err != nil {
+		if err := ver.extend(opt.size()); err != nil {
 			return nil, err
 		}
 		covered := countCovered()
-		for covered < int64(lambda) && int64(len(ver.sets)) < 8*int64(len(opt.sets)) {
-			if err := ver.extend(int64(len(ver.sets)) * 2); err != nil {
+		for covered < int64(lambda) && ver.size() < 8*opt.size() {
+			if err := ver.extend(ver.size() * 2); err != nil {
 				return nil, err
 			}
 			covered = countCovered()
 		}
-		estVer := n * float64(covered) / float64(len(ver.sets))
+		estVer := n * float64(covered) / float64(ver.size())
 
 		if covered >= int64(lambda) && estOpt <= (1+eps1)*estVer {
 			// Verified: the optimization estimate is not inflated.
 			ctx.EstimatedSpread = estVer
 			return seeds, nil
 		}
-		batch = int64(len(opt.sets)) * 2
+		batch = opt.size() * 2
 	}
 	// Statistical stop never fired within the cap (vanishingly unlikely on
 	// real inputs); return the best seeds found with the verified estimate.

@@ -113,6 +113,12 @@ type Context struct {
 	// means "use the algorithm default".
 	ParamValue float64
 	RNG        *rng.Source
+	// Workers is the parallelism knob for the sampling phases of RR-set
+	// algorithms and oracle builds (diffusion.RRSampler.SampleBatch).
+	// Results are byte-identical for any value (the batch sampler's
+	// determinism contract); values < 1 mean serial, keeping benchmark
+	// cells single-threaded by default as in the paper's study.
+	Workers int
 
 	deadline time.Time
 	memLimit int64
@@ -203,6 +209,15 @@ func (c *Context) Account(delta int64) {
 
 // MemUsed returns the currently accounted bytes.
 func (c *Context) MemUsed() int64 { return c.memUsed }
+
+// SampleWorkers returns the effective sampling parallelism: Workers,
+// floored at 1 (serial).
+func (c *Context) SampleWorkers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
+}
 
 // Param returns the external parameter value, or def when unset.
 func (c *Context) Param(def float64) float64 {

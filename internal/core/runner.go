@@ -39,6 +39,13 @@ type RunConfig struct {
 	// EvalWorkers parallelizes evaluation only (seed selection stays
 	// sequential, as in the paper's study). 0 = GOMAXPROCS.
 	EvalWorkers int
+
+	// Workers parallelizes the RR-set sampling phases of seed selection
+	// itself (TIM+/IMM/SSA/RIS and oracle builds). Seed sets are
+	// byte-identical for any value — the batch sampler derives one RNG
+	// stream per sample, not per worker — so this only changes wall-clock
+	// time. 0 or 1 = serial (the paper's single-threaded measurement).
+	Workers int
 }
 
 // DefaultRunConfig returns the paper's standard cell configuration at
@@ -138,6 +145,7 @@ func RunCtx(stdctx context.Context, alg Algorithm, g *graph.Graph, cfg RunConfig
 		K:               cfg.K,
 		ParamValue:      cfg.ParamValue,
 		RNG:             rng.New(cfg.Seed),
+		Workers:         cfg.Workers,
 		memLimit:        cfg.MemBudgetBytes,
 		mem:             mem,
 		EstimatedSpread: -1,

@@ -1,0 +1,205 @@
+package diffusion
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/graphalgo"
+	"github.com/sigdata/goinfmax/internal/rng"
+)
+
+// Deterministic parallel RR-set sampling
+//
+// The serve oracle build and every TIM+/IMM/SSA run are sampling-bound:
+// drawing θ independent RR sets dominates end-to-end time (paper §5.3.1).
+// The samples are embarrassingly parallel, but naive parallelism breaks the
+// platform's reproducibility contract (one seed → one result, any machine).
+//
+// SampleBatch keeps both: sample i of a batch always consumes the random
+// stream rng.New(sampleSeed(baseSeed, i)) — the i-th splitmix64 output of
+// baseSeed, computable in O(1) — regardless of which worker draws it.
+// Workers take contiguous index ranges, write into private SetStore shards,
+// and the shards merge in worker-index order, so the resulting store is
+// byte-identical for any worker count. This is the same determinism
+// contract the serving layer already guarantees per replica.
+
+// sampleSeed returns the i-th output of a splitmix64 stream seeded with
+// base: splitmix64 advances its state by the golden-ratio increment per
+// draw, so output i is a pure function of base and i with no stepping.
+func sampleSeed(base uint64, i int64) uint64 {
+	z := base + (uint64(i)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SampleBatch draws count RR sets with uniformly random roots and appends
+// them to store, fanning the work out over workers goroutines (values < 1
+// mean GOMAXPROCS; a single worker samples inline with no goroutines). The
+// store contents are byte-identical for any worker count given the same
+// baseSeed.
+//
+// poll and account stand in for a core.Context (which this package cannot
+// import): poll, when non-nil, is consulted between samples — serially, or
+// from the supervising goroutine while workers run — and its error aborts
+// the batch; account, when non-nil, is charged interim arena deltas during
+// sampling and reconciled on return so that, on success, the total charged
+// equals the growth of store.Bytes(). Both callbacks are only ever invoked
+// from the calling goroutine, so single-threaded budget state is safe.
+//
+// The receiver's scratch state is used by the serial path only; its
+// ArcsTraversed counter aggregates the whole batch either way. Returns the
+// number of sets actually appended (== count unless poll aborted).
+func (s *RRSampler) SampleBatch(store *graphalgo.SetStore, count int64, baseSeed uint64, workers int, poll func() error, account func(delta int64)) (int64, error) {
+	if count <= 0 {
+		return 0, nil
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if int64(workers) > count {
+		workers = int(count)
+	}
+	entryBytes := store.Bytes()
+	charged := int64(0)
+	charge := func(target int64) {
+		if account != nil && target != charged {
+			account(target - charged)
+			charged = target
+		}
+	}
+
+	if workers == 1 {
+		added, err := s.sampleRange(store, 0, count, baseSeed, poll, nil, func() {
+			charge(store.Bytes() - entryBytes)
+		})
+		charge(store.Bytes() - entryBytes)
+		return added, err
+	}
+
+	// Parallel path: contiguous chunks, private shards, ordered merge.
+	var (
+		produced atomic.Int64 // elements sampled so far, across workers
+		stop     atomic.Bool  // cooperative abort flag set by the supervisor
+		panicked atomic.Pointer[any]
+		wg       sync.WaitGroup
+	)
+	chunk := (count + int64(workers) - 1) / int64(workers)
+	shards := make([]*graphalgo.SetStore, 0, workers)
+	samplers := make([]*RRSampler, 0, workers)
+	for w := 0; w < workers; w++ {
+		lo := int64(w) * chunk
+		hi := lo + chunk
+		if hi > count {
+			hi = count
+		}
+		if lo >= hi {
+			break
+		}
+		shard := graphalgo.NewSetStore()
+		worker := NewRRSampler(s.g, s.model)
+		shards = append(shards, shard)
+		samplers = append(samplers, worker)
+		wg.Add(1)
+		go func(worker *RRSampler, shard *graphalgo.SetStore, lo, hi int64) {
+			defer wg.Done()
+			// A panic in the sampling kernel must surface on the calling
+			// goroutine, where the resilience layer's supervisor can turn
+			// it into a Panicked cell instead of crashing the process.
+			defer func() {
+				if p := recover(); p != nil {
+					panicked.CompareAndSwap(nil, &p)
+					stop.Store(true)
+				}
+			}()
+			_, _ = worker.sampleRange(shard, lo, hi, baseSeed, nil, &stop, func() {
+				produced.Add(int64(len(shard.Set(shard.Len() - 1))))
+			})
+		}(worker, shard, lo, hi)
+	}
+
+	// Supervise from the calling goroutine: charge interim memory and poll
+	// the budget while the workers run, so a budgeted build crashes (or
+	// DNFs) mid-sampling exactly like the serial path does.
+	done := make(chan struct{})
+	//imlint:ignore gosupervise closing a channel after Wait cannot panic; recover would hide nothing
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	var pollErr error
+	ticker := time.NewTicker(200 * time.Microsecond)
+	defer ticker.Stop()
+supervise:
+	for {
+		select {
+		case <-done:
+			break supervise
+		case <-ticker.C:
+			charge(produced.Load() * 4) // interim estimate: 4 bytes per sampled element
+			if poll != nil && pollErr == nil {
+				if pollErr = poll(); pollErr != nil {
+					stop.Store(true)
+				}
+			}
+		}
+	}
+	if p := panicked.Load(); p != nil {
+		charge(0)
+		panic(*p)
+	}
+	for _, worker := range samplers {
+		s.ArcsTraversed += worker.ArcsTraversed
+	}
+	if pollErr != nil {
+		// Shards are discarded; reconcile the interim charges away so the
+		// accounted figure tracks resident memory (the peak was already
+		// captured by the runner's memory sampler for the memory plots).
+		charge(0)
+		return 0, pollErr
+	}
+
+	var sets int
+	var elems int64
+	for _, shard := range shards {
+		sets += shard.Len()
+		elems += shard.NumElems()
+	}
+	store.Grow(sets, elems)
+	for _, shard := range shards {
+		store.AppendStore(shard)
+	}
+	charge(store.Bytes() - entryBytes)
+	return int64(sets), nil
+}
+
+// sampleRange draws samples [lo, hi) of the batch into store. poll (serial
+// path) is consulted per sample; stop (parallel path) is a cheap abort flag
+// checked per sample; onAppend, when non-nil, runs after every append.
+func (s *RRSampler) sampleRange(store *graphalgo.SetStore, lo, hi int64, baseSeed uint64, poll func() error, stop *atomic.Bool, onAppend func()) (int64, error) {
+	buf := make([]graph.NodeID, 0, 256)
+	n := s.g.N()
+	added := int64(0)
+	for i := lo; i < hi; i++ {
+		if poll != nil {
+			if err := poll(); err != nil {
+				return added, err
+			}
+		}
+		if stop != nil && stop.Load() {
+			return added, nil
+		}
+		r := rng.New(sampleSeed(baseSeed, i))
+		root := graph.NodeID(r.Int31n(n))
+		buf = s.Sample(root, r, buf[:0])
+		store.Append(buf)
+		added++
+		if onAppend != nil {
+			onAppend()
+		}
+	}
+	return added, nil
+}

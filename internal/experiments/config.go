@@ -38,6 +38,10 @@ type Config struct {
 	// MemBudget bounds each cell's accounted bytes; exceeding it marks the
 	// cell Crashed, standing in for the paper's 256 GB ceiling.
 	MemBudget int64
+	// Workers parallelizes the RR-set sampling phases inside each cell
+	// (core.RunConfig.Workers). Seed sets are byte-identical for any
+	// value; 0 or 1 keeps cells single-threaded as the paper measured.
+	Workers int
 	// OutDir receives one CSV per table ("" disables CSV output).
 	OutDir string
 	// ArchivePath, when set, receives the raw grid results as JSON (see

@@ -97,6 +97,7 @@ func (cfg Config) cell(mc modelConfig, k int) core.RunConfig {
 	}
 	rc.MemBudgetBytes = cfg.MemBudget
 	rc.EvalSims = cfg.EvalSims
+	rc.Workers = cfg.Workers
 	return rc
 }
 

@@ -230,7 +230,7 @@ func TestGreedyMaxCoverExact(t *testing.T) {
 	// Universe of 4 sets; node 0 covers {0,1}, node 1 covers {2}, node 2
 	// covers {1,2,3}. Greedy: pick 2 (3 sets), then 0 (covers set 0).
 	sets := [][]int32{{0}, {0, 2}, {1, 2}, {2}}
-	cp := NewCoverageProblem(3, sets)
+	cp := NewCoverageProblem(3, StoreOf(sets...))
 	res := cp.GreedyMaxCover(2)
 	if len(res.Seeds) != 2 {
 		t.Fatalf("seeds %v", res.Seeds)
@@ -248,7 +248,7 @@ func TestGreedyMaxCoverExact(t *testing.T) {
 
 func TestCoverageOf(t *testing.T) {
 	sets := [][]int32{{0, 1}, {1}, {2}}
-	cp := NewCoverageProblem(3, sets)
+	cp := NewCoverageProblem(3, StoreOf(sets...))
 	if c := cp.CoverageOf([]int32{1}); c != 2 {
 		t.Fatalf("coverage %d want 2", c)
 	}
@@ -270,7 +270,7 @@ func bruteBestCover(n int32, sets [][]int32, k int) int64 {
 	var rec func(start int, chosen []int32)
 	rec = func(start int, chosen []int32) {
 		if len(chosen) == k {
-			cp := NewCoverageProblem(n, sets)
+			cp := NewCoverageProblem(n, StoreOf(sets...))
 			if c := cp.CoverageOf(chosen); c > best {
 				best = c
 			}
@@ -298,7 +298,7 @@ func TestGreedyMaxCoverApproxProperty(t *testing.T) {
 			}
 		}
 		k := 2
-		cp := NewCoverageProblem(n, sets)
+		cp := NewCoverageProblem(n, StoreOf(sets...))
 		res := cp.GreedyMaxCover(k)
 		opt := bruteBestCover(n, sets, k)
 		return float64(res.NumCovered) >= (1-1/math.E)*float64(opt)-1e-9
@@ -314,7 +314,7 @@ func TestGreedyMaxCoverApproxProperty(t *testing.T) {
 // guarantee (found by the property test above).
 func TestGreedyMaxCoverDuplicateMembers(t *testing.T) {
 	sets := [][]int32{{0}, {2}, {4, 2, 5}, {0, 1, 0, 4}, {3, 3, 2, 3}}
-	cp := NewCoverageProblem(6, sets)
+	cp := NewCoverageProblem(6, StoreOf(sets...))
 	if cp.degree[0] != 2 {
 		t.Fatalf("degree[0]=%d want 2 (set 3 counted once)", cp.degree[0])
 	}
@@ -332,7 +332,7 @@ func TestGreedyMaxCoverDuplicateMembers(t *testing.T) {
 func TestGreedyMaxCoverFillsK(t *testing.T) {
 	// Only one node appears in sets; k=3 must still return 3 seeds.
 	sets := [][]int32{{0}, {0}}
-	cp := NewCoverageProblem(5, sets)
+	cp := NewCoverageProblem(5, StoreOf(sets...))
 	res := cp.GreedyMaxCover(3)
 	if len(res.Seeds) != 3 {
 		t.Fatalf("got %d seeds want 3 (padding)", len(res.Seeds))

@@ -8,39 +8,72 @@ import "container/heap"
 // (paper §4.2): iteratively pick the node contained in the most not-yet-
 // covered RR sets. Lazy (CELF-style) evaluation keeps this near-linear.
 
-// CoverageProblem is a universe of sets over node elements: sets[i] lists
-// the nodes of RR set i, and membership is inverted into per-node lists at
-// construction.
+// CoverageProblem is a universe of sets over node elements, consumed from a
+// flat SetStore and inverted into a flat per-node membership index (CSR:
+// invData[invOff[v]:invOff[v+1]] lists the sets containing node v) at
+// construction. The flat inversion costs O(1) allocations instead of one
+// growing slice per node, and the hot lazy-greedy re-evaluation scan walks
+// contiguous memory instead of chasing per-node slice headers.
 type CoverageProblem struct {
-	numSets  int
-	nodeSets [][]int32 // node -> indices of sets containing it
-	covered  []bool    // set -> already covered
-	degree   []int64   // node -> number of uncovered sets containing it (lazy)
+	numSets int
+	invOff  []int64 // node -> start of its membership run in invData
+	invData []int32 // concatenated set indices, grouped by node
+	covered []bool  // set -> already covered
+	degree  []int64 // node -> number of uncovered sets containing it (lazy)
 }
 
-// NewCoverageProblem inverts sets (each a list of node ids over a universe
-// of n nodes) into the per-node index used by greedy max-cover. Duplicate
-// node entries within one set are ignored: a membership counted twice
-// would inflate the lazy heap's initial gains and break the greedy
-// invariant (cached gains must upper-bound true gains).
-func NewCoverageProblem(n int32, sets [][]int32) *CoverageProblem {
+// NewCoverageProblem inverts the store's sets (each a list of node ids over
+// a universe of n nodes) into the per-node index used by greedy max-cover,
+// with two counting-sort passes over the arena. Duplicate node entries
+// within one set are ignored: a membership counted twice would inflate the
+// lazy heap's initial gains and break the greedy invariant (cached gains
+// must upper-bound true gains).
+func NewCoverageProblem(n int32, sets *SetStore) *CoverageProblem {
+	numSets := sets.Len()
 	cp := &CoverageProblem{
-		numSets:  len(sets),
-		nodeSets: make([][]int32, n),
-		covered:  make([]bool, len(sets)),
-		degree:   make([]int64, n),
+		numSets: numSets,
+		invOff:  make([]int64, n+1),
+		covered: make([]bool, numSets),
+		degree:  make([]int64, n),
 	}
-	for si, set := range sets {
-		for _, v := range set {
-			ns := cp.nodeSets[v]
-			if len(ns) > 0 && ns[len(ns)-1] == int32(si) {
-				continue // duplicate within this set (sets arrive grouped)
+	// mark[v] records the last set that counted v, so a duplicate entry of
+	// v within one set is skipped; the +numSets offset distinguishes the
+	// counting pass from the fill pass without re-clearing the array.
+	mark := make([]int64, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for si := 0; si < numSets; si++ {
+		for _, v := range sets.Set(si) {
+			if mark[v] == int64(si) {
+				continue
 			}
-			cp.nodeSets[v] = append(cp.nodeSets[v], int32(si))
+			mark[v] = int64(si)
 			cp.degree[v]++
 		}
 	}
+	for v := int32(0); v < n; v++ {
+		cp.invOff[v+1] = cp.invOff[v] + cp.degree[v]
+	}
+	cp.invData = make([]int32, cp.invOff[n])
+	cur := make([]int64, n)
+	copy(cur, cp.invOff[:n])
+	for si := 0; si < numSets; si++ {
+		for _, v := range sets.Set(si) {
+			if mark[v] == int64(si)+int64(numSets) {
+				continue
+			}
+			mark[v] = int64(si) + int64(numSets)
+			cp.invData[cur[v]] = int32(si)
+			cur[v]++
+		}
+	}
 	return cp
+}
+
+// memberships returns the indices of the sets containing node v.
+func (cp *CoverageProblem) memberships(v int32) []int32 {
+	return cp.invData[cp.invOff[v]:cp.invOff[v+1]]
 }
 
 // MaxCoverResult reports the greedy max-cover outcome.
@@ -61,14 +94,15 @@ func (cp *CoverageProblem) GreedyMaxCover(k int) MaxCoverResult {
 
 // Clone returns a coverage problem sharing the (immutable) set inversion
 // with cp but carrying fresh covered marks, so several greedy covers can
-// run concurrently over one index. The greedy never mutates nodeSets or
-// degree, only covered; cloning is therefore O(#sets).
+// run concurrently over one index. The greedy never mutates the inversion
+// or degree, only covered; cloning is therefore O(#sets).
 func (cp *CoverageProblem) Clone() *CoverageProblem {
 	return &CoverageProblem{
-		numSets:  cp.numSets,
-		nodeSets: cp.nodeSets,
-		covered:  make([]bool, cp.numSets),
-		degree:   cp.degree,
+		numSets: cp.numSets,
+		invOff:  cp.invOff,
+		invData: cp.invData,
+		covered: make([]bool, cp.numSets),
+		degree:  cp.degree,
 	}
 }
 
@@ -76,9 +110,11 @@ func (cp *CoverageProblem) Clone() *CoverageProblem {
 // hook: poll (when non-nil) is invoked once per selection round plus every
 // pollStride lazy re-evaluations, and a non-nil return aborts the greedy
 // with that error. Online serving uses it to honor per-request deadlines.
+// res.Seeds is freshly allocated on every call and shares no memory with
+// the problem's internal state.
 func (cp *CoverageProblem) GreedyMaxCoverPoll(k int, poll func() error) (MaxCoverResult, error) {
 	res := MaxCoverResult{}
-	h := make(coverHeap, 0, len(cp.nodeSets))
+	h := make(coverHeap, 0, len(cp.degree))
 	for v, d := range cp.degree {
 		if d > 0 {
 			h = append(h, coverItem{node: int32(v), gain: d, round: 0})
@@ -109,7 +145,7 @@ func (cp *CoverageProblem) GreedyMaxCoverPoll(k int, poll func() error) (MaxCove
 				}
 			}
 			gain := int64(0)
-			for _, si := range cp.nodeSets[top.node] {
+			for _, si := range cp.memberships(top.node) {
 				if !cp.covered[si] {
 					gain++
 				}
@@ -125,7 +161,7 @@ func (cp *CoverageProblem) GreedyMaxCoverPoll(k int, poll func() error) (MaxCove
 			res.PerSeedCovered = append(res.PerSeedCovered, 0)
 			continue
 		}
-		for _, si := range cp.nodeSets[pick.node] {
+		for _, si := range cp.memberships(pick.node) {
 			if !cp.covered[si] {
 				cp.covered[si] = true
 				covered++
@@ -141,7 +177,7 @@ func (cp *CoverageProblem) GreedyMaxCoverPoll(k int, poll func() error) (MaxCove
 		for _, s := range res.Seeds {
 			chosen[s] = struct{}{}
 		}
-		for v := int32(0); len(res.Seeds) < k && int(v) < len(cp.nodeSets); v++ {
+		for v := int32(0); len(res.Seeds) < k && int(v) < len(cp.degree); v++ {
 			if _, dup := chosen[v]; dup {
 				continue
 			}
@@ -166,10 +202,10 @@ const pollStride = 256
 func (cp *CoverageProblem) CoverageOf(seeds []int32) int64 {
 	seen := make(map[int32]struct{})
 	for _, v := range seeds {
-		if v < 0 || int(v) >= len(cp.nodeSets) {
+		if v < 0 || int64(v) >= int64(len(cp.degree)) {
 			continue
 		}
-		for _, si := range cp.nodeSets[v] {
+		for _, si := range cp.memberships(v) {
 			seen[si] = struct{}{}
 		}
 	}

@@ -1,0 +1,110 @@
+package graphalgo
+
+// SetStore is flat CSR-style storage for a sequence of int32-element sets:
+// one contiguous data arena plus an offsets array, so storing θ RR sets
+// costs exactly two allocations instead of θ slice headers. The layout is
+// the estimation substrate of the RR-set family (paper §4.2): the memory
+// blow-up the paper's M6 dissects is dominated by these sets, and keeping
+// them in one arena both shrinks the footprint (no per-set header or
+// malloc slack) and makes the greedy max-cover scan cache-friendly.
+//
+// A SetStore is append-only between Resets and is not safe for concurrent
+// mutation; concurrent readers are fine once writing stops.
+type SetStore struct {
+	data []int32
+	off  []int64 // len = Len()+1; set i occupies data[off[i]:off[i+1]]
+}
+
+// NewSetStore returns an empty store.
+func NewSetStore() *SetStore {
+	return &SetStore{off: make([]int64, 1, 16)}
+}
+
+// StoreOf builds a store holding the given sets, in order. Convenience for
+// tests and callers converting from slice-of-slices form.
+func StoreOf(sets ...[]int32) *SetStore {
+	s := NewSetStore()
+	for _, set := range sets {
+		s.Append(set)
+	}
+	return s
+}
+
+// Len returns the number of stored sets.
+func (s *SetStore) Len() int { return len(s.off) - 1 }
+
+// NumElems returns the total element count across all sets.
+func (s *SetStore) NumElems() int64 { return int64(len(s.data)) }
+
+// Set returns the elements of set i as a view into the arena. The view is
+// valid until the next Append (which may move the arena) or Reset.
+func (s *SetStore) Set(i int) []int32 {
+	return s.data[s.off[i]:s.off[i+1]]
+}
+
+// Append copies one set into the arena.
+func (s *SetStore) Append(set []int32) {
+	s.data = append(s.data, set...)
+	s.off = append(s.off, int64(len(s.data)))
+}
+
+// AppendStore bulk-copies every set of t onto the end of s, preserving
+// order. Used to merge per-worker sampling shards deterministically.
+func (s *SetStore) AppendStore(t *SetStore) {
+	base := int64(len(s.data))
+	s.data = append(s.data, t.data...)
+	for _, o := range t.off[1:] {
+		s.off = append(s.off, base+o)
+	}
+}
+
+// Grow ensures capacity for sets more sets and elems more elements without
+// further reallocation, so a bulk merge costs one arena move at most.
+func (s *SetStore) Grow(sets int, elems int64) {
+	if need := int64(len(s.data)) + elems; need > int64(cap(s.data)) {
+		nd := make([]int32, len(s.data), need)
+		copy(nd, s.data)
+		s.data = nd
+	}
+	if need := len(s.off) + sets; need > cap(s.off) {
+		no := make([]int64, len(s.off), need)
+		copy(no, s.off)
+		s.off = no
+	}
+}
+
+// Bytes returns the arena's true resident footprint: capacity, not length,
+// of both backing arrays. This is what Context.Account must be charged for
+// the paper's M6 memory-blow-up reproduction to stay faithful.
+func (s *SetStore) Bytes() int64 {
+	return int64(cap(s.data))*4 + int64(cap(s.off))*8
+}
+
+// Reset discards all sets AND releases the arena (it does not retain
+// capacity): TIM+ discards its KPT-phase collection between phases and the
+// freed bytes must actually return to the allocator for the accounting
+// credit to be truthful.
+func (s *SetStore) Reset() {
+	s.data = nil
+	s.off = make([]int64, 1, 16)
+}
+
+// Equal reports whether s and t store identical set sequences — same
+// order, same elements, same element order. Determinism tests use it to
+// assert byte-identical sampling across worker counts.
+func (s *SetStore) Equal(t *SetStore) bool {
+	if s.Len() != t.Len() || len(s.data) != len(t.data) {
+		return false
+	}
+	for i := range s.off {
+		if s.off[i] != t.off[i] {
+			return false
+		}
+	}
+	for i := range s.data {
+		if s.data[i] != t.data[i] {
+			return false
+		}
+	}
+	return true
+}

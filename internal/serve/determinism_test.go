@@ -13,9 +13,13 @@ import (
 // newReplica stands up one full server stack — graph, oracle, server —
 // from nothing but a seed, exactly as two imserve replicas would boot.
 func newReplica(t *testing.T, backend string, seed uint64) *httptest.Server {
+	return newReplicaWorkers(t, backend, seed, 1)
+}
+
+func newReplicaWorkers(t *testing.T, backend string, seed uint64, workers int) *httptest.Server {
 	t.Helper()
 	g := testGraph(t)
-	oracle, err := BuildOracle(context.Background(), backend, g, weights.IC, 2000, seed)
+	oracle, err := BuildOracle(context.Background(), backend, g, weights.IC, 2000, seed, workers)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,6 +69,36 @@ func TestReplicaDeterminism(t *testing.T) {
 	}
 }
 
+// TestReplicaDeterminismAcrossWorkers asserts the determinism contract of
+// the parallel index build: a replica whose oracle was built with 8
+// sampling workers serves byte-identical bodies to one built serially,
+// so heterogeneous fleets (fast startup on big machines, serial on small
+// ones) still agree on every answer.
+func TestReplicaDeterminismAcrossWorkers(t *testing.T) {
+	for _, backend := range Backends() {
+		t.Run(backend, func(t *testing.T) {
+			serial := newReplicaWorkers(t, backend, 42, 1)
+			parallel := newReplicaWorkers(t, backend, 42, 8)
+			for _, req := range []struct{ path, body string }{
+				{"/v1/seeds", `{"k":5}`},
+				{"/v1/spread", `{"seeds":[5,3,1]}`},
+				{"/v1/spread", `{"seeds":[2,4],"evalsims":150}`},
+			} {
+				respA, bodyA := postJSON(t, serial.URL+req.path, req.body)
+				respB, bodyB := postJSON(t, parallel.URL+req.path, req.body)
+				if respA.StatusCode != 200 || respB.StatusCode != 200 {
+					t.Fatalf("%s: status %d vs %d (bodies %s | %s)",
+						req.path, respA.StatusCode, respB.StatusCode, bodyA, bodyB)
+				}
+				if !bytes.Equal(bodyA, bodyB) {
+					t.Fatalf("%s %s: worker counts disagree\nserial:   %s\nparallel: %s",
+						req.path, req.body, bodyA, bodyB)
+				}
+			}
+		})
+	}
+}
+
 // TestSeedChangesAnswers is the negative control: a different server seed
 // must actually change the sampled index (otherwise the determinism test
 // above would pass vacuously on constant output).
@@ -89,7 +123,7 @@ func TestSeedChangesAnswers(t *testing.T) {
 // same either way, since responses are pure functions of the request.
 func TestCacheDoesNotChangeBodies(t *testing.T) {
 	g := testGraph(t)
-	oracle, err := BuildOracle(context.Background(), "rrset", g, weights.IC, 2000, 42)
+	oracle, err := BuildOracle(context.Background(), "rrset", g, weights.IC, 2000, 42, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

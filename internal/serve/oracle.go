@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"github.com/sigdata/goinfmax/internal/algo/rrset"
@@ -38,10 +39,17 @@ func Backends() []string { return []string{"rrset", "snapshot"} }
 // BuildOracle constructs the named backend over g. size is the index size
 // (θ RR sets or R snapshots; 0 picks a backend-specific default scaled to
 // the graph), seed is the deterministic build seed, and ctx cancels a
-// build in flight (startup SIGINT). The build cost is paid once; queries
-// then run from memory.
-func BuildOracle(ctx context.Context, backend string, g *graph.Graph, model weights.Model, size int64, seed uint64) (Oracle, error) {
+// build in flight (startup SIGINT). workers parallelizes the rrset
+// backend's sampling phase (values < 1 mean GOMAXPROCS); the built index —
+// and therefore every body the server will ever emit — is byte-identical
+// for any worker count, preserving the replica-determinism contract. The
+// build cost is paid once; queries then run from memory.
+func BuildOracle(ctx context.Context, backend string, g *graph.Graph, model weights.Model, size int64, seed uint64, workers int) (Oracle, error) {
 	cctx := core.NewContext(g, model, 1, seed)
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cctx.Workers = workers
 	// Bridge context.Context cancellation into the core.Context the build
 	// loops poll; AfterFunc's goroutine only sets the atomic cancel flag.
 	stop := context.AfterFunc(ctx, func() { cctx.Cancel(core.ErrCancelled) })

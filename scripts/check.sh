@@ -29,4 +29,9 @@ go test -race ./...
 echo "==> serving smoke test"
 sh scripts/smoke_serve.sh
 
+# One iteration of each RR-sampling benchmark: catches bit-rot in the
+# parallel batch engine's bench harness without paying real bench time.
+echo "==> bench smoke (RR sampling)"
+go test -benchtime=1x -run=NONE -bench=BenchmarkRR .
+
 echo "==> all checks passed"
