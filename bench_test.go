@@ -568,6 +568,50 @@ func (h *baselineHeap) Pop() interface{} {
 	return it
 }
 
+// BenchmarkSpreadEvalBatch measures the evaluation cost of a full 9-point
+// k-sweep (the paper's k ∈ {1, 25, …, 200} grid) whose seed sets form a
+// prefix chain, as greedy/CELF/RR selections produce. "batch" evaluates all
+// nine sets against common live-edge worlds with one incremental frontier
+// extension per world (diffusion.WorldEvaluator); "naive" re-simulates every
+// set from scratch with the per-cell estimator it replaces. Same r per
+// point, serial in both cases, so ns/op compares total sweep evaluation
+// wall-clock directly (BENCH_spread.json records the measured ratio).
+func BenchmarkSpreadEvalBatch(b *testing.B) {
+	g := benchGraph(b, "nethept", 8, goinfmax.WeightedCascade{})
+	const r = 1000
+	ks := core.PaperKs()
+	order := make([]goinfmax.NodeID, ks[len(ks)-1])
+	for i := range order {
+		order[i] = goinfmax.NodeID(i)
+	}
+	sets := make([][]goinfmax.NodeID, len(ks))
+	for i, k := range ks {
+		sets[i] = order[:k]
+	}
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev := diffusion.NewWorldEvaluator(g, weights.IC, r, uint64(i)+1)
+			res, err := ev.EvalBatch(sets, diffusion.BatchOptions{Workers: 1})
+			if err != nil || len(res) != len(sets) || res[0].Estimate.Mean <= 0 {
+				b.Fatalf("res %v err %v", res, err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			for _, s := range sets {
+				est, err := diffusion.EstimateSpreadParallelCtx(ctx, g, weights.IC, s, r, uint64(i)+1, 1)
+				if err != nil || est.Mean <= 0 {
+					b.Fatalf("est %v err %v", est, err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkDiffusion_RRSet measures RR-set sampling, the unit of the
 // TIM+/IMM family, under both weight regimes of Figure 1a.
 func BenchmarkDiffusion_RRSet(b *testing.B) {

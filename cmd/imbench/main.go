@@ -18,6 +18,16 @@
 // skips cells already journaled. -budget plus the hard watchdog
 // (-hardbudget, default 2× budget) bound even algorithms that never poll
 // the cooperative budget checks.
+//
+// Sweep evaluation is batched: selections run first, then every fresh seed
+// set is spread-evaluated against one set of common live-edge worlds, so a
+// greedy-style sweep's prefix-chained sets cost roughly ONE evaluation pass
+// instead of one per k. Cells are journaled only once evaluated; Ctrl-C
+// during the evaluation phase re-runs the whole sweep's fresh cells on
+// resume.
+//
+// -cpuprofile and -memprofile write pprof profiles of the whole invocation
+// (selection + evaluation) for `go tool pprof`.
 package main
 
 import (
@@ -27,6 +37,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -54,7 +66,7 @@ func main() {
 
 func run(args []string) error { return runCtx(context.Background(), args) }
 
-func runCtx(ctx context.Context, args []string) error {
+func runCtx(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("imbench", flag.ContinueOnError)
 	algoName := fs.String("algo", "IMM", "algorithm name (see -listalgos)")
 	dataset := fs.String("dataset", "nethept", "synthetic dataset name")
@@ -68,17 +80,32 @@ func runCtx(ctx context.Context, args []string) error {
 	seed := fs.Uint64("seed", 42, "random seed")
 	evalSims := fs.Int("evalsims", 10000, "MC simulations for spread evaluation")
 	workers := fs.Int("workers", 1, "sampling workers for RR-set algorithms (1 = serial, the paper's measurement; seeds are identical for any value)")
+	evalWorkers := fs.Int("evalworkers", 0, "spread-evaluation workers (0 = all cores; the estimate is bit-identical for any value)")
 	budget := fs.Duration("budget", 0, "time budget for seed selection (0 = unlimited)")
 	hardBudget := fs.Duration("hardbudget", 0, "hard watchdog deadline for non-cooperative algorithms (0 = 2x budget)")
 	memBudget := fs.Int64("membudget", 0, "memory budget in bytes (0 = unlimited)")
 	ksFlag := fs.String("ks", "", "comma-separated k values: run a sweep instead of a single cell")
 	journalPath := fs.String("journal", "", "append each completed sweep cell to this JSONL journal")
 	resumePath := fs.String("resume", "", "skip sweep cells already recorded in this JSONL journal")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU pprof profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap pprof profile at exit to this file")
 	listAlgos := fs.Bool("listalgos", false, "list registered algorithms and exit")
 	listData := fs.Bool("listdatasets", false, "list synthetic datasets and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	// Profiles are a write path: a failed flush or close means a truncated
+	// profile, so it must surface rather than vanish.
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	if *listAlgos {
 		for _, n := range goinfmax.Algorithms() {
@@ -94,7 +121,6 @@ func runCtx(ctx context.Context, args []string) error {
 	}
 
 	var base *graph.Graph
-	var err error
 	if *file != "" {
 		base, err = graph.LoadEdgeListFile(*file, *directed)
 		if err != nil {
@@ -127,7 +153,8 @@ func runCtx(ctx context.Context, args []string) error {
 
 	cfg := goinfmax.RunConfig{
 		K: *k, Model: m, Seed: *seed, ParamValue: *param,
-		EvalSims: *evalSims, TimeBudget: *budget, HardBudget: *hardBudget,
+		EvalSims: *evalSims, EvalWorkers: *evalWorkers,
+		TimeBudget: *budget, HardBudget: *hardBudget,
 		MemBudgetBytes: *memBudget, Workers: *workers,
 	}
 
@@ -163,6 +190,47 @@ func runCtx(ctx context.Context, args []string) error {
 	return nil
 }
 
+// startProfiles starts the optional CPU profile and returns a stop function
+// that ends it, writes the optional heap profile, and closes both files.
+// Close errors surface: a dropped one means a silently truncated profile.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return nil, errors.Join(err, f.Close())
+		}
+		cpuFile = f
+	}
+	stop := func() error {
+		var firstErr error
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			keep(cpuFile.Close())
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				keep(err)
+			} else {
+				runtime.GC() // publish up-to-date allocation statistics
+				keep(pprof.WriteHeapProfile(f))
+				keep(f.Close())
+			}
+		}
+		return firstErr
+	}
+	return stop, nil
+}
+
 // parseKs parses the -ks flag: a comma-separated list of positive ints.
 func parseKs(s string) ([]int, error) {
 	var ks []int
@@ -184,9 +252,12 @@ func parseKs(s string) ([]int, error) {
 }
 
 // sweep runs the k sweep with checkpoint/resume: cells already present in
-// the resume journal are skipped, every freshly completed cell is appended
-// to the journal, and ctx cancellation (SIGINT) stops cleanly between
-// cells with the journal flushed.
+// the resume journal are skipped, selections run first (ctx cancellation
+// stops cleanly between cells), then every fresh seed set is evaluated in
+// one common-world batch — prefix-chained selections cost roughly one full
+// evaluation pass — and finally the evaluated cells are journaled. Only
+// evaluated cells checkpoint: interrupting the evaluation phase re-runs the
+// sweep's fresh cells on resume.
 func sweep(ctx context.Context, alg goinfmax.Algorithm, g *goinfmax.Graph, cfg goinfmax.RunConfig, ks []int, journalPath, resumePath string) (err error) {
 	var resume map[string]goinfmax.Result
 	if resumePath != "" {
@@ -213,11 +284,14 @@ func sweep(ctx context.Context, alg goinfmax.Algorithm, g *goinfmax.Graph, cfg g
 		}()
 	}
 
+	selCfg := cfg
+	selCfg.EvalSims = 0 // selection pass; evaluation is batched below
+	var fresh []goinfmax.Result
 	for _, k := range ks {
 		if ctx.Err() != nil {
 			return core.ErrCancelled
 		}
-		c := cfg
+		c := selCfg
 		c.K = k
 		probe := goinfmax.Result{Algorithm: alg.Name(), Dataset: g.Name(), Model: c.Model, K: k, Param: c.ParamValue}
 		if prior, ok := resume[probe.CellKey()]; ok {
@@ -228,6 +302,12 @@ func sweep(ctx context.Context, alg goinfmax.Algorithm, g *goinfmax.Graph, cfg g
 		if res.Status == goinfmax.StatusCancelled {
 			return core.ErrCancelled
 		}
+		fresh = append(fresh, res)
+	}
+	if err := goinfmax.EvaluateSweepCtx(ctx, g, cfg, fresh); err != nil {
+		return err
+	}
+	for _, res := range fresh {
 		fmt.Println(res)
 		if journal != nil {
 			if err := journal.Append(res); err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -80,6 +81,27 @@ func TestSweepJournalResume(t *testing.T) {
 	}
 	if len(recs) != 3 {
 		t.Fatalf("after resume journal holds %d cells, want 3 (cells re-ran)", len(recs))
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	err := run([]string{"-algo", "Random", "-dataset", "nethept", "-scale", "256",
+		"-model", "WC", "-k", "2", "-evalsims", "20",
+		"-cpuprofile", cpu, "-memprofile", mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }
 

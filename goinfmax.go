@@ -144,9 +144,21 @@ func RunCtx(ctx context.Context, alg Algorithm, g *Graph, cfg RunConfig) Result 
 }
 
 // RunSweepCtx runs alg over the k values under ctx, stopping early (with
-// partial results) once ctx is cancelled.
+// partial results) once ctx is cancelled. Spread evaluation is batched over
+// the whole sweep against common live-edge worlds: prefix-chained greedy
+// selections cost roughly one full evaluation pass instead of one per k,
+// and each cell's Spread is bit-identical to running that cell alone.
 func RunSweepCtx(ctx context.Context, alg Algorithm, g *Graph, cfg RunConfig, ks []int) []Result {
 	return core.RunSweepCtx(ctx, alg, g, cfg, ks)
+}
+
+// EvaluateSweepCtx fills in the decoupled spread evaluation (Spread,
+// EvalTime) of every completed-but-unevaluated OK cell in results, in one
+// common-world batch sharing live-edge worlds across all cells. On
+// cancellation the cells still awaiting evaluation are downgraded to
+// Cancelled (re-run on resume) and core.ErrCancelled is returned.
+func EvaluateSweepCtx(ctx context.Context, g *Graph, cfg RunConfig, results []Result) error {
+	return core.EvaluateSweepCtx(ctx, g, cfg, results)
 }
 
 // OpenJournal opens (or extends) an append-only JSONL checkpoint journal.

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/diffusion"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/metrics"
+)
+
+// Batched decoupled evaluation
+//
+// The paper decouples seed selection from spread computation and charges the
+// EvalSims-simulation evaluation (default 10,000) to neither algorithm
+// (paper §5.1). That makes evaluation the dominant FIXED cost of a sweep:
+// greedy-style selections across a k grid produce prefix-chained seed sets,
+// and re-simulating each from scratch repeats almost all the work. The
+// runner therefore evaluates every cell against the common-world engine
+// (diffusion.WorldEvaluator): cells of one (graph, model, seed) observe
+// byte-identical live-edge worlds, a sweep's prefix chain costs roughly one
+// full pass instead of one per cell, and two algorithms on the same cell are
+// compared under common random numbers. Measured selection results are
+// unperturbed — evaluation still happens after selection, outside every
+// budget, and the Estimate is bit-identical for any EvalWorkers value.
+
+// evalSeed derives the evaluation seed of a cell configuration. All cells
+// sharing (Model, Seed, EvalSims) observe identical worlds, whether they are
+// evaluated one by one (RunCtx) or batched (EvaluateSweepCtx).
+func evalSeed(cfg RunConfig) uint64 { return cfg.Seed ^ 0x5eed }
+
+// evaluator builds the common-world evaluator for a cell configuration.
+func evaluator(g *graph.Graph, cfg RunConfig) *diffusion.WorldEvaluator {
+	return diffusion.NewWorldEvaluator(g, cfg.Model, cfg.EvalSims, evalSeed(cfg))
+}
+
+// EvaluateSweepCtx fills in the decoupled spread evaluation (Spread,
+// EvalTime) of every completed-but-unevaluated OK cell in results, in one
+// common-world batch: all cells share the same live-edge worlds, and
+// prefix-chained seed sets (greedy/CELF/RR selections across a k-sweep) are
+// evaluated incrementally. Cells that already carry a Spread (journal
+// splices) and non-OK cells are left untouched.
+//
+// Cancellation keeps cells sound: when stdctx dies before the batch
+// finishes, every cell awaiting evaluation is downgraded to Cancelled — the
+// same contract as RunCtx's evaluation phase — so checkpoint journals never
+// record a half-evaluated cell and resume re-runs exactly the unevaluated
+// ones. The per-cell EvalTime is the simulation time attributed to the
+// cell's own incremental extensions, summed across evaluation workers.
+func EvaluateSweepCtx(stdctx context.Context, g *graph.Graph, cfg RunConfig, results []Result) error {
+	if cfg.EvalSims <= 0 {
+		return nil
+	}
+	if stdctx == nil {
+		stdctx = context.Background()
+	}
+	var idxs []int
+	var sets [][]graph.NodeID
+	for i := range results {
+		r := &results[i]
+		if r.Status != OK || r.Spread.Runs > 0 || len(r.Seeds) == 0 {
+			continue
+		}
+		idxs = append(idxs, i)
+		sets = append(sets, r.Seeds)
+	}
+	if len(idxs) == 0 {
+		return nil
+	}
+
+	sw := metrics.Start()
+	batch, err := evaluator(g, cfg).EvalBatch(sets, diffusion.BatchOptions{
+		Workers: cfg.EvalWorkers,
+		Poll:    stdctx.Err,
+	})
+	if err != nil {
+		// Selection finished but the evaluation was interrupted: the cells
+		// are incomplete and must be re-run on resume.
+		for _, i := range idxs {
+			results[i].Status = Cancelled
+			results[i].Err = ErrCancelled
+		}
+		return ErrCancelled
+	}
+	wall := sw.Elapsed()
+	var attributed int64
+	for j, i := range idxs {
+		results[i].Spread = batch[j].Estimate
+		results[i].EvalTime = batch[j].EvalTime
+		attributed += int64(batch[j].EvalTime)
+	}
+	// Attribution covers simulation time only; fold the engine's fixed
+	// overhead (chain detection, matrix reduction) into the cells
+	// proportionally so the per-cell times still sum to the batch
+	// wall-clock on a serial run.
+	if overhead := int64(wall) - attributed; overhead > 0 && attributed > 0 {
+		for _, i := range idxs {
+			share := float64(results[i].EvalTime) / float64(attributed)
+			results[i].EvalTime += time.Duration(float64(overhead) * share)
+		}
+	}
+	return nil
+}

@@ -201,8 +201,14 @@ func RunCtx(stdctx context.Context, alg Algorithm, g *graph.Graph, cfg RunConfig
 	}
 
 	if cfg.EvalSims > 0 {
+		// Common-world evaluation (see evaluate.go): the same worlds a
+		// batched sweep observes, so a cell's Spread is bit-identical
+		// whether it ran alone or inside RunSweepCtx/EvaluateSweepCtx.
 		sw = metrics.Start()
-		est, err := diffusion.EstimateSpreadParallelCtx(stdctx, g, cfg.Model, o.seeds, cfg.EvalSims, cfg.Seed^0x5eed, cfg.EvalWorkers)
+		batch, err := evaluator(g, cfg).EvalBatch([][]graph.NodeID{o.seeds}, diffusion.BatchOptions{
+			Workers: cfg.EvalWorkers,
+			Poll:    stdctx.Err,
+		})
 		res.EvalTime = sw.Elapsed()
 		if err != nil {
 			// Selection finished but the evaluation was interrupted: the
@@ -211,7 +217,7 @@ func RunCtx(stdctx context.Context, alg Algorithm, g *graph.Graph, cfg RunConfig
 			res.Err = ErrCancelled
 			return res
 		}
-		res.Spread = est
+		res.Spread = batch[0].Estimate
 	}
 	return res
 }
@@ -242,19 +248,31 @@ func RunSweep(alg Algorithm, g *graph.Graph, cfg RunConfig, ks []int) []Result {
 // RunSweepCtx is RunSweep under an external context: once stdctx is
 // cancelled the remaining k values are skipped and the partial results
 // returned, so an interrupted campaign keeps what it has.
+//
+// Evaluation is batched: the sweep first runs every selection (instrumented
+// exactly as before), then evaluates all completed seed sets against one set
+// of common live-edge worlds (EvaluateSweepCtx). Greedy-style selections
+// across the k grid form a prefix chain, so the whole sweep's evaluation
+// costs roughly ONE full pass instead of len(ks) — and the resulting Spread
+// of each cell is bit-identical to running that cell alone. On cancellation
+// mid-evaluation, cells still awaiting their spread are marked Cancelled
+// (incomplete, re-run on resume), matching the single-cell contract.
 func RunSweepCtx(stdctx context.Context, alg Algorithm, g *graph.Graph, cfg RunConfig, ks []int) []Result {
 	if stdctx == nil {
 		stdctx = context.Background()
 	}
+	selCfg := cfg
+	selCfg.EvalSims = 0 // selection pass; evaluation is batched below
 	out := make([]Result, 0, len(ks))
 	for _, k := range ks {
 		if stdctx.Err() != nil {
 			break
 		}
-		c := cfg
+		c := selCfg
 		c.K = k
 		out = append(out, RunCtx(stdctx, alg, g, c))
 	}
+	_ = EvaluateSweepCtx(stdctx, g, cfg, out) // cancellation is recorded per cell
 	return out
 }
 

@@ -1,0 +1,558 @@
+package diffusion
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// Batched common-world spread evaluation
+//
+// The decoupled Spread evaluator (paper Alg. 1, §5.1) is the platform's
+// dominant fixed cost: every benchmark cell pays EvalSims (paper: 10,000)
+// full forward simulations, so a 9-point k-sweep re-simulates ~90k cascades
+// over heavily overlapping seed sets. Kempe et al.'s live-edge
+// characterization — already exploited by the RR-set and snapshot substrates
+// — says a sampled world is just a deterministic subgraph, so MANY seed sets
+// can be evaluated against the SAME worlds, and a chain S_1 ⊂ S_2 ⊂ … (as
+// produced by greedy/CELF/RR selections across a k-sweep) costs one
+// incremental frontier extension per world instead of one full pass per set.
+//
+// A WorldEvaluator fixes R worlds for (graph, model, seed). World w is never
+// materialized: its coins are O(1) arc-indexed functions — the arcIndex-th
+// splitmix64 output of the world's seed, exactly the indexed-stream scheme
+// of the parallel RR sampler (rrbatch.go). Because a coin depends only on
+// (worldSeed, arcIndex), every seed set observes byte-identical worlds
+// regardless of traversal order, which gives three properties at once:
+//
+//   - incremental chain evaluation is EXACT (equal to evaluating each set
+//     from scratch on the same worlds — generalizing Simulator.RunTwoPhase
+//     from two phases to N);
+//   - evaluation parallelizes over worlds with a deterministic world-order
+//     merge, so the Estimate is bit-identical for any worker count at a
+//     fixed seed (the PR-4 SampleBatch contract);
+//   - two algorithms evaluated on the same cell share worlds — common
+//     random numbers — so their per-world spreads support paired-difference
+//     comparison with far smaller variance than independent estimates.
+//
+// The world semantics mirror liveedge.go: under IC, arc a is live iff
+// coin(worldSeed, a) < weight(a); under LT, node v selects at most one
+// incoming arc with a single uniform draw keyed on M+v (domain-separated
+// from the arc indices). Reachability from the seed set over live/selected
+// arcs is distributed exactly as the forward cascade.
+
+// worldSeed returns the seed of world w: the w-th indexed splitmix64 output
+// of the evaluator seed.
+func worldSeed(base uint64, w int) uint64 { return sampleSeed(base, int64(w)) }
+
+// worldCoin returns a uniform [0,1) draw that is a pure function of
+// (worldSeed, index): the index-th splitmix64 output of worldSeed, mapped to
+// [0,1) exactly like rng.Source.Float64.
+func worldCoin(worldSeed uint64, index int64) float64 {
+	return float64(sampleSeed(worldSeed, index)>>11) / (1 << 53)
+}
+
+// WorldEvaluator evaluates spread against R fixed live-edge worlds. It is
+// immutable and safe for concurrent use; each EvalBatch call allocates its
+// own scratch (one simulator per worker).
+type WorldEvaluator struct {
+	g      *graph.Graph
+	model  weights.Model
+	worlds int
+	seed   uint64
+}
+
+// NewWorldEvaluator fixes worlds live-edge worlds over g under the given
+// model, all derived from seed. Two evaluators with identical (g, model,
+// worlds, seed) observe identical worlds, so spreads computed by separate
+// calls — even separate processes — are directly comparable world by world.
+func NewWorldEvaluator(g *graph.Graph, model weights.Model, worlds int, seed uint64) *WorldEvaluator {
+	if worlds <= 0 {
+		worlds = 1
+	}
+	return &WorldEvaluator{g: g, model: model, worlds: worlds, seed: seed}
+}
+
+// Worlds returns the number of fixed worlds R.
+func (e *WorldEvaluator) Worlds() int { return e.worlds }
+
+// Seed returns the evaluator seed the worlds derive from.
+func (e *WorldEvaluator) Seed() uint64 { return e.seed }
+
+// BatchOptions tunes one EvalBatch call. The zero value is valid: all
+// available cores, no polling, no accounting, estimates only.
+type BatchOptions struct {
+	// Workers parallelizes over worlds (< 1 means GOMAXPROCS). The results
+	// are bit-identical for any value: workers own contiguous world ranges
+	// and write into disjoint rows of one spread matrix that is reduced in
+	// world order afterwards.
+	Workers int
+	// Poll, when non-nil, is consulted between worlds (serially, or from
+	// the supervising goroutine while workers run); its error aborts the
+	// batch. Only ever invoked from the calling goroutine.
+	Poll func() error
+	// Account, when non-nil, is charged the batch's scratch memory (spread
+	// matrix + per-worker simulator state) up front and reconciled on
+	// return to the retained bytes (the per-world matrix when KeepPerWorld,
+	// zero otherwise), so memory-budgeted runs crash faithfully mid-batch.
+	// Only ever invoked from the calling goroutine.
+	Account func(delta int64)
+	// KeepPerWorld retains each set's per-world spreads in BatchResult for
+	// common-random-numbers comparisons (see PairedDiff).
+	KeepPerWorld bool
+}
+
+// BatchResult is the evaluation of one seed set of a batch.
+type BatchResult struct {
+	// Estimate aggregates the set's spread over the R shared worlds.
+	Estimate Estimate
+	// PerWorld is the spread observed in each world, in world order; nil
+	// unless BatchOptions.KeepPerWorld was set. Two sets evaluated against
+	// the same evaluator seed can be compared world by world (PairedDiff).
+	PerWorld []int32
+	// EvalTime is the simulation time attributed to this set: the summed
+	// cost of its incremental frontier extensions across all worlds and
+	// workers. Chain reuse makes the attributed times of a sweep sum to
+	// roughly one full pass instead of one pass per cell.
+	EvalTime time.Duration
+	// Chain and ChainPos locate the set in the detected prefix-chain
+	// partition: sets in the same chain were evaluated incrementally.
+	Chain, ChainPos int
+}
+
+// EvalBatch evaluates every seed set against the shared worlds, detecting
+// prefix chains (set A precedes set B when A equals B's selection-order
+// prefix) and evaluating each chain with one incremental frontier extension
+// per world. Results are returned in input order and are bit-identical for
+// any worker count.
+func (e *WorldEvaluator) EvalBatch(sets [][]graph.NodeID, opt BatchOptions) ([]BatchResult, error) {
+	m := len(sets)
+	if m == 0 {
+		return nil, nil
+	}
+	r := e.worlds
+	workers := opt.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > r {
+		workers = r
+	}
+
+	chains := detectChains(sets)
+	results := make([]BatchResult, m)
+	for c, chain := range chains {
+		for pos, idx := range chain {
+			results[idx].Chain, results[idx].ChainPos = c, pos
+		}
+	}
+
+	// One flat spread matrix, rows in world order: workers fill disjoint
+	// column ranges and the reduction below walks worlds sequentially, so
+	// float summation order — hence the Estimate — never depends on the
+	// worker count.
+	spreads := make([]int32, m*r)
+	nanos := make([]int64, m)
+
+	charged := int64(0)
+	charge := func(target int64) {
+		if opt.Account != nil && target != charged {
+			opt.Account(target - charged)
+			charged = target
+		}
+	}
+	matrixBytes := int64(m) * int64(r) * 4
+	charge(matrixBytes + int64(workers)*worldScratchBytes(e.g.N(), e.model))
+
+	var err error
+	if workers == 1 {
+		err = e.evalWorlds(newWorldSim(e.g, e.model), sets, chains, 0, r, spreads, nanos, opt.Poll, nil)
+	} else {
+		err = e.evalParallel(sets, chains, spreads, nanos, workers, opt.Poll)
+	}
+	if err != nil {
+		// The batch is discarded; reconcile the scratch charges away so the
+		// accounted figure tracks resident memory again.
+		charge(0)
+		return nil, err
+	}
+
+	for i := range results {
+		row := spreads[i*r : (i+1)*r : (i+1)*r]
+		var sum, sumSq float64
+		for _, sp := range row {
+			f := float64(sp)
+			sum += f
+			sumSq += f * f
+		}
+		results[i].Estimate = finishEstimate(sum, sumSq, r)
+		results[i].EvalTime = time.Duration(nanos[i])
+		if opt.KeepPerWorld {
+			results[i].PerWorld = row
+		}
+	}
+	if opt.KeepPerWorld {
+		charge(matrixBytes)
+	} else {
+		charge(0)
+	}
+	return results, nil
+}
+
+// Evaluate is the single-set convenience form of EvalBatch.
+func (e *WorldEvaluator) Evaluate(seeds []graph.NodeID, workers int) Estimate {
+	res, err := e.EvalBatch([][]graph.NodeID{seeds}, BatchOptions{Workers: workers})
+	if err != nil { // unreachable: no Poll means no abort path
+		panic(err)
+	}
+	return res[0].Estimate
+}
+
+// PairedDiff returns the common-random-numbers estimate of σ(B) − σ(A): the
+// mean and standard error of the per-world spread difference b−a. Both
+// results must carry per-world spreads (KeepPerWorld) from evaluators with
+// identical worlds; PairedDiff reports an error otherwise. Because the two
+// sets observed the same worlds, the difference variance excludes the shared
+// world-to-world variation, which is what makes cross-algorithm comparisons
+// on one cell resolvable at far fewer worlds.
+func PairedDiff(a, b BatchResult) (mean, stderr float64, err error) {
+	if a.PerWorld == nil || b.PerWorld == nil {
+		return 0, 0, fmt.Errorf("diffusion: PairedDiff needs per-world spreads (set BatchOptions.KeepPerWorld)")
+	}
+	if len(a.PerWorld) != len(b.PerWorld) {
+		return 0, 0, fmt.Errorf("diffusion: PairedDiff world counts differ (%d vs %d)", len(a.PerWorld), len(b.PerWorld))
+	}
+	var sum, sumSq float64
+	for w := range a.PerWorld {
+		d := float64(b.PerWorld[w] - a.PerWorld[w])
+		sum += d
+		sumSq += d * d
+	}
+	est := finishEstimate(sum, sumSq, len(a.PerWorld))
+	return est.Mean, est.StdErr, nil
+}
+
+// detectChains partitions the batch into prefix chains: processing sets in
+// non-decreasing length order, each set joins the chain whose tail is its
+// longest selection-order prefix, or starts a new chain. A k-sweep's greedy
+// selections collapse into one chain; unrelated sets become singleton chains
+// and still share the worlds.
+func detectChains(sets [][]graph.NodeID) [][]int {
+	order := make([]int, len(sets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return len(sets[order[a]]) < len(sets[order[b]]) })
+	var chains [][]int
+	for _, idx := range order {
+		best, bestLen := -1, -1
+		for c, chain := range chains {
+			tail := sets[chain[len(chain)-1]]
+			if len(tail) > bestLen && isListPrefix(tail, sets[idx]) {
+				best, bestLen = c, len(tail)
+			}
+		}
+		if best >= 0 {
+			chains[best] = append(chains[best], idx)
+		} else {
+			chains = append(chains, []int{idx})
+		}
+	}
+	return chains
+}
+
+// isListPrefix reports whether a equals b's leading len(a) elements. Order
+// matters: chains follow selection order, matching how greedy-style sweeps
+// extend their seed lists.
+func isListPrefix(a, b []graph.NodeID) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// evalWorlds evaluates worlds [lo, hi) serially on sim, writing each set's
+// spread into column w of the matrix and accumulating per-set simulation
+// nanoseconds. poll (serial path) aborts the batch; stop (parallel path) is
+// the supervisor's cheap abort flag.
+func (e *WorldEvaluator) evalWorlds(sim *worldSim, sets [][]graph.NodeID, chains [][]int, lo, hi int, spreads []int32, nanos []int64, poll func() error, stop *atomic.Bool) error {
+	r := e.worlds
+	for w := lo; w < hi; w++ {
+		if poll != nil {
+			if err := poll(); err != nil {
+				return err
+			}
+		}
+		if stop != nil && stop.Load() {
+			return nil
+		}
+		sim.setWorld(worldSeed(e.seed, w))
+		for _, chain := range chains {
+			sim.begin()
+			prefix := 0
+			for _, idx := range chain {
+				set := sets[idx]
+				t0 := time.Now()
+				sp := sim.extend(set[prefix:])
+				nanos[idx] += int64(time.Since(t0))
+				spreads[idx*r+w] = sp
+				prefix = len(set)
+			}
+		}
+	}
+	return nil
+}
+
+// evalParallel fans the world range out over workers goroutines with
+// contiguous chunks. Workers write disjoint matrix columns and private nano
+// counters (merged in worker order afterwards); the calling goroutine
+// supervises: it runs Poll, raises worker panics, and flips the cooperative
+// stop flag on abort — mirroring the SampleBatch supervision contract.
+func (e *WorldEvaluator) evalParallel(sets [][]graph.NodeID, chains [][]int, spreads []int32, nanos []int64, workers int, poll func() error) error {
+	r := e.worlds
+	var (
+		stop     atomic.Bool
+		panicked atomic.Pointer[any]
+		wg       sync.WaitGroup
+	)
+	chunk := (r + workers - 1) / workers
+	locals := make([][]int64, 0, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > r {
+			hi = r
+		}
+		if lo >= hi {
+			break
+		}
+		local := make([]int64, len(sets))
+		locals = append(locals, local)
+		wg.Add(1)
+		go func(lo, hi int, local []int64) {
+			defer wg.Done()
+			// A panic in the simulation kernel must surface on the calling
+			// goroutine, where the resilience layer's supervisor can record
+			// it instead of crashing the process.
+			defer func() {
+				if p := recover(); p != nil {
+					panicked.CompareAndSwap(nil, &p)
+					stop.Store(true)
+				}
+			}()
+			_ = e.evalWorlds(newWorldSim(e.g, e.model), sets, chains, lo, hi, spreads, local, nil, &stop)
+		}(lo, hi, local)
+	}
+
+	done := make(chan struct{})
+	//imlint:ignore gosupervise closing a channel after Wait cannot panic; recover would hide nothing
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	var pollErr error
+	ticker := time.NewTicker(200 * time.Microsecond)
+	defer ticker.Stop()
+supervise:
+	for {
+		select {
+		case <-done:
+			break supervise
+		case <-ticker.C:
+			if poll != nil && pollErr == nil {
+				if pollErr = poll(); pollErr != nil {
+					stop.Store(true)
+				}
+			}
+		}
+	}
+	if p := panicked.Load(); p != nil {
+		panic(*p)
+	}
+	if pollErr != nil {
+		return pollErr
+	}
+	for i := range nanos {
+		for _, local := range locals {
+			nanos[i] += local[i]
+		}
+	}
+	return nil
+}
+
+// worldScratchBytes upper-bounds one worldSim's resident scratch: the mark
+// array plus the (at most n-long) frontier queue, and for LT the per-world
+// arc-choice cache. Charged per worker by EvalBatch.
+func worldScratchBytes(n int32, model weights.Model) int64 {
+	b := int64(n) * 8 // mark (4n) + queue capacity bound (4n)
+	if model == weights.LT {
+		b += int64(n) * 8 // ltStamp (4n) + ltChosen (4n)
+	}
+	return b
+}
+
+// worldSim simulates cascades inside fixed coin-indexed worlds. Like
+// Simulator it reuses epoch-stamped scratch and is not safe for concurrent
+// use; EvalBatch creates one per worker.
+type worldSim struct {
+	g     *graph.Graph
+	model weights.Model
+	m     int64 // arc count: LT node draws are keyed on m+v
+
+	worldSeed uint64
+
+	// Active-set marks, stamped per (world, chain) so chain state persists
+	// across incremental extensions; queue holds every active node of the
+	// current chain, so its length IS the cumulative spread.
+	mark  []uint32
+	epoch uint32
+	queue []graph.NodeID
+
+	// LT arc choices, stamped per world: chosen[v] is v's selected
+	// in-neighbor in the current world (-1 = none), computed lazily on
+	// first probe and valid for every chain evaluated in the world.
+	ltStamp    []uint32
+	ltChosen   []graph.NodeID
+	worldEpoch uint32
+}
+
+func newWorldSim(g *graph.Graph, model weights.Model) *worldSim {
+	n := g.N()
+	s := &worldSim{
+		g:     g,
+		model: model,
+		m:     g.M(),
+		mark:  make([]uint32, n),
+		queue: make([]graph.NodeID, 0, 1024),
+	}
+	if model == weights.LT {
+		s.ltStamp = make([]uint32, n)
+		s.ltChosen = make([]graph.NodeID, n)
+	}
+	return s
+}
+
+// setWorld switches to the world drawn from seed, invalidating the LT
+// choice cache.
+func (s *worldSim) setWorld(seed uint64) {
+	s.worldSeed = seed
+	if s.ltStamp != nil {
+		s.worldEpoch++
+		if s.worldEpoch == 0 { // wrapped: reset stamps once every 2^32 worlds
+			for i := range s.ltStamp {
+				s.ltStamp[i] = 0
+			}
+			s.worldEpoch = 1
+		}
+	}
+}
+
+// begin starts a fresh chain in the current world: empty active set.
+func (s *worldSim) begin() {
+	s.epoch++
+	if s.epoch == 0 { // wrapped: reset marks once every 2^32 chains
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.queue = s.queue[:0]
+}
+
+// extend activates the given seeds on top of the chain's current active set
+// and runs the frontier to quiescence, returning the CUMULATIVE spread
+// Γ(all seeds so far). Exact by the live-edge view: reachability in a fixed
+// subgraph is monotone under seed union, so extending from the new seeds
+// alone equals re-running the full set from scratch.
+func (s *worldSim) extend(seeds []graph.NodeID) int32 {
+	head := len(s.queue)
+	for _, v := range seeds {
+		if s.mark[v] == s.epoch {
+			continue // duplicate or already activated by an earlier phase
+		}
+		s.mark[v] = s.epoch
+		s.queue = append(s.queue, v)
+	}
+	switch s.model {
+	case weights.IC:
+		s.extendIC(head)
+	case weights.LT:
+		s.extendLT(head)
+	default:
+		panic(fmt.Sprintf("diffusion: unknown model %v", s.model))
+	}
+	return int32(len(s.queue))
+}
+
+// extendIC processes the frontier from queue index head: arc a=(u,v) is
+// live iff its indexed coin clears the arc weight.
+func (s *worldSim) extendIC(head int) {
+	g := s.g
+	for ; head < len(s.queue); head++ {
+		u := s.queue[head]
+		to, w := g.OutNeighbors(u)
+		base := g.OutArcBase(u)
+		for i, v := range to {
+			if s.mark[v] == s.epoch {
+				continue
+			}
+			if worldCoin(s.worldSeed, base+int64(i)) < w[i] {
+				s.mark[v] = s.epoch
+				s.queue = append(s.queue, v)
+			}
+		}
+	}
+}
+
+// extendLT processes the frontier from queue index head: v activates when
+// its in-arc choice for this world points at an active node.
+func (s *worldSim) extendLT(head int) {
+	g := s.g
+	for ; head < len(s.queue); head++ {
+		u := s.queue[head]
+		to, _ := g.OutNeighbors(u)
+		for _, v := range to {
+			if s.mark[v] == s.epoch {
+				continue
+			}
+			if s.chosenIn(v) == u {
+				s.mark[v] = s.epoch
+				s.queue = append(s.queue, v)
+			}
+		}
+	}
+}
+
+// chosenIn returns v's selected in-neighbor in the current world (-1 when v
+// selects no arc), computing it lazily from one node-indexed draw: the
+// in-arc whose cumulative weight first exceeds the draw, exactly the
+// RRSampler.pickOneIn scan. With parallel arcs the choice lands on a
+// specific arc, but activation only needs the arc's source.
+func (s *worldSim) chosenIn(v graph.NodeID) graph.NodeID {
+	if s.ltStamp[v] != s.worldEpoch {
+		s.ltStamp[v] = s.worldEpoch
+		s.ltChosen[v] = -1
+		from, w := s.g.InNeighbors(v)
+		x := worldCoin(s.worldSeed, s.m+int64(v))
+		acc := 0.0
+		for i, u := range from {
+			acc += w[i]
+			if x < acc {
+				s.ltChosen[v] = u
+				break
+			}
+		}
+	}
+	return s.ltChosen[v]
+}

@@ -1,0 +1,317 @@
+package diffusion
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// prefixChainSets returns the k-sweep shape: prefixes of one selection
+// order, deliberately out of length order to exercise chain detection.
+func prefixChainSets(t *testing.T, g *graph.Graph, lens []int, seed uint64) [][]graph.NodeID {
+	t.Helper()
+	r := rng.New(seed)
+	perm := r.Perm(int(g.N()))
+	maxLen := 0
+	for _, l := range lens {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	full := make([]graph.NodeID, maxLen)
+	for i := range full {
+		full[i] = graph.NodeID(perm[i])
+	}
+	sets := make([][]graph.NodeID, len(lens))
+	for i, l := range lens {
+		sets[i] = full[:l:l]
+	}
+	return sets
+}
+
+// TestEvalBatchChainEqualsPerSet is the core exactness property: evaluating
+// a prefix chain incrementally must equal evaluating every set standalone on
+// the same worlds, world by world, for both models.
+func TestEvalBatchChainEqualsPerSet(t *testing.T) {
+	g := randomWCGraph(3, 200, 900)
+	for _, model := range []weights.Model{weights.IC, weights.LT} {
+		ev := NewWorldEvaluator(g, model, 64, 11)
+		sets := prefixChainSets(t, g, []int{5, 1, 9, 3, 7}, 5)
+		// An unrelated set that shares no prefix: must land in its own chain
+		// and still observe the same worlds.
+		other := []graph.NodeID{g.N() - 1, g.N() - 2}
+		sets = append(sets, other)
+		batch, err := ev.EvalBatch(sets, BatchOptions{Workers: 1, KeepPerWorld: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, set := range sets {
+			solo, err := ev.EvalBatch([][]graph.NodeID{set}, BatchOptions{Workers: 1, KeepPerWorld: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for w := range solo[0].PerWorld {
+				if batch[i].PerWorld[w] != solo[0].PerWorld[w] {
+					t.Fatalf("model %v set %d world %d: batch %d standalone %d",
+						model, i, w, batch[i].PerWorld[w], solo[0].PerWorld[w])
+				}
+			}
+			if batch[i].Estimate != solo[0].Estimate {
+				t.Fatalf("model %v set %d: estimates differ", model, i)
+			}
+		}
+	}
+}
+
+// TestEvalBatchChainDetection pins the prefix-chain partition: the sweep
+// prefixes share one chain in length order; the unrelated set is alone.
+func TestEvalBatchChainDetection(t *testing.T) {
+	g := randomWCGraph(3, 100, 400)
+	sets := prefixChainSets(t, g, []int{5, 1, 9, 3, 7}, 5)
+	sets = append(sets, []graph.NodeID{g.N() - 1, g.N() - 2})
+	ev := NewWorldEvaluator(g, weights.IC, 4, 1)
+	batch, err := ev.EvalBatch(sets, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainOf := batch[0].Chain
+	wantPos := map[int]int{0: 2, 1: 0, 2: 4, 3: 1, 4: 3} // by length rank
+	for i := 0; i < 5; i++ {
+		if batch[i].Chain != chainOf {
+			t.Fatalf("set %d in chain %d, want %d", i, batch[i].Chain, chainOf)
+		}
+		if batch[i].ChainPos != wantPos[i] {
+			t.Fatalf("set %d at pos %d, want %d", i, batch[i].ChainPos, wantPos[i])
+		}
+	}
+	if batch[5].Chain == chainOf || batch[5].ChainPos != 0 {
+		t.Fatalf("unrelated set landed at chain %d pos %d", batch[5].Chain, batch[5].ChainPos)
+	}
+}
+
+// TestEvalBatchMatchesEstimateSpread: the world evaluator and the forward
+// MC estimator sample the same distribution, so at r=10k their estimates
+// must overlap within ±3 combined standard errors (both models).
+func TestEvalBatchMatchesEstimateSpread(t *testing.T) {
+	g := randomWCGraph(7, 300, 1500)
+	seeds := []graph.NodeID{0, 17, 42, 99, 123}
+	const r = 10000
+	for _, model := range []weights.Model{weights.IC, weights.LT} {
+		world := NewWorldEvaluator(g, model, r, 21).Evaluate(seeds, 1)
+		mc := NewSimulator(g, model).EstimateSpread(seeds, r, 22)
+		tol := 3 * math.Sqrt(world.StdErr*world.StdErr+mc.StdErr*mc.StdErr)
+		if diff := math.Abs(world.Mean - mc.Mean); diff > tol {
+			t.Fatalf("model %v: world %v vs MC %v differ by %v > %v",
+				model, world, mc, diff, tol)
+		}
+	}
+}
+
+// TestEvalBatchClosedFormLine pins the world semantics against the closed
+// form on the 2-arc path: σ({0}) = 1 + p + p² under both models.
+func TestEvalBatchClosedFormLine(t *testing.T) {
+	for _, model := range []weights.Model{weights.IC, weights.LT} {
+		for _, p := range []float64{0.2, 0.5, 0.9} {
+			g := line(t, p)
+			est := NewWorldEvaluator(g, model, 40000, 9).Evaluate([]graph.NodeID{0}, 1)
+			want := 1 + p + p*p
+			if math.Abs(est.Mean-want) > 4*est.StdErr+0.01 {
+				t.Fatalf("model %v p=%v: σ=%v want %v (±%v)", model, p, est.Mean, want, est.StdErr)
+			}
+		}
+	}
+}
+
+// TestEvalBatchDeterministicAcrossWorkers: the per-world spreads and the
+// aggregated Estimate must be bit-identical for any worker count at a fixed
+// seed — the determinism contract that makes parallel evaluation safe to
+// enable everywhere.
+func TestEvalBatchDeterministicAcrossWorkers(t *testing.T) {
+	g := randomWCGraph(13, 250, 1100)
+	sets := prefixChainSets(t, g, []int{1, 4, 8, 12}, 17)
+	for _, model := range []weights.Model{weights.IC, weights.LT} {
+		ev := NewWorldEvaluator(g, model, 500, 29)
+		var ref []BatchResult
+		for _, workers := range []int{1, 2, 8} {
+			batch, err := ev.EvalBatch(sets, BatchOptions{Workers: workers, KeepPerWorld: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = batch
+				continue
+			}
+			for i := range batch {
+				if batch[i].Estimate != ref[i].Estimate {
+					t.Fatalf("model %v workers=%d set %d: estimate %v != %v",
+						model, workers, i, batch[i].Estimate, ref[i].Estimate)
+				}
+				for w := range batch[i].PerWorld {
+					if batch[i].PerWorld[w] != ref[i].PerWorld[w] {
+						t.Fatalf("model %v workers=%d set %d world %d differs",
+							model, workers, i, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvalBatchSharedWorldsAcrossCalls: separate EvalBatch calls on equal
+// evaluator parameters observe identical worlds, so per-world spreads from
+// different calls are directly comparable (cross-algorithm CRN).
+func TestEvalBatchSharedWorldsAcrossCalls(t *testing.T) {
+	g := randomWCGraph(19, 150, 700)
+	a := []graph.NodeID{1, 2, 3}
+	b := []graph.NodeID{4, 5, 6}
+	together, err := NewWorldEvaluator(g, weights.IC, 200, 31).
+		EvalBatch([][]graph.NodeID{a, b}, BatchOptions{Workers: 1, KeepPerWorld: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sepA, err := NewWorldEvaluator(g, weights.IC, 200, 31).
+		EvalBatch([][]graph.NodeID{a}, BatchOptions{Workers: 1, KeepPerWorld: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range sepA[0].PerWorld {
+		if sepA[0].PerWorld[w] != together[0].PerWorld[w] {
+			t.Fatalf("world %d: separate call saw %d, batched %d",
+				w, sepA[0].PerWorld[w], together[0].PerWorld[w])
+		}
+	}
+	mean, stderr, err := PairedDiff(together[0], together[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(mean) || math.IsNaN(stderr) {
+		t.Fatalf("paired diff %v ± %v", mean, stderr)
+	}
+}
+
+func TestPairedDiffRequiresPerWorld(t *testing.T) {
+	if _, _, err := PairedDiff(BatchResult{}, BatchResult{}); err == nil {
+		t.Fatal("PairedDiff accepted results without per-world spreads")
+	}
+	a := BatchResult{PerWorld: make([]int32, 3)}
+	b := BatchResult{PerWorld: make([]int32, 4)}
+	if _, _, err := PairedDiff(a, b); err == nil {
+		t.Fatal("PairedDiff accepted mismatched world counts")
+	}
+}
+
+// TestEvalBatchAccounting: scratch is charged during the batch and
+// reconciled on return — to zero when nothing is retained, to the matrix
+// size when per-world spreads are kept.
+func TestEvalBatchAccounting(t *testing.T) {
+	g := randomWCGraph(23, 100, 400)
+	sets := [][]graph.NodeID{{0}, {0, 1}}
+	const r = 50
+	for _, keep := range []bool{false, true} {
+		ev := NewWorldEvaluator(g, weights.IC, r, 37)
+		var net, peak int64
+		_, err := ev.EvalBatch(sets, BatchOptions{
+			Workers:      1,
+			KeepPerWorld: keep,
+			Account: func(delta int64) {
+				net += delta
+				if net > peak {
+					peak = net
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(0)
+		if keep {
+			want = int64(len(sets)) * r * 4
+		}
+		if net != want {
+			t.Fatalf("keep=%v: net accounted %d want %d", keep, net, want)
+		}
+		if peak < int64(len(sets))*r*4 {
+			t.Fatalf("keep=%v: peak %d never covered the spread matrix", keep, peak)
+		}
+	}
+}
+
+// TestEvalBatchPollAborts: a failing poll aborts the batch (serial and
+// parallel paths) and reconciles interim memory charges away.
+func TestEvalBatchPollAborts(t *testing.T) {
+	g := randomWCGraph(23, 100, 400)
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		ev := NewWorldEvaluator(g, weights.IC, 5000, 41)
+		var net int64
+		calls := 0
+		_, err := ev.EvalBatch([][]graph.NodeID{{0, 1, 2}}, BatchOptions{
+			Workers: workers,
+			Account: func(delta int64) { net += delta },
+			Poll: func() error {
+				calls++
+				if calls > 3 {
+					return boom
+				}
+				return nil
+			},
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err %v, want boom", workers, err)
+		}
+		if net != 0 {
+			t.Fatalf("workers=%d: %d bytes left accounted after abort", workers, net)
+		}
+	}
+}
+
+// TestEvalBatchWorkerPanicSurfaces: a panic inside a worker's simulation
+// kernel must re-raise on the calling goroutine (the resilience layer's
+// supervisor turns it into a Panicked cell there).
+func TestEvalBatchWorkerPanicSurfaces(t *testing.T) {
+	g := randomWCGraph(29, 50, 200)
+	ev := NewWorldEvaluator(g, weights.IC, 64, 43)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range seed did not surface as a panic")
+		}
+	}()
+	// Node g.N() is out of range: mark[v] faults inside the workers.
+	_, _ = ev.EvalBatch([][]graph.NodeID{{g.N()}}, BatchOptions{Workers: 4})
+}
+
+func TestEvalBatchEmpty(t *testing.T) {
+	g := randomWCGraph(31, 20, 60)
+	ev := NewWorldEvaluator(g, weights.IC, 10, 47)
+	if res, err := ev.EvalBatch(nil, BatchOptions{}); err != nil || res != nil {
+		t.Fatalf("empty batch: %v %v", res, err)
+	}
+	res, err := ev.EvalBatch([][]graph.NodeID{{}}, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Estimate.Mean != 0 {
+		t.Fatalf("empty seed set spread %v, want 0", res[0].Estimate.Mean)
+	}
+}
+
+func TestMarginalGainCtxCancelled(t *testing.T) {
+	g := randomWCGraph(37, 100, 400)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MarginalGainCtx(ctx, g, weights.IC, []graph.NodeID{0}, 1, 1000, 3); err == nil {
+		t.Fatal("cancelled context did not abort MarginalGainCtx")
+	}
+	gain, err := MarginalGainCtx(context.Background(), g, weights.IC, nil, 0, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain < 1 {
+		t.Fatalf("gain of first seed %v, want ≥ 1 (the seed itself)", gain)
+	}
+}

@@ -95,6 +95,12 @@ func gridResults(cfg Config) (results []core.Result, err error) {
 				if mcFamily(name) && !mcSimulationDatasets[ds] {
 					continue // paper: CELF/CELF++ DNF beyond HepPh
 				}
+				// Selection pass: fresh cells run WITHOUT evaluation; the
+				// whole k-sweep is then spread-evaluated in one common-world
+				// batch (prefix-chained selections cost ~one full pass) and
+				// only evaluated cells are journaled. The checkpoint unit is
+				// therefore one algorithm's k-sweep, not one cell.
+				var pending []int // indices into results of fresh cells
 				for _, k := range cfg.Ks {
 					if ctx.Err() != nil {
 						return results, fmt.Errorf("experiments: grid interrupted: %w", core.ErrCancelled)
@@ -103,24 +109,24 @@ func gridResults(cfg Config) (results []core.Result, err error) {
 					if mcFamily(name) {
 						rc.ParamValue = cfg.MCSims
 					}
-					res, fresh := gridCell(ctx, cfg, alg, g, rc, ds, mc.Label, resume)
+					selRC := rc
+					selRC.EvalSims = 0 // evaluation is batched below
+					res, fresh := gridCell(ctx, cfg, alg, g, selRC, ds, mc.Label, resume)
 					if res.Status == core.Cancelled {
 						// Interrupted mid-cell: the cell is NOT journaled
 						// and will be re-run on resume.
 						return results, fmt.Errorf("experiments: grid interrupted: %w", core.ErrCancelled)
 					}
-					if fresh && journal != nil {
-						if err := journal.Append(res); err != nil {
-							return results, err
-						}
-					}
-					if fresh && cfg.OnCell != nil {
-						cfg.OnCell(res)
-					}
 					results = append(results, res)
+					if fresh {
+						pending = append(pending, len(results)-1)
+					}
 					if res.Status == core.DNF || res.Status == core.Crashed || res.Status == core.Panicked {
 						break // larger k will not fare better
 					}
+				}
+				if err := gridEvaluate(ctx, cfg, g, mc, results, pending, journal); err != nil {
+					return results, err
 				}
 			}
 		}
@@ -132,6 +138,40 @@ func gridResults(cfg Config) (results []core.Result, err error) {
 		}
 	}
 	return results, nil
+}
+
+// gridEvaluate spread-evaluates the fresh cells of one algorithm's k-sweep
+// against common live-edge worlds (core.EvaluateSweepCtx), then journals
+// them and fires OnCell. Cells spliced from a resume journal already carry
+// their Spread and are not re-evaluated or re-journaled. On cancellation the
+// fresh cells are downgraded to Cancelled, left out of the journal, and the
+// grid reports the interruption — resume re-runs exactly those cells.
+func gridEvaluate(ctx context.Context, cfg Config, g *graph.Graph, mc modelConfig, results []core.Result, pending []int, journal *core.Journal) error {
+	if len(pending) == 0 {
+		return nil
+	}
+	batch := make([]core.Result, len(pending))
+	for j, i := range pending {
+		batch[j] = results[i]
+	}
+	evalErr := core.EvaluateSweepCtx(ctx, g, cfg.cell(mc, 0), batch)
+	for j, i := range pending {
+		results[i] = batch[j]
+	}
+	if evalErr != nil {
+		return fmt.Errorf("experiments: grid interrupted: %w", core.ErrCancelled)
+	}
+	for _, i := range pending {
+		if journal != nil {
+			if err := journal.Append(results[i]); err != nil {
+				return err
+			}
+		}
+		if cfg.OnCell != nil {
+			cfg.OnCell(results[i])
+		}
+	}
+	return nil
 }
 
 // gridCell resolves one cell: from the resume journal when available,

@@ -86,6 +86,13 @@ func (g *Graph) InNeighbors(v NodeID) ([]NodeID, []float64) {
 	return g.inFrom[lo:hi], g.inW[lo:hi]
 }
 
+// OutArcBase returns the global index of u's first outgoing arc in the
+// out-CSR: arc i of OutNeighbors(u) has global index OutArcBase(u)+i, and
+// indices are dense in [0, M). Live-edge world evaluation keys its O(1)
+// per-arc coin functions on this index, so a world's coins are a pure
+// function of (worldSeed, arc) independent of traversal order.
+func (g *Graph) OutArcBase(u NodeID) int64 { return g.outOff[u] }
+
 // Weight returns the weight of arc (u,v) and whether the arc exists. When
 // parallel arcs exist the first match is returned.
 func (g *Graph) Weight(u, v NodeID) (float64, bool) {

@@ -182,6 +182,29 @@ func TestDegrees(t *testing.T) {
 	}
 }
 
+// TestOutArcBase pins the global out-arc indexing contract the world
+// evaluator's O(1) coin streams rely on: arc i of OutNeighbors(u) has
+// global index OutArcBase(u)+i, and indices are dense in [0, M).
+func TestOutArcBase(t *testing.T) {
+	b := NewBuilder(4, true)
+	for _, e := range [][2]NodeID{{0, 1}, {0, 2}, {1, 3}, {3, 0}} {
+		if err := b.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	var next int64
+	for u := NodeID(0); u < g.N(); u++ {
+		if base := g.OutArcBase(u); base != next {
+			t.Fatalf("OutArcBase(%d)=%d, want %d", u, base, next)
+		}
+		next += int64(g.OutDegree(u))
+	}
+	if next != g.M() {
+		t.Fatalf("arc indices cover %d, want M=%d", next, g.M())
+	}
+}
+
 // TestCSRInvariantsProperty builds random graphs and checks structural
 // invariants plus out/in consistency.
 func TestCSRInvariantsProperty(t *testing.T) {

@@ -59,9 +59,13 @@ func runCtxPoll(pass *Pass) {
 }
 
 // hotPathName matches the seed-selection and spread-estimation entry
-// points the benchmarking workflow calls into.
+// points the benchmarking workflow calls into. MarginalGain* is the
+// paired-evaluation path (diffusion.MarginalGainCtx): it simulates r
+// worlds per call, the same budget exposure as an Estimate*.
 func hotPathName(name string) bool {
-	return name == "Select" || strings.HasPrefix(name, "Estimate") || strings.HasPrefix(name, "estimate")
+	return name == "Select" ||
+		strings.HasPrefix(name, "Estimate") || strings.HasPrefix(name, "estimate") ||
+		strings.HasPrefix(name, "MarginalGain")
 }
 
 // hasContextParam reports whether the function signature includes a

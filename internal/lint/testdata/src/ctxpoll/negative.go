@@ -26,6 +26,20 @@ func EstimateOnce(ctx *Context, xs []int) (int, error) {
 	return total, nil
 }
 
+// MarginalGainPaired polls between worlds (here via a deferred closure
+// handed to the evaluation engine, as diffusion.MarginalGainCtx does).
+func MarginalGainPaired(ctx *Context, worlds []int) (int, error) {
+	poll := func() error { return ctx.Check() }
+	gain := 0
+	for _, w := range worlds {
+		if err := poll(); err != nil {
+			return 0, err
+		}
+		gain += w
+	}
+	return gain, nil
+}
+
 type trivial struct{}
 
 // Select has nothing to poll for: no iteration, no finding.

@@ -29,3 +29,13 @@ func EstimateSpread(ctx *Context, xs []int) int { // want ctxpoll "EstimateSprea
 	}
 	return total
 }
+
+// MarginalGainBrute simulates per-world like an Estimate* and has the
+// same exposure: looping without a poll leaves only the hard watchdog.
+func MarginalGainBrute(ctx *Context, worlds []int) int { // want ctxpoll "MarginalGainBrute loops but never polls"
+	gain := 0
+	for _, w := range worlds {
+		gain += w
+	}
+	return gain
+}

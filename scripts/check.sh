@@ -29,9 +29,10 @@ go test -race ./...
 echo "==> serving smoke test"
 sh scripts/smoke_serve.sh
 
-# One iteration of each RR-sampling benchmark: catches bit-rot in the
-# parallel batch engine's bench harness without paying real bench time.
-echo "==> bench smoke (RR sampling)"
-go test -benchtime=1x -run=NONE -bench=BenchmarkRR .
+# One iteration of the RR-sampling and spread-evaluation benchmarks:
+# catches bit-rot in the parallel batch engines' bench harnesses without
+# paying real bench time.
+echo "==> bench smoke (RR sampling + spread evaluation)"
+go test -benchtime=1x -run=NONE -bench='BenchmarkRR|BenchmarkSpreadEvalBatch' .
 
 echo "==> all checks passed"
