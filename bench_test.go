@@ -13,10 +13,12 @@ import (
 
 	goinfmax "github.com/sigdata/goinfmax"
 	"github.com/sigdata/goinfmax/internal/algo/rank"
+	"github.com/sigdata/goinfmax/internal/algo/rrset"
 	"github.com/sigdata/goinfmax/internal/core"
 	"github.com/sigdata/goinfmax/internal/diffusion"
 	"github.com/sigdata/goinfmax/internal/graph"
 	"github.com/sigdata/goinfmax/internal/graphalgo"
+	"github.com/sigdata/goinfmax/internal/persist"
 	"github.com/sigdata/goinfmax/internal/serve"
 	"github.com/sigdata/goinfmax/internal/weights"
 )
@@ -635,4 +637,86 @@ func BenchmarkDiffusion_RRSet(b *testing.B) {
 			buf = s.SampleUniformRoot(r, buf[:0])
 		}
 	})
+}
+
+// benchPersistSnapshot memoizes the built RR-set index wrapped for
+// persistence, at the serving acceptance scale (youtube ≈ 51k nodes, WC
+// weights, default θ).
+var benchPersistSnap *persist.Snapshot
+
+func benchPersistSnapshot(b *testing.B) *persist.Snapshot {
+	b.Helper()
+	if benchPersistSnap != nil {
+		return benchPersistSnap
+	}
+	g := benchGraph(b, "youtube", 22, goinfmax.WeightedCascade{})
+	theta := 4 * int64(g.N()) // the serving default: θ = 4n at this scale
+	ix, err := rrset.BuildIndex(core.NewContext(g, weights.IC, 1, 1), theta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPersistSnap = &persist.Snapshot{
+		Header: persist.Header{
+			Backend:     "rrset",
+			Fingerprint: persist.GraphFingerprint(g, weights.IC.String()),
+			BuildSeed:   1,
+			IndexSize:   theta,
+			Nodes:       g.N(),
+		},
+		RRIndex: ix,
+	}
+	return benchPersistSnap
+}
+
+// BenchmarkPersistSave measures writing the oracle snapshot with the full
+// atomic protocol (encode + CRC + fsync + rename + dir fsync).
+func BenchmarkPersistSave(b *testing.B) {
+	s := benchPersistSnapshot(b)
+	path := b.TempDir() + "/oracle.snap"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := persist.Save(path, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPersistColdStart measures booting a replica from the snapshot:
+// read, verify the envelope, decode the arena and rebuild the inversion —
+// the path that replaces the sampling build on a warm restart.
+func BenchmarkPersistColdStart(b *testing.B) {
+	s := benchPersistSnapshot(b)
+	path := b.TempDir() + "/oracle.snap"
+	if err := persist.Save(path, s); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := persist.Load(path, s.Header)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.RRIndex.NumSets() != s.RRIndex.NumSets() {
+			b.Fatal("short load")
+		}
+	}
+}
+
+// BenchmarkPersistRebuild is the cold-start baseline: the same oracle
+// built from scratch by sampling. The ColdStart/Rebuild ratio is the
+// whole value proposition of -oraclefile.
+func BenchmarkPersistRebuild(b *testing.B) {
+	s := benchPersistSnapshot(b) // ensure the same graph + θ
+	g := benchGraph(b, "youtube", 22, goinfmax.WeightedCascade{})
+	theta := int64(s.RRIndex.NumSets())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := rrset.BuildIndex(core.NewContext(g, weights.IC, 1, 1), theta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ix.NumSets() != int(theta) {
+			b.Fatal("short build")
+		}
+	}
 }

@@ -13,11 +13,20 @@
 //	POST /v1/spread      {"seeds":[1,2,3],"evalsims":0,"budget_ms":0}
 //	POST /v1/seeds       {"k":10,"budget_ms":100}
 //	GET  /v1/graph/stats
-//	GET  /healthz
+//	GET  /healthz        liveness (503 while draining)
+//	GET  /readyz         oracle readiness: ready/degraded (200), building (503)
 //	GET  /metrics
 //
 // Two replicas started with the same -seed serve byte-identical bodies
 // for the same requests; all randomness derives from that one seed.
+//
+// With -oraclefile the built oracle is persisted as a checksummed
+// snapshot and reloaded on the next boot, turning the sampling cost into
+// a one-time expense per (graph, scheme, seed, size) key; an unusable
+// snapshot (torn, corrupt, stale) is logged and rebuilt, never fatal.
+// With -builddeadline > 0 the server starts listening immediately and
+// serves degraded degree-heuristic answers if no oracle is ready in
+// time, while the real build continues in the background.
 package main
 
 import (
@@ -34,7 +43,6 @@ import (
 
 	goinfmax "github.com/sigdata/goinfmax"
 	"github.com/sigdata/goinfmax/internal/graph"
-	"github.com/sigdata/goinfmax/internal/metrics"
 	"github.com/sigdata/goinfmax/internal/serve"
 	"github.com/sigdata/goinfmax/internal/weights"
 )
@@ -71,6 +79,8 @@ func run(ctx context.Context, args []string) error {
 	maxK := fs.Int("maxk", 200, "ceiling on per-request k")
 	maxEvalSims := fs.Int("maxevalsims", 20000, "ceiling on per-request MC refinement simulations")
 	drainGrace := fs.Duration("draingrace", 15*time.Second, "shutdown grace for in-flight requests")
+	oracleFile := fs.String("oraclefile", "", "oracle snapshot path: loaded on boot when valid, written after a successful build")
+	buildDeadline := fs.Duration("builddeadline", 0, "serve degraded degree answers if no oracle is ready within this (0 = block until built)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,16 +113,25 @@ func run(ctx context.Context, args []string) error {
 	fmt.Printf("imserve: dataset %s: n=%d arcs=%d, scheme %s, model %s\n",
 		base.Name(), g.N(), g.M(), scheme.Name(), m)
 
-	buildStart := time.Now()
-	oracle, err := serve.BuildOracle(ctx, *backend, g, m, *indexSize, *seed, *workers)
+	lc, err := serve.StartOracle(ctx, serve.BootSpec{
+		Backend:       *backend,
+		Graph:         g,
+		Model:         m,
+		IndexSize:     *indexSize,
+		Seed:          *seed,
+		Workers:       *workers,
+		SnapshotPath:  *oracleFile,
+		BuildDeadline: *buildDeadline,
+		Logf: func(format string, args ...interface{}) {
+			fmt.Printf("imserve: "+format+"\n", args...)
+		},
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("imserve: oracle %s built in %s\n",
-		serve.StatsOf(oracle), metrics.HumanDuration(time.Since(buildStart)))
 
 	srv, err := serve.New(serve.Config{
-		Oracle:        oracle,
+		Lifecycle:     lc,
 		Graph:         g,
 		Model:         m,
 		SchemeName:    scheme.Name(),

@@ -1,14 +1,19 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/sigdata/goinfmax/internal/persist/failpoint"
 )
 
 // startServer runs the real run() on a free port and returns the base URL
@@ -144,6 +149,114 @@ func TestRunFlagErrors(t *testing.T) {
 				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
 			}
 		})
+	}
+}
+
+func getText(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode, string(body)
+}
+
+func postSeeds(t *testing.T, base string, k int) []byte {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/seeds", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"k":%d}`, k)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/v1/seeds = %d %s", resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestOracleFilePersistenceAcrossBoots is the in-process version of the
+// smoke script's persistence leg: boot with -oraclefile (build + save),
+// record an answer, shut down, boot again from the snapshot, and assert
+// the second replica is immediately ready with byte-identical bodies.
+func TestOracleFilePersistenceAcrossBoots(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "oracle.snap")
+
+	base, shutdown := startServer(t, "-oraclefile", snap)
+	if code, body := getText(t, base+"/readyz"); code != 200 || body != "ready\n" {
+		t.Fatalf("first boot /readyz = %d %q", code, body)
+	}
+	firstBody := postSeeds(t, base, 5)
+	if err := shutdown(); err != nil {
+		t.Fatalf("first drain: %v", err)
+	}
+	fi, err := os.Stat(snap)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("snapshot is empty")
+	}
+
+	base, shutdown = startServer(t, "-oraclefile", snap)
+	if code, body := getText(t, base+"/readyz"); code != 200 || body != "ready\n" {
+		t.Fatalf("snapshot boot /readyz = %d %q", code, body)
+	}
+	secondBody := postSeeds(t, base, 5)
+	if !bytes.Equal(firstBody, secondBody) {
+		t.Fatalf("snapshot boot body %s != rebuild boot body %s", secondBody, firstBody)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestDegradedBootServesImmediately stalls the oracle build with a
+// failpoint and boots with a tiny -builddeadline: the server must listen
+// and answer flagged degree answers, then recover once the build runs.
+func TestDegradedBootServesImmediately(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	release := make(chan struct{})
+	failpoint.Enable("serve.build", func() error { <-release; return nil })
+	defer failpoint.Disable("serve.build")
+
+	base, shutdown := startServer(t, "-builddeadline", "5ms")
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if code, body := getText(t, base+"/readyz"); code == 200 && body == "degraded\n" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never reported degraded")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	body := postSeeds(t, base, 3)
+	if !strings.Contains(string(body), `"degraded":true`) || !strings.Contains(string(body), `"backend":"degree"`) {
+		t.Fatalf("degraded boot served unflagged body: %s", body)
+	}
+
+	close(release)
+	for {
+		if code, text := getText(t, base+"/readyz"); code == 200 && text == "ready\n" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never recovered to ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	body = postSeeds(t, base, 3)
+	if strings.Contains(string(body), `"degraded"`) {
+		t.Fatalf("recovered server still serving degraded bodies: %s", body)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("drain: %v", err)
 	}
 }
 

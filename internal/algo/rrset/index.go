@@ -1,6 +1,8 @@
 package rrset
 
 import (
+	"fmt"
+
 	"github.com/sigdata/goinfmax/internal/core"
 	"github.com/sigdata/goinfmax/internal/graph"
 	"github.com/sigdata/goinfmax/internal/graphalgo"
@@ -54,6 +56,36 @@ func BuildIndex(ctx *core.Context, theta int64) (*Index, error) {
 		bytes: c.store.Bytes(),
 	}, nil
 }
+
+// NewIndexFromStore rehydrates an index from a previously sampled RR-set
+// store (the persistence path): the inversion is rebuilt from the arena —
+// two counting-sort passes, far cheaper than resampling — so a snapshot
+// only ever persists the sampled sets, never derived state. The store is
+// adopted, not copied; the caller must not mutate it afterwards.
+func NewIndexFromStore(n int32, store *graphalgo.SetStore) (*Index, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("rrset: index node count %d out of range", n)
+	}
+	// The inversion indexes per-node membership lists: every stored
+	// element must be a valid node or the counting sort would write out of
+	// bounds.
+	data, _ := store.Raw()
+	for _, v := range data {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("rrset: stored RR-set element %d out of range [0, %d)", v, n)
+		}
+	}
+	return &Index{
+		n:     n,
+		store: store,
+		cp:    graphalgo.NewCoverageProblem(n, store),
+		bytes: store.Bytes(),
+	}, nil
+}
+
+// Store exposes the sampled RR-set arena for serialization. The returned
+// store aliases the index's memory and must be treated as read-only.
+func (ix *Index) Store() *graphalgo.SetStore { return ix.store }
 
 // N returns the node count of the indexed graph.
 func (ix *Index) N() int32 { return ix.n }

@@ -2,6 +2,7 @@ package snapshot
 
 import (
 	"container/heap"
+	"fmt"
 
 	"github.com/sigdata/goinfmax/internal/core"
 	"github.com/sigdata/goinfmax/internal/diffusion"
@@ -65,6 +66,80 @@ func BuildPool(ctx *core.Context, r int) (*Pool, error) {
 		}
 	}
 	return p, nil
+}
+
+// NewPoolFromDAGs rehydrates a pool from previously condensed snapshot
+// DAGs (the persistence path): only the condensations are persisted — the
+// descendant-mass bounds are recomputed on load (linear time) so derived
+// state can never go stale relative to its DAG. Every DAG is validated
+// structurally before adoption, so a corrupted snapshot cannot build a
+// pool whose BFS traversals would index out of bounds.
+func NewPoolFromDAGs(n int32, dags []*graphalgo.Condensation) (*Pool, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("snapshot: pool node count %d out of range", n)
+	}
+	p := &Pool{n: n, entries: make([]poolEntry, 0, len(dags))}
+	for i, dag := range dags {
+		if err := validateDAG(n, dag); err != nil {
+			return nil, fmt.Errorf("snapshot: DAG %d: %w", i, err)
+		}
+		bytes := int64(len(dag.Comp))*4 + int64(len(dag.To))*4 + int64(len(dag.Off))*8 +
+			int64(dag.NComp)*12
+		p.bytes += bytes
+		p.entries = append(p.entries, poolEntry{dag: dag, bound: descendantBound(dag)})
+		if dag.NComp > p.maxComp {
+			p.maxComp = dag.NComp
+		}
+	}
+	return p, nil
+}
+
+// validateDAG checks the structural invariants every traversal assumes:
+// array lengths agree with NComp and n, the CSR offsets are monotone, and
+// every component reference is in range.
+func validateDAG(n int32, dag *graphalgo.Condensation) error {
+	if dag.NComp < 1 || dag.NComp > n {
+		return fmt.Errorf("component count %d out of range [1, %d]", dag.NComp, n)
+	}
+	if int32(len(dag.Comp)) != n {
+		return fmt.Errorf("component labelling covers %d nodes, want %d", len(dag.Comp), n)
+	}
+	for v, c := range dag.Comp {
+		if c < 0 || c >= dag.NComp {
+			return fmt.Errorf("node %d labelled with component %d of %d", v, c, dag.NComp)
+		}
+	}
+	if int32(len(dag.Size)) != dag.NComp {
+		return fmt.Errorf("size array covers %d components, want %d", len(dag.Size), dag.NComp)
+	}
+	if int32(len(dag.Off)) != dag.NComp+1 || dag.Off[0] != 0 {
+		return fmt.Errorf("offset array malformed (len %d, want %d starting at 0)", len(dag.Off), dag.NComp+1)
+	}
+	for i := 1; i < len(dag.Off); i++ {
+		if dag.Off[i] < dag.Off[i-1] {
+			return fmt.Errorf("offsets decrease at component %d", i)
+		}
+	}
+	if dag.Off[dag.NComp] != int64(len(dag.To)) {
+		return fmt.Errorf("final offset %d does not match arc array length %d", dag.Off[dag.NComp], len(dag.To))
+	}
+	for i, c := range dag.To {
+		if c < 0 || c >= dag.NComp {
+			return fmt.Errorf("arc %d targets component %d of %d", i, c, dag.NComp)
+		}
+	}
+	return nil
+}
+
+// DAGs exposes the condensed snapshots for serialization. The returned
+// slice and its condensations alias the pool's memory and must be
+// treated as read-only.
+func (p *Pool) DAGs() []*graphalgo.Condensation {
+	dags := make([]*graphalgo.Condensation, len(p.entries))
+	for i := range p.entries {
+		dags[i] = p.entries[i].dag
+	}
+	return dags
 }
 
 // N returns the node count of the indexed graph.

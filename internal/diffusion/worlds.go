@@ -172,7 +172,7 @@ func (e *WorldEvaluator) EvalBatch(sets [][]graph.NodeID, opt BatchOptions) ([]B
 
 	var err error
 	if workers == 1 {
-		err = e.evalWorlds(newWorldSim(e.g, e.model), sets, chains, 0, r, spreads, nanos, opt.Poll, nil)
+		err = e.evalWorlds(newWorldSim(e.g, e.model), sets, chains, 0, r, spreads, nanos, opt.Poll, nil, nil)
 	} else {
 		err = e.evalParallel(sets, chains, spreads, nanos, workers, opt.Poll)
 	}
@@ -285,8 +285,9 @@ func isListPrefix(a, b []graph.NodeID) bool {
 // evalWorlds evaluates worlds [lo, hi) serially on sim, writing each set's
 // spread into column w of the matrix and accumulating per-set simulation
 // nanoseconds. poll (serial path) aborts the batch; stop (parallel path) is
-// the supervisor's cheap abort flag.
-func (e *WorldEvaluator) evalWorlds(sim *worldSim, sets [][]graph.NodeID, chains [][]int, lo, hi int, spreads []int32, nanos []int64, poll func() error, stop *atomic.Bool) error {
+// the supervisor's cheap abort flag and progress its per-world completion
+// signal (non-blocking: a full buffer means the supervisor is already awake).
+func (e *WorldEvaluator) evalWorlds(sim *worldSim, sets [][]graph.NodeID, chains [][]int, lo, hi int, spreads []int32, nanos []int64, poll func() error, stop *atomic.Bool, progress chan<- struct{}) error {
 	r := e.worlds
 	for w := lo; w < hi; w++ {
 		if poll != nil {
@@ -296,6 +297,12 @@ func (e *WorldEvaluator) evalWorlds(sim *worldSim, sets [][]graph.NodeID, chains
 		}
 		if stop != nil && stop.Load() {
 			return nil
+		}
+		if progress != nil {
+			select {
+			case progress <- struct{}{}:
+			default:
+			}
 		}
 		sim.setWorld(worldSeed(e.seed, w))
 		for _, chain := range chains {
@@ -319,6 +326,10 @@ func (e *WorldEvaluator) evalWorlds(sim *worldSim, sets [][]graph.NodeID, chains
 // counters (merged in worker order afterwards); the calling goroutine
 // supervises: it runs Poll, raises worker panics, and flips the cooperative
 // stop flag on abort — mirroring the SampleBatch supervision contract.
+// Poll cadence is driven by worker progress signals (one non-blocking send
+// per world) rather than wall-clock alone: a pure ticker delivers almost no
+// ticks on a loaded or race-instrumented runtime, which would let a failing
+// Poll slip past a short batch entirely.
 func (e *WorldEvaluator) evalParallel(sets [][]graph.NodeID, chains [][]int, spreads []int32, nanos []int64, workers int, poll func() error) error {
 	r := e.worlds
 	var (
@@ -326,6 +337,10 @@ func (e *WorldEvaluator) evalParallel(sets [][]graph.NodeID, chains [][]int, spr
 		panicked atomic.Pointer[any]
 		wg       sync.WaitGroup
 	)
+	var progress chan struct{}
+	if poll != nil {
+		progress = make(chan struct{}, 1)
+	}
 	chunk := (r + workers - 1) / workers
 	locals := make([][]int64, 0, workers)
 	for w := 0; w < workers; w++ {
@@ -351,7 +366,7 @@ func (e *WorldEvaluator) evalParallel(sets [][]graph.NodeID, chains [][]int, spr
 					stop.Store(true)
 				}
 			}()
-			_ = e.evalWorlds(newWorldSim(e.g, e.model), sets, chains, lo, hi, spreads, local, nil, &stop)
+			_ = e.evalWorlds(newWorldSim(e.g, e.model), sets, chains, lo, hi, spreads, local, nil, &stop, progress)
 		}(lo, hi, local)
 	}
 
@@ -364,17 +379,22 @@ func (e *WorldEvaluator) evalParallel(sets [][]graph.NodeID, chains [][]int, spr
 	var pollErr error
 	ticker := time.NewTicker(200 * time.Microsecond)
 	defer ticker.Stop()
+	runPoll := func() {
+		if poll != nil && pollErr == nil {
+			if pollErr = poll(); pollErr != nil {
+				stop.Store(true)
+			}
+		}
+	}
 supervise:
 	for {
 		select {
 		case <-done:
 			break supervise
+		case <-progress:
+			runPoll()
 		case <-ticker.C:
-			if poll != nil && pollErr == nil {
-				if pollErr = poll(); pollErr != nil {
-					stop.Store(true)
-				}
-			}
+			runPoll()
 		}
 	}
 	if p := panicked.Load(); p != nil {

@@ -1,5 +1,7 @@
 package graphalgo
 
+import "fmt"
+
 // SetStore is flat CSR-style storage for a sequence of int32-element sets:
 // one contiguous data arena plus an offsets array, so storing θ RR sets
 // costs exactly two allocations instead of θ slice headers. The layout is
@@ -87,6 +89,36 @@ func (s *SetStore) Bytes() int64 {
 func (s *SetStore) Reset() {
 	s.data = nil
 	s.off = make([]int64, 1, 16)
+}
+
+// Raw exposes the arena's two backing arrays (data, offsets) for
+// serialization. The views alias the store's memory: callers must not
+// mutate them, and they are invalidated by the next Append or Reset.
+func (s *SetStore) Raw() (data []int32, off []int64) {
+	return s.data, s.off
+}
+
+// SetStoreFromRaw adopts previously serialized backing arrays (the Raw
+// layout) without copying. It validates the CSR invariants — off starts
+// at 0, is non-decreasing and ends exactly at len(data) — so a corrupted
+// snapshot can never materialize a store whose Set(i) calls would panic
+// or alias out of bounds.
+func SetStoreFromRaw(data []int32, off []int64) (*SetStore, error) {
+	if len(off) == 0 {
+		return nil, fmt.Errorf("setstore: offsets empty (need at least the leading 0)")
+	}
+	if off[0] != 0 {
+		return nil, fmt.Errorf("setstore: offsets must start at 0, got %d", off[0])
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			return nil, fmt.Errorf("setstore: offsets decrease at %d (%d -> %d)", i, off[i-1], off[i])
+		}
+	}
+	if last := off[len(off)-1]; last != int64(len(data)) {
+		return nil, fmt.Errorf("setstore: final offset %d does not match arena length %d", last, len(data))
+	}
+	return &SetStore{data: data, off: off}, nil
 }
 
 // Equal reports whether s and t store identical set sequences — same

@@ -92,3 +92,52 @@ func TestGreedyMaxCoverFlatMatchesSliceBaseline(t *testing.T) {
 		t.Fatalf("covered %d want 5 (seeds %v)", res.NumCovered, res.Seeds)
 	}
 }
+
+func TestSetStoreRawRoundTrip(t *testing.T) {
+	s := NewSetStore()
+	sets := [][]int32{{1, 2, 3}, {}, {7}, {4, 4}}
+	for _, set := range sets {
+		s.Append(set)
+	}
+	data, off := s.Raw()
+	got, err := SetStoreFromRaw(data, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() || got.NumElems() != s.NumElems() {
+		t.Fatalf("rehydrated Len=%d NumElems=%d, want %d/%d",
+			got.Len(), got.NumElems(), s.Len(), s.NumElems())
+	}
+	for i := range sets {
+		a, b := s.Set(i), got.Set(i)
+		if len(a) != len(b) {
+			t.Fatalf("set %d: %v want %v", i, b, a)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("set %d: %v want %v", i, b, a)
+			}
+		}
+	}
+}
+
+func TestSetStoreFromRawRejectsMalformedOffsets(t *testing.T) {
+	cases := []struct {
+		name string
+		data []int32
+		off  []int64
+	}{
+		{"empty offsets", []int32{}, []int64{}},
+		{"nonzero first", []int32{1}, []int64{1, 1}},
+		{"decreasing", []int32{1, 2}, []int64{0, 2, 1}},
+		{"last short of data", []int32{1, 2}, []int64{0, 1}},
+		{"last past data", []int32{1}, []int64{0, 5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := SetStoreFromRaw(tc.data, tc.off); err == nil {
+				t.Fatalf("SetStoreFromRaw(%v, %v) accepted malformed input", tc.data, tc.off)
+			}
+		})
+	}
+}

@@ -89,8 +89,11 @@ func checkDiscarded(pass *Pass, call *ast.CallExpr) {
 	name := methodCallName(call)
 	returnsErr, unknown := pass.callReturnsError(call)
 	if unknown {
-		// Partial type info: only the unambiguous names are flagged.
-		if ioErrDeferNames[name] {
+		// Partial type info: only the unambiguous names are flagged —
+		// Close/Flush/Sync on any receiver, plus the os durability calls
+		// whose dropped errors break atomic-rename protocols (a rename or
+		// mkdir that silently failed means the snapshot never committed).
+		if ioErrDeferNames[name] || pass.pkgFuncCall(call, "os", "Rename", "MkdirAll") {
 			pass.Reportf(call.Pos(), "error from %s is silently discarded; check it or discard explicitly with `_ =`", name)
 		}
 		return

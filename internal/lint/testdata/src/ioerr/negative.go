@@ -56,3 +56,20 @@ func BuildString(parts []string) string {
 func Diagnose(msg string) {
 	fmt.Fprintln(os.Stderr, msg)
 }
+
+// CommitSnapshotChecked performs the same atomic-rename protocol with
+// every durability error surfaced.
+func CommitSnapshotChecked(dir, tmp, final string, f *os.File) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// BestEffortRename discards explicitly: visible and greppable.
+func BestEffortRename(tmp, final string) {
+	_ = os.Rename(tmp, final)
+}

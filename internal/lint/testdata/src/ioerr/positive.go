@@ -25,3 +25,18 @@ func WriteReport(path string, v interface{}) {
 func Cleanup(path string) {
 	os.Remove(path) // want ioerr "error from os.Remove"
 }
+
+// CommitSnapshot drops the errors that make an atomic-rename protocol
+// atomic: a silently failed MkdirAll, Sync or Rename means the snapshot
+// never durably committed while the caller believes it did.
+func CommitSnapshot(dir, tmp, final string, f *os.File) {
+	os.MkdirAll(dir, 0o755) // want ioerr "error from os.MkdirAll"
+	f.Sync()                // want ioerr "error from f.Sync"
+	os.Rename(tmp, final)   // want ioerr "error from os.Rename"
+}
+
+// LazySync defers the fsync with its error dropped — worse than dropping
+// a Close, since Sync is the only durability barrier.
+func LazySync(f *os.File) {
+	defer f.Sync() // want ioerr "deferred Sync"
+}

@@ -8,3 +8,10 @@ func BestEffortCleanup(path string) {
 	//imlint:ignore ioerr fixture: scratch file, best-effort removal
 	os.Remove(path)
 }
+
+// BestEffortPromote demonstrates a waived rename: the destination is a
+// cache entry a later pass regenerates.
+func BestEffortPromote(tmp, final string) {
+	//imlint:ignore ioerr fixture: cache promotion, regenerated on miss
+	os.Rename(tmp, final)
+}

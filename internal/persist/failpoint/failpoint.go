@@ -1,0 +1,131 @@
+// Package failpoint is a stdlib-only fault-injection registry for the
+// crash-safety test suites. Production code threads named failpoints
+// through its I/O and build paths (Check at an error site, Value at a
+// byte-count site); tests Enable hooks on those names to inject torn
+// writes, short reads, sync/rename failures and build panics, then Reset.
+//
+// The registry is designed around a zero-overhead disabled path: when no
+// failpoint is enabled (every production run), Check and Value cost one
+// atomic load and return immediately. There is no build tag and no env
+// var — a failpoint only ever fires when a test explicitly enabled it in
+// the same process.
+package failpoint
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// armed counts enabled failpoints. It is the fast-path gate: zero means
+// Check/Value return without touching the map or the mutex.
+var armed atomic.Int64
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+// point is one enabled failpoint: an optional callback (it may return an
+// error to inject, panic to simulate a process crash, or block to
+// simulate a stall) and an optional integer payload for byte-count
+// injection sites (torn-write limits, corruption offsets).
+type point struct {
+	fn     func() error
+	val    int64
+	hasVal bool
+}
+
+// Enable registers fn on name. The callback runs every time production
+// code reaches Check(name); returning a non-nil error injects it, and
+// panicking inside fn simulates a crash at that point. Re-enabling an
+// existing name replaces its callback and keeps any value.
+func Enable(name string, fn func() error) {
+	mu.Lock()
+	defer mu.Unlock()
+	p, ok := points[name]
+	if !ok {
+		p = &point{}
+		points[name] = p
+		armed.Add(1)
+	}
+	p.fn = fn
+}
+
+// EnableErr registers a failpoint that always injects err.
+func EnableErr(name string, err error) {
+	Enable(name, func() error { return err })
+}
+
+// EnableVal registers an integer payload on name, read by Value at sites
+// that need a quantity rather than an error (e.g. "fail after N bytes").
+func EnableVal(name string, val int64) {
+	mu.Lock()
+	defer mu.Unlock()
+	p, ok := points[name]
+	if !ok {
+		p = &point{}
+		points[name] = p
+		armed.Add(1)
+	}
+	p.val, p.hasVal = val, true
+}
+
+// Disable removes the named failpoint. Unknown names are a no-op.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disables every failpoint. Test cleanups call it so one test's
+// injections can never leak into the next.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int64(len(points)))
+	points = map[string]*point{}
+}
+
+// Check runs the callback enabled on name, returning its injected error.
+// With no failpoint enabled anywhere it is a single atomic load.
+func Check(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	p, ok := points[name]
+	var fn func() error
+	if ok {
+		fn = p.fn
+	}
+	mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	// Run outside the lock: a crash-simulating panic or a stall callback
+	// must not wedge the registry for other goroutines.
+	return fn()
+}
+
+// Value returns the integer payload enabled on name. With no failpoint
+// enabled anywhere it is a single atomic load.
+func Value(name string) (int64, bool) {
+	if armed.Load() == 0 {
+		return 0, false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok && p.hasVal {
+		return p.val, true
+	}
+	return 0, false
+}
+
+// Armed reports how many failpoints are currently enabled. Tests use it
+// to assert cleanups ran; production code has no reason to call it.
+func Armed() int {
+	return int(armed.Load())
+}

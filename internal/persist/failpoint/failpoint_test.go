@@ -1,0 +1,99 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisabledFastPath(t *testing.T) {
+	t.Cleanup(Reset)
+	if Armed() != 0 {
+		t.Fatalf("registry not empty at test start: %d armed", Armed())
+	}
+	if err := Check("anything"); err != nil {
+		t.Fatalf("Check with empty registry = %v, want nil", err)
+	}
+	if v, ok := Value("anything"); ok || v != 0 {
+		t.Fatalf("Value with empty registry = %d, %v", v, ok)
+	}
+}
+
+func TestEnableCheckDisable(t *testing.T) {
+	t.Cleanup(Reset)
+	injected := errors.New("injected")
+	EnableErr("p1", injected)
+	if err := Check("p1"); !errors.Is(err, injected) {
+		t.Fatalf("Check(p1) = %v, want injected error", err)
+	}
+	// Other names stay silent even while p1 is armed.
+	if err := Check("p2"); err != nil {
+		t.Fatalf("Check(p2) = %v, want nil", err)
+	}
+	Disable("p1")
+	if err := Check("p1"); err != nil {
+		t.Fatalf("Check(p1) after Disable = %v, want nil", err)
+	}
+	if Armed() != 0 {
+		t.Fatalf("Armed after Disable = %d, want 0", Armed())
+	}
+}
+
+func TestValuePayload(t *testing.T) {
+	t.Cleanup(Reset)
+	EnableVal("torn", 17)
+	v, ok := Value("torn")
+	if !ok || v != 17 {
+		t.Fatalf("Value(torn) = %d, %v; want 17, true", v, ok)
+	}
+	// A value-only point injects no error.
+	if err := Check("torn"); err != nil {
+		t.Fatalf("Check(torn) = %v, want nil", err)
+	}
+	// Re-enabling a callback on the same name keeps the value.
+	EnableErr("torn", errors.New("boom"))
+	if v, ok := Value("torn"); !ok || v != 17 {
+		t.Fatalf("Value after Enable = %d, %v; want 17, true", v, ok)
+	}
+}
+
+func TestPanicPropagatesFromCallback(t *testing.T) {
+	t.Cleanup(Reset)
+	Enable("crash", func() error { panic("simulated kill") })
+	defer func() {
+		if p := recover(); p != "simulated kill" {
+			t.Fatalf("recovered %v, want simulated kill", p)
+		}
+		// The registry must still work after a panic escaped Check.
+		if err := Check("other"); err != nil {
+			t.Fatalf("registry wedged after panic: %v", err)
+		}
+	}()
+	_ = Check("crash")
+	t.Fatal("Check did not panic")
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	EnableErr("a", errors.New("a"))
+	EnableVal("b", 1)
+	Reset()
+	if Armed() != 0 {
+		t.Fatalf("Armed after Reset = %d, want 0", Armed())
+	}
+	if err := Check("a"); err != nil {
+		t.Fatalf("Check(a) after Reset = %v", err)
+	}
+}
+
+func TestCallbackCountsFires(t *testing.T) {
+	t.Cleanup(Reset)
+	fires := 0
+	Enable("counted", func() error { fires++; return nil })
+	for i := 0; i < 3; i++ {
+		if err := Check("counted"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fires != 3 {
+		t.Fatalf("callback fired %d times, want 3", fires)
+	}
+}

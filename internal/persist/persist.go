@@ -1,0 +1,312 @@
+// Package persist implements the crash-safe oracle snapshot store behind
+// imserve's -oraclefile: a versioned, CRC-checksummed binary codec for
+// the built influence oracles (the RR-set arena and the condensed
+// snapshot pool), written atomically so that no crash — at any byte — can
+// leave a half-snapshot that loads.
+//
+// The durability argument has two halves:
+//
+//   - Write side: payload bytes go to a temp file in the destination
+//     directory, are fsynced, and only then renamed over the target,
+//     followed by a directory fsync. A crash before the rename leaves the
+//     old snapshot (or nothing) in place; a crash after it leaves the new
+//     one. There is no interleaving in which the target names partial
+//     data on a POSIX filesystem.
+//   - Read side: the loader trusts nothing. Magic, format version, a
+//     whole-file CRC-32C, the graph fingerprint and the build parameters
+//     are verified in that order before a single payload byte is decoded,
+//     and the decoder itself bounds-checks every read. Any failure is a
+//     typed LoadError with a machine-readable Reason; callers log it and
+//     fall back to a fresh build — never a crash, never partial state.
+//
+// Fault injection for the recovery tests threads through the failpoint
+// subpackage: torn writes, short reads, bit corruption, and sync/rename
+// errors are all injectable by name with zero overhead when disabled.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/sigdata/goinfmax/internal/persist/failpoint"
+)
+
+// magic identifies an oracle snapshot file; the trailing newline makes an
+// accidental text-mode corruption (CRLF translation) fail loudly at the
+// first check.
+const magic = "IMORCL1\n"
+
+// FormatVersion is the snapshot format version. Loaders reject any other
+// version (forward and backward) — a version bump means a rebuild, never
+// a misparse.
+const FormatVersion = 1
+
+// crcTable is CRC-32C (Castagnoli), hardware-accelerated on amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Reason classifies why a snapshot failed to load, for log lines and the
+// recovery test matrix.
+type Reason string
+
+const (
+	// ReasonMissing: the file does not exist — a normal first boot.
+	ReasonMissing Reason = "missing"
+	// ReasonIO: the file exists but could not be read.
+	ReasonIO Reason = "io-error"
+	// ReasonTruncated: shorter than the fixed envelope.
+	ReasonTruncated Reason = "truncated"
+	// ReasonBadMagic: not an oracle snapshot at all.
+	ReasonBadMagic Reason = "bad-magic"
+	// ReasonVersion: written by a different format version.
+	ReasonVersion Reason = "version-mismatch"
+	// ReasonChecksum: the CRC-32C over the file does not match its
+	// trailer — torn write, bit rot, or truncation past the envelope.
+	ReasonChecksum Reason = "checksum-mismatch"
+	// ReasonBackend: built for a different oracle backend.
+	ReasonBackend Reason = "backend-mismatch"
+	// ReasonFingerprint: built over a different (graph, model) pair.
+	ReasonFingerprint Reason = "fingerprint-mismatch"
+	// ReasonParams: built with a different seed or index size.
+	ReasonParams Reason = "params-mismatch"
+	// ReasonCorrupt: envelope checks passed but the payload failed
+	// structural validation.
+	ReasonCorrupt Reason = "corrupt-payload"
+)
+
+// LoadError is the typed failure every unusable snapshot surfaces as.
+// The caller's contract: log Reason and Detail, then rebuild.
+type LoadError struct {
+	Path   string
+	Reason Reason
+	Detail string
+}
+
+func (e *LoadError) Error() string {
+	return fmt.Sprintf("persist: snapshot %s unusable (%s): %s", e.Path, e.Reason, e.Detail)
+}
+
+// AsLoadError unwraps err into a *LoadError when it is one.
+func AsLoadError(err error) (*LoadError, bool) {
+	var le *LoadError
+	ok := errors.As(err, &le)
+	return le, ok
+}
+
+// IsMissing reports whether err is a load failure caused by the snapshot
+// file simply not existing yet.
+func IsMissing(err error) bool {
+	le, ok := AsLoadError(err)
+	return ok && le.Reason == ReasonMissing
+}
+
+func loadErrf(path string, reason Reason, format string, args ...interface{}) *LoadError {
+	return &LoadError{Path: path, Reason: reason, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Header identifies what a snapshot holds and what it was built from.
+// Every field is verified on load against the caller's expectation; any
+// mismatch falls back to a rebuild rather than serving a stale oracle.
+type Header struct {
+	// Backend names the oracle substrate: "rrset" or "snapshot".
+	Backend string
+	// Fingerprint is GraphFingerprint(graph, model): the snapshot is only
+	// valid for the exact weighted graph and diffusion model it indexed.
+	Fingerprint uint64
+	// BuildSeed is the deterministic seed the index was sampled under.
+	BuildSeed uint64
+	// IndexSize is the requested index size (θ RR sets or R snapshots;
+	// the pre-defaulting flag value, so replicas agree on the key).
+	IndexSize int64
+	// Nodes is the node count, a cheap first-line fingerprint check.
+	Nodes int32
+}
+
+// tornWriter silently discards every byte past its budget while
+// reporting success — the failpoint model of a kernel that acknowledged
+// writes it never persisted. The resulting renamed-but-incomplete file is
+// exactly the torn snapshot the checksum ladder must reject.
+type tornWriter struct {
+	w         io.Writer
+	remaining int64
+}
+
+func (t *tornWriter) Write(p []byte) (int, error) {
+	n := len(p)
+	if t.remaining <= 0 {
+		return n, nil
+	}
+	keep := int64(n)
+	if keep > t.remaining {
+		keep = t.remaining
+	}
+	if _, err := t.w.Write(p[:keep]); err != nil {
+		return 0, err
+	}
+	t.remaining -= keep
+	return n, nil
+}
+
+// writeAtomic writes the bytes produced by encode to path with the full
+// durability protocol: temp file in the same directory → fsync → rename
+// over path → fsync the directory. The payload is framed with the magic,
+// version and a trailing whole-file CRC-32C. On any error the temp file
+// is removed and the previous snapshot at path (if any) is untouched.
+func writeAtomic(path string, encode func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	if err := failpoint.Check("persist.mkdir"); err != nil {
+		return fmt.Errorf("persist: create snapshot directory %s: %w", dir, err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("persist: create snapshot directory: %w", err)
+	}
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	if err != nil {
+		return fmt.Errorf("persist: create temp snapshot: %w", err)
+	}
+	tmp := f.Name()
+	committed := false
+	defer func() {
+		if !committed {
+			// Best-effort cleanup of the uncommitted temp file; the write
+			// already failed and that error is the one to surface.
+			_ = f.Close()
+			_ = os.Remove(tmp)
+		}
+	}()
+
+	var out io.Writer = f
+	if limit, ok := failpoint.Value("persist.write.torn"); ok {
+		out = &tornWriter{w: f, remaining: limit}
+	}
+	bw := bufio.NewWriterSize(out, 1<<20)
+	crc := crc32.New(crcTable)
+	// Payload bytes hit the CRC at write time (pre-buffering), so the sum
+	// is complete the moment encode returns; only the buffered file side
+	// can tear.
+	tee := io.MultiWriter(crc, bw)
+
+	if _, err := io.WriteString(tee, magic); err != nil {
+		return fmt.Errorf("persist: write magic: %w", err)
+	}
+	var ver [4]byte
+	binary.LittleEndian.PutUint32(ver[:], FormatVersion)
+	if _, err := tee.Write(ver[:]); err != nil {
+		return fmt.Errorf("persist: write version: %w", err)
+	}
+	if err := failpoint.Check("persist.write"); err != nil {
+		return fmt.Errorf("persist: write payload: %w", err)
+	}
+	if err := encode(tee); err != nil {
+		return fmt.Errorf("persist: encode payload: %w", err)
+	}
+	var trail [4]byte
+	binary.LittleEndian.PutUint32(trail[:], crc.Sum32())
+	if _, err := bw.Write(trail[:]); err != nil {
+		return fmt.Errorf("persist: write checksum: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("persist: flush snapshot: %w", err)
+	}
+	if err := syncFile(f); err != nil {
+		return fmt.Errorf("persist: fsync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: close snapshot: %w", err)
+	}
+	if err := renameFile(tmp, path); err != nil {
+		return fmt.Errorf("persist: commit snapshot: %w", err)
+	}
+	committed = true
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("persist: fsync snapshot directory: %w", err)
+	}
+	return nil
+}
+
+// syncFile is (*os.File).Sync behind the persist.sync failpoint.
+func syncFile(f *os.File) error {
+	if err := failpoint.Check("persist.sync"); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// renameFile is os.Rename behind the persist.rename failpoint.
+func renameFile(oldpath, newpath string) error {
+	if err := failpoint.Check("persist.rename"); err != nil {
+		return err
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// syncDir fsyncs the directory so the rename itself is durable: without
+// it a power loss can forget the directory entry while keeping the
+// inode. Behind the persist.dirsync failpoint.
+func syncDir(dir string) error {
+	if err := failpoint.Check("persist.dirsync"); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
+
+// readVerified reads path and runs the envelope ladder — existence, size,
+// magic, version, CRC — returning the payload bytes between the version
+// field and the checksum trailer. Read-side failpoints (persist.read,
+// persist.read.short, persist.read.corrupt) apply before any check, so
+// every verification step is drivable from tests.
+func readVerified(path string) ([]byte, *LoadError) {
+	if err := failpoint.Check("persist.read"); err != nil {
+		return nil, loadErrf(path, ReasonIO, "injected read failure: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, loadErrf(path, ReasonMissing, "no snapshot file")
+		}
+		return nil, loadErrf(path, ReasonIO, "%v", err)
+	}
+	if n, ok := failpoint.Value("persist.read.short"); ok && int64(len(data)) > n {
+		data = data[:n]
+	}
+	if off, ok := failpoint.Value("persist.read.corrupt"); ok && len(data) > 0 {
+		i := int(off % int64(len(data)))
+		if i < 0 {
+			i += len(data)
+		}
+		mutated := append([]byte(nil), data...)
+		mutated[i] ^= 0xFF
+		data = mutated
+	}
+
+	// Envelope: magic(8) + version(4) + payload + crc(4).
+	const envelope = len(magic) + 4 + 4
+	if len(data) < envelope {
+		return nil, loadErrf(path, ReasonTruncated, "%d bytes, envelope needs at least %d", len(data), envelope)
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, loadErrf(path, ReasonBadMagic, "leading bytes %q are not an oracle snapshot", data[:len(magic)])
+	}
+	if v := binary.LittleEndian.Uint32(data[len(magic):]); v != FormatVersion {
+		return nil, loadErrf(path, ReasonVersion, "format version %d, this build reads %d", v, FormatVersion)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	want := binary.LittleEndian.Uint32(trailer)
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return nil, loadErrf(path, ReasonChecksum, "crc32c %08x, trailer says %08x", got, want)
+	}
+	return body[len(magic)+4:], nil
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"context"
+	"sort"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+)
+
+// degreeOracle is the degraded-mode fallback: when no real oracle is
+// available (snapshot unusable, build failed or still running past its
+// deadline) the server answers from the out-degree heuristic — the
+// cheapest seed-quality baseline the paper benchmarks (HighDegree). It
+// builds in O(n log n) with no sampling, so a degraded replica is up in
+// milliseconds regardless of graph size.
+//
+// The estimates are deliberately crude: Spread is the classic
+// degree-discount-free upper-bound proxy Σ(1 + outdeg(v)) clamped to n,
+// not a diffusion estimate. Every response served from this oracle is
+// stamped degraded:true so no client can mistake it for a real estimate.
+type degreeOracle struct {
+	n      int32
+	outdeg []int32
+	// order lists all nodes by descending out-degree, ties broken by
+	// ascending node id — a pure function of the graph, so two degraded
+	// replicas over the same graph still agree on every answer.
+	order []graph.NodeID
+}
+
+// NewDegreeOracle builds the degraded-mode fallback oracle over g.
+func NewDegreeOracle(g *graph.Graph) Oracle {
+	n := g.N()
+	o := &degreeOracle{n: n, outdeg: make([]int32, n), order: make([]graph.NodeID, n)}
+	for v := graph.NodeID(0); v < n; v++ {
+		o.outdeg[v] = g.OutDegree(v)
+		o.order[v] = v
+	}
+	sort.SliceStable(o.order, func(i, j int) bool {
+		a, b := o.order[i], o.order[j]
+		if o.outdeg[a] != o.outdeg[b] {
+			return o.outdeg[a] > o.outdeg[b]
+		}
+		return a < b
+	})
+	return o
+}
+
+func (o *degreeOracle) Backend() string { return "degree" }
+
+func (o *degreeOracle) Spread(ctx context.Context, seeds []graph.NodeID) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	total := int64(0)
+	for _, v := range seeds {
+		total += 1 + int64(o.outdeg[v])
+	}
+	if total > int64(o.n) {
+		total = int64(o.n)
+	}
+	return float64(total), nil
+}
+
+func (o *degreeOracle) Seeds(ctx context.Context, k int) ([]graph.NodeID, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	if k > len(o.order) {
+		k = len(o.order)
+	}
+	seeds := make([]graph.NodeID, k)
+	copy(seeds, o.order[:k])
+	spread, err := o.Spread(ctx, seeds)
+	if err != nil {
+		return nil, 0, err
+	}
+	return seeds, spread, nil
+}
+
+func (o *degreeOracle) IndexUnits() int { return int(o.n) }
+
+func (o *degreeOracle) IndexBytes() int64 {
+	return int64(len(o.outdeg))*4 + int64(len(o.order))*4
+}

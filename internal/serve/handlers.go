@@ -17,8 +17,9 @@ import (
 )
 
 var (
-	errNoOracle = errors.New("serve: Config.Oracle is required")
-	errNoGraph  = errors.New("serve: Config.Graph is required")
+	errNoOracle    = errors.New("serve: one of Config.Oracle or Config.Lifecycle is required")
+	errBothOracles = errors.New("serve: Config.Oracle and Config.Lifecycle are mutually exclusive")
+	errNoGraph     = errors.New("serve: Config.Graph is required")
 )
 
 // maxBodyBytes bounds request bodies; the largest legitimate request is a
@@ -48,6 +49,10 @@ type spreadResponse struct {
 	StdErr *float64 `json:"stderr,omitempty"`
 	// EvalSims echoes the applied simulation count when MC-refined.
 	EvalSims int `json:"evalsims,omitempty"`
+	// Degraded is true when this body was computed while the server was
+	// serving the fallback oracle (see Lifecycle); absent from ready
+	// answers, so ready bodies are byte-identical to pre-lifecycle ones.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // seedsRequest is the POST /v1/seeds body.
@@ -64,6 +69,8 @@ type seedsResponse struct {
 	K       int            `json:"k"`
 	Seeds   []graph.NodeID `json:"seeds"` // in selection order
 	Spread  float64        `json:"spread"`
+	// Degraded marks answers computed by the fallback oracle.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // statsResponse is the GET /v1/graph/stats reply.
@@ -220,16 +227,24 @@ func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := spreadCacheKey(seeds, req.EvalSims)
-	s.serveCached(w, key, func() ([]byte, int, string) {
+	// The request key alone feeds requestSeed so MC streams stay identical
+	// across replicas regardless of their generation history; the cache key
+	// additionally embeds the oracle generation so a body computed by one
+	// generation (say, degraded) can never be replayed as another's answer.
+	cur := s.lc.current()
+	reqKey := spreadCacheKey(seeds, req.EvalSims)
+	s.serveCached(w, genCacheKey(cur.gen, reqKey), func() ([]byte, int, string) {
 		ctx, cancel := context.WithTimeout(r.Context(), budget)
 		defer cancel()
-		resp := spreadResponse{Backend: s.cfg.Oracle.Backend(), Seeds: seeds, EvalSims: req.EvalSims}
+		resp := spreadResponse{
+			Backend: cur.oracle.Backend(), Seeds: seeds,
+			EvalSims: req.EvalSims, Degraded: cur.degraded,
+		}
 		if req.EvalSims > 0 {
 			// MC refinement through the decoupled evaluator (paper Alg. 1);
 			// bit-identical for a given seed regardless of worker count.
 			est, err := diffusion.EstimateSpreadParallelCtx(ctx, s.cfg.Graph, s.cfg.Model,
-				seeds, req.EvalSims, s.requestSeed(key), 0)
+				seeds, req.EvalSims, s.requestSeed(reqKey), 0)
 			if err != nil {
 				status, msg := mapOracleErr(err)
 				return nil, status, msg
@@ -238,7 +253,7 @@ func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
 			se := est.StdErr
 			resp.StdErr = &se
 		} else {
-			sp, err := s.cfg.Oracle.Spread(ctx, seeds)
+			sp, err := cur.oracle.Spread(ctx, seeds)
 			if err != nil {
 				status, msg := mapOracleErr(err)
 				return nil, status, msg
@@ -269,17 +284,19 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := "seeds|k=" + strconv.Itoa(req.K)
-	s.serveCached(w, key, func() ([]byte, int, string) {
+	cur := s.lc.current()
+	reqKey := "seeds|k=" + strconv.Itoa(req.K)
+	s.serveCached(w, genCacheKey(cur.gen, reqKey), func() ([]byte, int, string) {
 		ctx, cancel := context.WithTimeout(r.Context(), budget)
 		defer cancel()
-		seeds, spread, err := s.cfg.Oracle.Seeds(ctx, req.K)
+		seeds, spread, err := cur.oracle.Seeds(ctx, req.K)
 		if err != nil {
 			status, msg := mapOracleErr(err)
 			return nil, status, msg
 		}
 		body, err := json.Marshal(seedsResponse{
-			Backend: s.cfg.Oracle.Backend(), K: req.K, Seeds: seeds, Spread: spread,
+			Backend: cur.oracle.Backend(), K: req.K, Seeds: seeds, Spread: spread,
+			Degraded: cur.degraded,
 		})
 		if err != nil {
 			return nil, http.StatusInternalServerError, "encoding failure"
@@ -290,6 +307,7 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
 	g := s.cfg.Graph
+	cur := s.lc.current()
 	body, err := json.Marshal(statsResponse{
 		Dataset:    g.Name(),
 		Nodes:      g.N(),
@@ -297,9 +315,9 @@ func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
 		Directed:   g.Directed(),
 		Model:      s.cfg.Model.String(),
 		Scheme:     s.cfg.SchemeName,
-		Backend:    s.cfg.Oracle.Backend(),
-		IndexUnits: s.cfg.Oracle.IndexUnits(),
-		IndexBytes: s.cfg.Oracle.IndexBytes(),
+		Backend:    cur.oracle.Backend(),
+		IndexUnits: cur.oracle.IndexUnits(),
+		IndexBytes: cur.oracle.IndexBytes(),
 	})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "encoding failure")
@@ -318,13 +336,45 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	_, _ = io.WriteString(w, "ok\n")
 }
 
+// handleReadyz reports the oracle lifecycle state, distinct from the
+// /healthz liveness probe: a degraded replica is alive AND ready (it
+// answers queries, just flagged ones — pulling it from rotation would
+// turn a quality loss into an availability loss), while a building
+// replica is alive but not yet ready.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = io.WriteString(w, "draining\n")
+		return
+	}
+	state := s.lc.State()
+	if state == StateBuilding {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_, _ = io.WriteString(w, state.String()+"\n")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	err := s.met.render(w, StatsOf(s.cfg.Oracle), s.cfg.MaxInFlight, s.cache.Len(), s.cfg.CacheEntries)
+	cur := s.lc.current()
+	lcs := lifecycleStats{
+		Mode:       s.lc.State().String(),
+		Generation: cur.gen,
+		LastErr:    s.lc.LastBuildError(),
+	}
+	err := s.met.render(w, StatsOf(cur.oracle), lcs, s.cfg.MaxInFlight, s.cache.Len(), s.cfg.CacheEntries)
 	if err != nil {
 		// Headers are gone; all we can do is log-less best effort.
 		return
 	}
+}
+
+// genCacheKey scopes a request cache key to one oracle generation. The
+// RNG seed derivation deliberately uses the un-prefixed request key (see
+// handleSpread), so this prefix affects cache identity only.
+func genCacheKey(gen uint64, reqKey string) string {
+	return "g" + strconv.FormatUint(gen, 10) + "|" + reqKey
 }
 
 // spreadCacheKey canonicalizes a spread request: sorted unique seeds plus

@@ -80,10 +80,19 @@ func (m *serverMetrics) panicked(route string, value interface{}, stack []byte) 
 func (m *serverMetrics) cacheHit()  { m.hits.Add(1) }
 func (m *serverMetrics) cacheMiss() { m.misses.Add(1) }
 
+// lifecycleStats is the oracle-lifecycle slice of /metrics: the serving
+// mode (building/degraded/ready), the oracle generation, and the last
+// build failure if any.
+type lifecycleStats struct {
+	Mode       string
+	Generation uint64
+	LastErr    string
+}
+
 // render writes the plain-text /metrics payload: a requests table (the
 // metrics.Table renderer, same style the benchmark CLIs print) followed by
 // a server gauge table.
-func (m *serverMetrics) render(w io.Writer, oracle OracleStats, gateCap, cacheLen, cacheCap int) error {
+func (m *serverMetrics) render(w io.Writer, oracle OracleStats, lc lifecycleStats, gateCap, cacheLen, cacheCap int) error {
 	m.mu.Lock()
 	names := make([]string, 0, len(m.routes))
 	for name := range m.routes {
@@ -116,6 +125,11 @@ func (m *serverMetrics) render(w io.Writer, oracle OracleStats, gateCap, cacheLe
 	srv.AddRow("oracle_backend", oracle.Backend)
 	srv.AddRow("oracle_index_units", int64(oracle.Units))
 	srv.AddRow("oracle_index_bytes", oracle.Bytes)
+	srv.AddRow("oracle_mode", lc.Mode)
+	srv.AddRow("oracle_generation", int64(lc.Generation))
+	if lc.LastErr != "" {
+		srv.AddRow("oracle_last_build_error", lc.LastErr)
+	}
 	if lastPanic != "" {
 		srv.AddRow("last_panic", lastPanic)
 	}

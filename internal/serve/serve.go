@@ -38,8 +38,16 @@ import (
 // Config assembles a Server. Zero fields take the documented defaults;
 // Oracle and Graph are mandatory.
 type Config struct {
-	// Oracle answers the influence queries.
+	// Oracle answers the influence queries. It is wrapped in a
+	// single-generation, always-ready Lifecycle; set Lifecycle instead for
+	// the managed boot (snapshot load, degraded mode, background rebuild).
+	// Exactly one of Oracle and Lifecycle must be set.
 	Oracle Oracle
+	// Lifecycle owns the serving oracle across generations (see
+	// StartOracle). /readyz reports its state, responses from a degraded
+	// generation are stamped degraded:true, and cache keys embed the
+	// generation so answers never leak across swaps.
+	Lifecycle *Lifecycle
 	// Graph is the served graph (already weighted by Scheme).
 	Graph *graph.Graph
 	// Model is the diffusion semantics the oracle was built under.
@@ -97,6 +105,7 @@ func (c Config) withDefaults() Config {
 // see /healthz flip.
 type Server struct {
 	cfg      Config
+	lc       *Lifecycle
 	mux      *http.ServeMux
 	gate     gate
 	cache    *lru
@@ -106,8 +115,14 @@ type Server struct {
 
 // New validates cfg, applies defaults and wires the routes.
 func New(cfg Config) (*Server, error) {
-	if cfg.Oracle == nil {
+	lc := cfg.Lifecycle
+	switch {
+	case lc == nil && cfg.Oracle == nil:
 		return nil, errNoOracle
+	case lc != nil && cfg.Oracle != nil:
+		return nil, errBothOracles
+	case lc == nil:
+		lc = NewReadyLifecycle(cfg.Oracle)
 	}
 	if cfg.Graph == nil {
 		return nil, errNoGraph
@@ -115,6 +130,7 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
+		lc:    lc,
 		mux:   http.NewServeMux(),
 		gate:  newGate(cfg.MaxInFlight),
 		cache: newLRU(cfg.CacheEntries),
@@ -124,6 +140,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/seeds", s.admit("/v1/seeds", s.handleSeeds))
 	s.mux.HandleFunc("GET /v1/graph/stats", s.instrument("/v1/graph/stats", s.handleGraphStats))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	return s, nil
 }

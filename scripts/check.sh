@@ -29,10 +29,11 @@ go test -race ./...
 echo "==> serving smoke test"
 sh scripts/smoke_serve.sh
 
-# One iteration of the RR-sampling and spread-evaluation benchmarks:
-# catches bit-rot in the parallel batch engines' bench harnesses without
-# paying real bench time.
-echo "==> bench smoke (RR sampling + spread evaluation)"
-go test -benchtime=1x -run=NONE -bench='BenchmarkRR|BenchmarkSpreadEvalBatch' .
+# One iteration of the RR-sampling, spread-evaluation and snapshot
+# round-trip benchmarks: catches bit-rot in the parallel batch engines'
+# and the persistence codec's bench harnesses without paying real bench
+# time.
+echo "==> bench smoke (RR sampling + spread evaluation + persistence)"
+go test -benchtime=1x -run=NONE -bench='BenchmarkRR|BenchmarkSpreadEvalBatch|BenchmarkPersist' .
 
 echo "==> all checks passed"

@@ -1,47 +1,24 @@
 #!/usr/bin/env sh
 # Curl-level smoke test for imserve: build the binary, boot it on a free
 # port against a small synthetic graph, exercise every endpoint with curl,
-# then deliver SIGINT and require a clean (exit 0) drain. This is the
-# black-box complement to the httptest suites — it proves the shipped
-# binary, not just the handler tree.
+# then deliver SIGINT and require a clean (exit 0) drain. A second leg
+# exercises the persistence lifecycle: boot with -oraclefile (build +
+# save), kill, re-boot from the snapshot and require an immediate ready
+# with byte-identical /v1/seeds bodies. This is the black-box complement
+# to the httptest suites — it proves the shipped binary, not just the
+# handler tree.
 set -eu
 cd "$(dirname "$0")/.."
 
 BIN=$(mktemp -d)/imserve
 LOG=$(mktemp)
-trap 'kill "$pid" 2>/dev/null || true; rm -f "$BIN" "$LOG"' EXIT
+SNAPDIR=$(mktemp -d)
+SNAP="$SNAPDIR/oracle.snap"
+pid=""
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$BIN" "$LOG" "$SNAPDIR"' EXIT
 
 echo "==> build cmd/imserve"
 go build -o "$BIN" ./cmd/imserve
-
-echo "==> start imserve on a free port"
-"$BIN" -addr 127.0.0.1:0 -dataset nethept -scale 64 -indexsize 5000 >"$LOG" 2>&1 &
-pid=$!
-
-# Wait for the listen line; the oracle build on this scale takes well
-# under a second, so 30s is a generous ceiling.
-addr=""
-i=0
-while [ $i -lt 300 ]; do
-	addr=$(sed -n 's/^imserve: listening on //p' "$LOG")
-	if [ -n "$addr" ]; then
-		break
-	fi
-	if ! kill -0 "$pid" 2>/dev/null; then
-		echo "imserve exited before listening:" >&2
-		cat "$LOG" >&2
-		exit 1
-	fi
-	sleep 0.1
-	i=$((i + 1))
-done
-if [ -z "$addr" ]; then
-	echo "imserve never printed its listen address" >&2
-	cat "$LOG" >&2
-	exit 1
-fi
-base="http://$addr"
-echo "    listening at $base"
 
 fail() {
 	echo "smoke: $1" >&2
@@ -49,9 +26,52 @@ fail() {
 	exit 1
 }
 
+# wait_listen blocks until the server whose pid/log are in $pid/$LOG
+# prints its listen line, and sets $base. The oracle build on this scale
+# takes well under a second, so 30s is a generous ceiling.
+wait_listen() {
+	addr=""
+	i=0
+	while [ $i -lt 300 ]; do
+		addr=$(sed -n 's/^imserve: listening on //p' "$LOG")
+		if [ -n "$addr" ]; then
+			break
+		fi
+		if ! kill -0 "$pid" 2>/dev/null; then
+			echo "imserve exited before listening:" >&2
+			cat "$LOG" >&2
+			exit 1
+		fi
+		sleep 0.1
+		i=$((i + 1))
+	done
+	[ -n "$addr" ] || fail "imserve never printed its listen address"
+	base="http://$addr"
+	echo "    listening at $base"
+}
+
+# stop_clean SIGINTs $pid and requires a zero exit plus the drain line.
+stop_clean() {
+	kill -INT "$pid"
+	if ! wait "$pid"; then
+		fail "imserve exited non-zero after SIGINT"
+	fi
+	pid=""
+	grep -q 'drained cleanly' "$LOG" || fail "drain message missing from log"
+}
+
+echo "==> start imserve on a free port"
+"$BIN" -addr 127.0.0.1:0 -dataset nethept -scale 64 -indexsize 5000 >"$LOG" 2>&1 &
+pid=$!
+wait_listen
+
 echo "==> GET /healthz"
 out=$(curl -sf "$base/healthz") || fail "healthz failed"
 [ "$out" = "ok" ] || fail "healthz body: $out"
+
+echo "==> GET /readyz"
+out=$(curl -sf "$base/readyz") || fail "readyz failed"
+[ "$out" = "ready" ] || fail "readyz body: $out"
 
 echo "==> GET /v1/graph/stats"
 out=$(curl -sf "$base/v1/graph/stats") || fail "graph stats failed"
@@ -86,10 +106,30 @@ case "$out" in
 esac
 
 echo "==> SIGINT, expect clean drain and exit 0"
-kill -INT "$pid"
-if ! wait "$pid"; then
-	fail "imserve exited non-zero after SIGINT"
-fi
-grep -q 'drained cleanly' "$LOG" || fail "drain message missing from log"
+stop_clean
+
+echo "==> persistence: boot with -oraclefile (build + save)"
+: >"$LOG"
+"$BIN" -addr 127.0.0.1:0 -dataset nethept -scale 64 -indexsize 5000 -oraclefile "$SNAP" >"$LOG" 2>&1 &
+pid=$!
+wait_listen
+out=$(curl -sf "$base/readyz") || fail "readyz failed on persist boot"
+[ "$out" = "ready" ] || fail "persist boot readyz: $out"
+body1=$(curl -sf -X POST "$base/v1/seeds" -d '{"k":5}') || fail "seeds failed on persist boot"
+stop_clean
+grep -q 'oracle snapshot saved to' "$LOG" || fail "snapshot-saved message missing from log"
+[ -s "$SNAP" ] || fail "snapshot file missing or empty after save"
+
+echo "==> persistence: re-boot from the snapshot"
+: >"$LOG"
+"$BIN" -addr 127.0.0.1:0 -dataset nethept -scale 64 -indexsize 5000 -oraclefile "$SNAP" >"$LOG" 2>&1 &
+pid=$!
+wait_listen
+grep -q 'oracle loaded from snapshot' "$LOG" || fail "snapshot-load message missing from second boot log"
+out=$(curl -sf "$base/readyz") || fail "readyz failed on snapshot boot"
+[ "$out" = "ready" ] || fail "snapshot boot readyz: $out"
+body2=$(curl -sf -X POST "$base/v1/seeds" -d '{"k":5}') || fail "seeds failed on snapshot boot"
+[ "$body1" = "$body2" ] || fail "snapshot boot body differs: $body1 vs $body2"
+stop_clean
 
 echo "==> smoke passed"
