@@ -1,14 +1,20 @@
 // Command imlint is the project's static-analysis gate: it enforces the
 // determinism and resilience invariants the benchmarking platform's
 // numbers depend on (no wall-clock seeding, no map-order output, budget
-// polling in hot paths, supervised goroutines, checked file I/O).
+// polling in hot paths, supervised goroutines, checked file I/O), plus
+// three inter-procedural invariants driven by module-wide function
+// summaries (determinism taint flow, SetStore arena view lifetimes,
+// lock-discipline in the serving/persistence layers).
 //
 // Usage:
 //
-//	imlint [-list] [-only analyzer,...] ./...
+//	imlint [-list] [-only analyzer,...] [-json] [-suppressions] ./...
 //
-// Exit codes: 0 clean, 1 findings, 2 usage/load error. See DESIGN.md
-// §6.2 for the analyzer catalog and the suppression syntax.
+// -json emits one JSON object per finding with a stable field order;
+// -suppressions audits every //imlint:ignore directive and fails on
+// stale ones. Exit codes: 0 clean, 1 findings (or stale waivers),
+// 2 usage/load error. See DESIGN.md §6.2 for the analyzer catalog and
+// the suppression syntax.
 package main
 
 import (

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -33,7 +34,7 @@ func TestExitCodeContract(t *testing.T) {
 	})
 
 	t.Run("each positive fixture exits 1", func(t *testing.T) {
-		for _, dir := range []string{"detrand", "maporder", "ctxpoll", "gosupervise", "ioerr"} {
+		for _, dir := range []string{"detrand", "maporder", "ctxpoll", "gosupervise", "ioerr", "detflow", "arenaalias", "lockhold"} {
 			code, out, _ := run(filepath.Join(fixtures, dir))
 			if code != 1 {
 				t.Errorf("%s: exit = %d, want 1\n%s", dir, code, out)
@@ -76,6 +77,84 @@ func TestExitCodeContract(t *testing.T) {
 		code, out, errOut := run("-only", "detrand", filepath.Join(fixtures, "ioerr"))
 		if code != 0 {
 			t.Errorf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+		}
+	})
+
+	t.Run("-json emits one object per line with stable field order", func(t *testing.T) {
+		code, out, _ := run("-json", filepath.Join(fixtures, "detflow"))
+		if code != 1 {
+			t.Fatalf("exit = %d, want 1", code)
+		}
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) == 0 {
+			t.Fatal("no JSON output")
+		}
+		for _, line := range lines {
+			var d struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Col      int    `json:"col"`
+				Analyzer string `json:"analyzer"`
+				Message  string `json:"message"`
+			}
+			if err := json.Unmarshal([]byte(line), &d); err != nil {
+				t.Fatalf("line is not JSON: %q: %v", line, err)
+			}
+			if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+				t.Errorf("incomplete diagnostic: %q", line)
+			}
+			// Stable field order is part of the contract: downstream CI
+			// parses with line-oriented tools, not a JSON stream decoder.
+			if !strings.HasPrefix(line, `{"file":`) || !strings.Contains(line, `"analyzer":`) {
+				t.Errorf("unexpected field order: %q", line)
+			}
+		}
+	})
+
+	t.Run("-suppressions audits directives", func(t *testing.T) {
+		// The lockhold fixture's directive waives a real finding: used,
+		// exit 0.
+		code, out, errOut := run("-suppressions", filepath.Join(fixtures, "lockhold"))
+		if code != 0 {
+			t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+		}
+		if !strings.Contains(out, "lockhold:") || strings.Contains(out, "[stale]") {
+			t.Errorf("audit should list the used lockhold directive without a stale mark:\n%s", out)
+		}
+
+		// The suppressedge fixture contains one deliberately stale
+		// directive: exit 1 and mark it.
+		code, out, errOut = run("-suppressions", filepath.Join(fixtures, "suppressedge"))
+		if code != 1 {
+			t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+		}
+		if !strings.Contains(out, "[stale]") || !strings.Contains(errOut, "stale suppression") {
+			t.Errorf("stale directive not surfaced:\nstdout:\n%s\nstderr:\n%s", out, errOut)
+		}
+
+		// JSON audit shape.
+		code, out, _ = run("-suppressions", "-json", filepath.Join(fixtures, "suppressedge"))
+		if code != 1 {
+			t.Fatalf("json audit exit = %d, want 1", code)
+		}
+		staleSeen := false
+		for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+			var d struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Analyzer string `json:"analyzer"`
+				Reason   string `json:"reason"`
+				Stale    bool   `json:"stale"`
+			}
+			if err := json.Unmarshal([]byte(line), &d); err != nil {
+				t.Fatalf("audit line is not JSON: %q: %v", line, err)
+			}
+			if d.Stale {
+				staleSeen = true
+			}
+		}
+		if !staleSeen {
+			t.Error("json audit reported no stale directive")
 		}
 	})
 }

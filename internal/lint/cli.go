@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -14,8 +15,28 @@ import (
 // Exit-code contract (stable; scripts/check.sh and CI depend on it):
 //
 //	0 — clean: every analyzed package satisfies every invariant
-//	1 — findings were reported
+//	1 — findings were reported (or, with -suppressions, stale waivers)
 //	2 — usage or load error (bad flags, no packages, unparseable source)
+
+// jsonDiagnostic is the machine-readable finding shape emitted by
+// -json: one object per line, fields always in this order (encoding/
+// json marshals struct fields in declaration order).
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonDirective is the -suppressions audit shape under -json.
+type jsonDirective struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+	Stale    bool   `json:"stale"`
+}
 
 // Run executes imlint with the given arguments, writing findings to
 // stdout and errors/usage to stderr, and returns the process exit code.
@@ -24,11 +45,16 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list registered analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable output, one JSON object per line")
+	audit := fs.Bool("suppressions", false,
+		"audit //imlint:ignore directives instead of reporting findings; stale directives exit 1")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: imlint [-list] [-only a,b] packages...\n\n"+
+		fmt.Fprintf(stderr, "usage: imlint [-list] [-only a,b] [-json] [-suppressions] packages...\n\n"+
 			"imlint enforces the platform's determinism and resilience invariants.\n"+
 			"Packages are directories or ./... patterns. Findings exit 1, usage errors exit 2.\n"+
-			"Suppress a finding with `//imlint:ignore <analyzer> <reason>` on or above its line.\n\nFlags:\n")
+			"Suppress a finding with `//imlint:ignore <analyzer> <reason>` on or above its line.\n"+
+			"-suppressions lists every directive and fails on ones that no longer waive\n"+
+			"anything; it always runs the full analyzer set so usage is judged accurately.\n\nFlags:\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -42,7 +68,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *only != "" {
+	if *only != "" && !*audit {
 		byName := make(map[string]*Analyzer, len(analyzers))
 		for _, a := range analyzers {
 			byName[a.Name] = a
@@ -92,9 +118,25 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *audit {
+		// The audit must run every analyzer: a directive for an analyzer
+		// that didn't run would always look stale.
+		_, directives := CheckAudit(pkgs, Analyzers())
+		return reportAudit(directives, *jsonOut, stdout, stderr)
+	}
+
 	diags := Check(pkgs, analyzers)
+	enc := json.NewEncoder(stdout)
 	for _, d := range diags {
-		fmt.Fprintln(stdout, relativize(d))
+		if *jsonOut {
+			pos := relPos(d.Pos.Filename)
+			_ = enc.Encode(jsonDiagnostic{
+				File: pos, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		} else {
+			fmt.Fprintln(stdout, relativize(d))
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "imlint: %d finding(s)\n", len(diags))
@@ -103,11 +145,48 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// reportAudit renders the -suppressions listing and returns the exit
+// code: 1 when any directive is stale, 0 otherwise.
+func reportAudit(directives []*Directive, jsonOut bool, stdout, stderr io.Writer) int {
+	stale := 0
+	enc := json.NewEncoder(stdout)
+	for _, dir := range directives {
+		file := relPos(dir.Pos.Filename)
+		if !dir.Used {
+			stale++
+		}
+		if jsonOut {
+			_ = enc.Encode(jsonDirective{
+				File: file, Line: dir.Pos.Line,
+				Analyzer: dir.Analyzer, Reason: dir.Reason, Stale: !dir.Used,
+			})
+			continue
+		}
+		mark := ""
+		if !dir.Used {
+			mark = " [stale]"
+		}
+		fmt.Fprintf(stdout, "%s:%d: %s: %s%s\n", file, dir.Pos.Line, dir.Analyzer, dir.Reason, mark)
+	}
+	if stale > 0 {
+		fmt.Fprintf(stderr, "imlint: %d stale suppression(s); delete directives that no longer waive a finding\n", stale)
+		return 1
+	}
+	return 0
+}
+
 // relativize renders the diagnostic with a cwd-relative path when that
 // is shorter, matching compiler output conventions.
 func relativize(d Diagnostic) string {
-	if rel, err := filepath.Rel(".", d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-		d.Pos.Filename = rel
-	}
+	d.Pos.Filename = relPos(d.Pos.Filename)
 	return d.String()
+}
+
+// relPos returns the cwd-relative form of path when it stays inside
+// the working tree.
+func relPos(path string) string {
+	if rel, err := filepath.Rel(".", path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
 }

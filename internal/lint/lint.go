@@ -14,7 +14,7 @@
 // go/types): the gate must run in any environment that can build the
 // repo, with no module downloads.
 //
-// Five analyzers ship with the gate:
+// Eight analyzers ship with the gate. Five are intra-procedural:
 //
 //   - detrand: no math/rand and no time.Now()-derived integer seeds in
 //     internal/ or cmd/ non-test code; randomness flows through
@@ -31,6 +31,20 @@
 //     whole benchmark process, bypassing the Panicked status.
 //   - ioerr: journal/file I/O error returns must not be silently
 //     discarded, including deferred Close on write paths.
+//
+// Three more are inter-procedural, driven by module-wide per-function
+// summaries propagated to a fixed point (see program.go):
+//
+//   - detflow: values derived from nondeterministic sources (wall
+//     clock, map iteration order, select arrival order) must not reach
+//     RNG seeds, journal/CSV/HTTP emission, or SetStore merges — even
+//     through call chains.
+//   - arenaalias: a SetStore arena view (Set/Raw sub-slice) must not be
+//     used after Append/AppendStore/Grow/Reset may have realloc'd the
+//     backing array, even when the mutation hides inside a callee.
+//   - lockhold: no file I/O, blocking channel operation, or HTTP work
+//     while holding a sync.Mutex/RWMutex in internal/serve and
+//     internal/persist.
 //
 // Findings can be locally waived with a justified suppression comment:
 //
@@ -69,13 +83,17 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of the enforced invariant.
 	Doc string
+	// NeedsProgram marks summary-driven analyzers: when any selected
+	// analyzer sets it, Check builds the module-wide Program (call
+	// graph + fixed-point summaries) once and shares it across passes.
+	NeedsProgram bool
 	// Run inspects the package in pass and reports findings on it.
 	Run func(pass *Pass)
 }
 
 // Analyzers lists every registered analyzer in output order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetRand, MapOrder, CtxPoll, GoSupervise, IOErr}
+	return []*Analyzer{DetRand, MapOrder, CtxPoll, GoSupervise, IOErr, DetFlow, ArenaAlias, LockHold}
 }
 
 // Pass carries one (analyzer, package) unit of work.
@@ -93,6 +111,11 @@ type Pass struct {
 	// module root ("" for the root package), used for scoping rules.
 	PkgPath string
 	ModRel  string
+	// Prog is the module-wide inter-procedural view, present only when
+	// the analyzer declares NeedsProgram. It covers exactly the packages
+	// of this Check run: a run scoped to one directory degrades to
+	// conservative intra-procedural behavior for out-of-set callees.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -120,6 +143,16 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 // applied here, and malformed directives are reported under the
 // pseudo-analyzer name "directive".
 func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := CheckAudit(pkgs, analyzers)
+	return diags
+}
+
+// CheckAudit is Check plus the suppression audit trail: it additionally
+// returns every well-formed //imlint:ignore directive encountered, with
+// Used set on those that waived at least one finding. Auditing is only
+// meaningful when every analyzer runs — a directive for an unselected
+// analyzer always looks unused.
+func CheckAudit(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []*Directive) {
 	// Directives are validated against the full registry, not just the
 	// analyzers selected for this run: `-only detrand` must not start
 	// reporting every legitimate ioerr suppression as unknown.
@@ -131,10 +164,23 @@ func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		known[a.Name] = true
 	}
 
+	// The inter-procedural Program is built once per run, only when a
+	// selected analyzer needs it: the intra-procedural gate stays as
+	// cheap as it was before the substrate existed.
+	var prog *Program
+	for _, a := range analyzers {
+		if a.NeedsProgram {
+			prog = BuildProgram(pkgs)
+			break
+		}
+	}
+
 	var diags []Diagnostic
+	var directives []*Directive
 	for _, pkg := range pkgs {
 		sup := collectDirectives(pkg, known)
 		diags = append(diags, sup.problems...)
+		directives = append(directives, sup.directives...)
 
 		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
@@ -147,6 +193,9 @@ func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				PkgPath:  pkg.Path,
 				ModRel:   pkg.ModRel,
 				diags:    &pkgDiags,
+			}
+			if a.NeedsProgram {
+				pass.Prog = prog
 			}
 			a.Run(pass)
 		}
@@ -170,7 +219,17 @@ func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	sort.Slice(directives, func(i, j int) bool {
+		a, b := directives[i], directives[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, directives
 }
 
 // ---- shared AST helpers used by several analyzers ----
@@ -180,6 +239,12 @@ func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // (so aliased imports resolve correctly) and falls back to the literal
 // identifier when types are unavailable.
 func (p *Pass) pkgFuncCall(call *ast.CallExpr, pkgPath string, names ...string) bool {
+	return pkgFuncCallInfo(p.Info, call, pkgPath, names...)
+}
+
+// pkgFuncCallInfo is pkgFuncCall as a free function, usable by the
+// summary engine outside any Pass.
+func pkgFuncCallInfo(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
@@ -198,8 +263,8 @@ func (p *Pass) pkgFuncCall(call *ast.CallExpr, pkgPath string, names ...string) 
 	if !ok {
 		return false
 	}
-	if p.Info != nil {
-		if obj, ok := p.Info.Uses[id]; ok {
+	if info != nil {
+		if obj, ok := info.Uses[id]; ok {
 			pn, ok := obj.(*types.PkgName)
 			return ok && pn.Imported().Path() == pkgPath
 		}

@@ -13,7 +13,7 @@ import (
 // corpusDirs are the golden fixture packages: each analyzer has at
 // least one true-positive (`// want <analyzer> "substr"`), one
 // negative, and one suppressed case.
-var corpusDirs = []string{"detrand", "maporder", "ctxpoll", "gosupervise", "ioerr"}
+var corpusDirs = []string{"detrand", "maporder", "ctxpoll", "gosupervise", "ioerr", "detflow", "arenaalias", "lockhold"}
 
 // wantRe matches expectation comments in fixture files.
 var wantRe = regexp.MustCompile(`// want (\w+) "([^"]+)"`)

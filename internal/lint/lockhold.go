@@ -1,0 +1,458 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Lock-discipline analysis
+//
+// imserve's latency contract (PR 3/PR 6: bounded admission, per-request
+// deadlines, degraded-mode serving) dies quietly the day a mutex is
+// held across a blocking operation: one slow disk write or full channel
+// inside a critical section serializes every request behind it. The
+// endorsed pattern throughout internal/serve is snapshot-under-lock,
+// unlock, then do the slow work — lockhold enforces it, including when
+// the blocking operation hides behind a call chain.
+//
+// Effects are summarized per function (file I/O, channel operations,
+// HTTP work) and propagated through the call graph by the fixed-point
+// engine; the analyzer then replays each in-scope function in source
+// order, tracking which sync.Mutex/RWMutex receivers are held, and
+// reports any effectful statement or call inside a critical section.
+//
+// Deliberate soundness trade-offs, chosen to match the repo's idiom:
+//
+//   - `defer mu.Unlock()` does not release at its textual position —
+//     the lock is held to function end, so everything after is checked.
+//     An explicit mid-function Unlock releases from that point on.
+//   - Function literals and `go` statements are skipped when
+//     summarizing effects and when replaying: their bodies do not run
+//     at their textual position (a goroutine blocks itself, not the
+//     lock holder).
+//   - A `select` with a default case is non-blocking and exempt; so is
+//     a send/receive in one (the default bounds the wait).
+
+// Effect bits.
+const (
+	effIO   uint64 = 1 << iota // file I/O: os files, io.Copy, bufio flush
+	effChan                    // blocking channel send/receive/select
+	effHTTP                    // net/http work (handlers, response writes)
+)
+
+// EffectSummary records which blocking-effect classes a function can
+// reach, with one description per class for call-site diagnostics.
+type EffectSummary struct {
+	Mask uint64
+	// IODesc/ChanDesc/HTTPDesc describe the first detected cause of the
+	// corresponding bit ("os.WriteFile", "channel send", ...).
+	IODesc, ChanDesc, HTTPDesc string
+}
+
+func (s EffectSummary) equal(t EffectSummary) bool { return s == t }
+
+// desc returns the description for one effect bit.
+func (s EffectSummary) desc(bit uint64) string {
+	switch bit {
+	case effIO:
+		return s.IODesc
+	case effChan:
+		return s.ChanDesc
+	case effHTTP:
+		return s.HTTPDesc
+	}
+	return ""
+}
+
+func (s *EffectSummary) add(bit uint64, desc string) {
+	s.Mask |= bit
+	switch bit {
+	case effIO:
+		if s.IODesc == "" {
+			s.IODesc = desc
+		}
+	case effChan:
+		if s.ChanDesc == "" {
+			s.ChanDesc = desc
+		}
+	case effHTTP:
+		if s.HTTPDesc == "" {
+			s.HTTPDesc = desc
+		}
+	}
+}
+
+// effectLabel names an effect class for diagnostics.
+func effectLabel(bit uint64) string {
+	switch bit {
+	case effIO:
+		return "file I/O"
+	case effChan:
+		return "blocking channel operation"
+	case effHTTP:
+		return "HTTP work"
+	}
+	return "blocking operation"
+}
+
+// osIONames are package-level os functions that hit the filesystem.
+var osIONames = map[string]bool{
+	"Open": true, "Create": true, "OpenFile": true, "ReadFile": true,
+	"WriteFile": true, "Remove": true, "RemoveAll": true, "Rename": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true, "CreateTemp": true,
+	"Stat": true, "Lstat": true, "ReadDir": true, "Truncate": true,
+	"Chmod": true, "Link": true, "Symlink": true,
+}
+
+// fileMethodNames are blocking methods on *os.File / buffered writers.
+var fileMethodNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteAt": true, "Read": true,
+	"ReadAt": true, "Sync": true, "Close": true, "Flush": true,
+	"Truncate": true, "Seek": true,
+}
+
+// summarizeEffects recomputes fi's effect summary against current
+// callee summaries and reports whether it changed.
+func summarizeEffects(p *Program, fi *FuncInfo) bool {
+	sum := scanEffects(p, fi, fi.Decl.Body)
+	if sum.equal(fi.Effects) {
+		return false
+	}
+	fi.Effects = sum
+	return true
+}
+
+// scanEffects collects the effect summary of one body, skipping nested
+// function literals and go statements (their bodies do not run here).
+func scanEffects(p *Program, fi *FuncInfo, body *ast.BlockStmt) EffectSummary {
+	var sum EffectSummary
+	info := fi.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			return nn.Body == body
+		case *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			sum.add(effChan, "channel send")
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW {
+				sum.add(effChan, "channel receive")
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(nn.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					sum.add(effChan, "range over channel")
+				}
+			}
+		case *ast.SelectStmt:
+			if selectBlocks(nn) {
+				sum.add(effChan, "select without default")
+			}
+			// Comm clauses of a non-blocking select are exempt: skip the
+			// send/receive expressions themselves but still scan bodies.
+			if !selectBlocks(nn) {
+				for _, c := range nn.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						for _, st := range cc.Body {
+							ast.Inspect(st, func(m ast.Node) bool { return scanEffectNode(p, fi, m, &sum) })
+						}
+					}
+				}
+				return false
+			}
+		case *ast.CallExpr:
+			classifyCallEffects(p, fi, nn, &sum)
+		}
+		return true
+	})
+	return sum
+}
+
+// scanEffectNode is the single-node version of the scanEffects visit,
+// used when re-entering exempted subtrees.
+func scanEffectNode(p *Program, fi *FuncInfo, n ast.Node, sum *EffectSummary) bool {
+	switch nn := n.(type) {
+	case *ast.FuncLit, *ast.GoStmt:
+		return false
+	case *ast.SendStmt:
+		sum.add(effChan, "channel send")
+	case *ast.UnaryExpr:
+		if nn.Op == token.ARROW {
+			sum.add(effChan, "channel receive")
+		}
+	case *ast.CallExpr:
+		classifyCallEffects(p, fi, nn, sum)
+	}
+	return true
+}
+
+// classifyCallEffects folds the effects of one call into sum: intrinsic
+// I/O and HTTP calls, plus the summarized effects of known callees.
+func classifyCallEffects(p *Program, fi *FuncInfo, call *ast.CallExpr, sum *EffectSummary) {
+	info := fi.Pkg.Info
+	pkg := calleePkgPath(info, call)
+	name := ""
+	if obj := calleeObj(info, call); obj != nil {
+		name = obj.Name()
+	}
+
+	switch pkg {
+	case "os":
+		if osIONames[name] {
+			sum.add(effIO, "os."+name)
+			return
+		}
+	case "io":
+		if name == "Copy" || name == "CopyN" || name == "ReadAll" || name == "WriteString" {
+			sum.add(effIO, "io."+name)
+			return
+		}
+	case "net/http":
+		sum.add(effHTTP, "net/http."+name)
+		return
+	}
+
+	// fmt.Fprint* to a non-console destination writes to a real sink.
+	if pkgFuncCallInfo(info, call, "fmt", "Fprint", "Fprintf", "Fprintln") &&
+		len(call.Args) > 0 && !isStdStream(call.Args[0]) {
+		sum.add(effIO, "fmt."+name)
+		return
+	}
+
+	// Blocking methods on files / buffered writers, and ResponseWriter
+	// interface methods (HTTP body writes).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if t := info.TypeOf(sel.X); t != nil {
+			tn := typeNameOf(t)
+			switch {
+			case (tn.pkg == "os" || tn.pkg == "bufio") && fileMethodNames[sel.Sel.Name]:
+				sum.add(effIO, "(*"+tn.pkg+"."+tn.name+")."+sel.Sel.Name)
+				return
+			case tn.pkg == "net/http":
+				sum.add(effHTTP, tn.name+"."+sel.Sel.Name)
+				return
+			}
+		}
+	}
+
+	// Transitive: a summarized callee's effects happen here.
+	if callee := p.callee(info, call); callee != nil && callee.Effects.Mask != 0 {
+		for _, bit := range []uint64{effIO, effChan, effHTTP} {
+			if callee.Effects.Mask&bit != 0 {
+				sum.add(bit, "call to "+callee.name()+" ("+callee.Effects.desc(bit)+")")
+			}
+		}
+	}
+}
+
+// typeNameOf resolves the named type (behind pointers) of t.
+func typeNameOf(t types.Type) (tn struct{ pkg, name string }) {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil {
+		return tn
+	}
+	tn.name = named.Obj().Name()
+	if named.Obj().Pkg() != nil {
+		tn.pkg = named.Obj().Pkg().Path()
+	}
+	return tn
+}
+
+// selectBlocks reports whether sel can block (no default case).
+func selectBlocks(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- the analyzer ----
+
+// LockHold is the inter-procedural critical-section discipline analyzer.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc: "no file I/O, blocking channel operation, or HTTP work while holding a sync.Mutex/RWMutex " +
+		"in internal/serve and internal/persist — snapshot under the lock, unlock, then do the slow work",
+	NeedsProgram: true,
+	Run:          runLockHold,
+}
+
+// lockholdScoped limits enforcement to the serving and persistence
+// layers (where a held lock serializes live traffic) and the fixture
+// corpus.
+func lockholdScoped(modRel string) bool {
+	return modRel == "internal/serve" || modRel == "internal/persist" ||
+		strings.HasPrefix(modRel, "internal/serve/") ||
+		strings.HasPrefix(modRel, "internal/persist/") ||
+		path.Base(modRel) == "lockhold"
+}
+
+func runLockHold(pass *Pass) {
+	if pass.Prog == nil || !lockholdScoped(pass.ModRel) {
+		return
+	}
+	for _, fi := range pass.Prog.funcsIn(pass.PkgPath) {
+		replayLocks(pass, fi)
+	}
+}
+
+// lockEvent is one position-ordered lock transition or effect.
+type lockEvent struct {
+	pos      token.Pos
+	kind     int    // levLock, levUnlock, levEffect
+	key      string // mutex receiver expression
+	deferred bool
+	bit      uint64
+	desc     string
+}
+
+const (
+	levLock = iota
+	levUnlock
+	levEffect
+)
+
+// replayLocks replays fi's body in source order and reports effects
+// that occur while any sync mutex is held.
+func replayLocks(pass *Pass, fi *FuncInfo) {
+	info := fi.Pkg.Info
+	var events []lockEvent
+
+	var scan func(n ast.Node, inDefer bool) bool
+	scan = func(n ast.Node, inDefer bool) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			// Does not run at this position; effects there don't execute
+			// under this frame's lock. (A FuncLit that locks is replayed
+			// when it is itself the declared function of a method value —
+			// out of scope by design.)
+			return false
+		case *ast.DeferStmt:
+			// Record deferred Lock/Unlock specially; skip everything else
+			// inside (deferred work runs at exit, interleaved LIFO).
+			if call := nn.Call; call != nil {
+				if key, name, ok := syncMutexCall(info, call); ok {
+					events = append(events, lockEvent{
+						pos: nn.Pos(), kind: lockKind(name), key: key, deferred: true,
+					})
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			events = append(events, lockEvent{pos: nn.Pos(), kind: levEffect, bit: effChan, desc: "channel send"})
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW {
+				events = append(events, lockEvent{pos: nn.Pos(), kind: levEffect, bit: effChan, desc: "channel receive"})
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(nn.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					events = append(events, lockEvent{pos: nn.Pos(), kind: levEffect, bit: effChan, desc: "range over channel"})
+				}
+			}
+		case *ast.SelectStmt:
+			if selectBlocks(nn) {
+				events = append(events, lockEvent{pos: nn.Pos(), kind: levEffect, bit: effChan, desc: "select without default"})
+			}
+			// Clause bodies still replay; the comm expressions of a
+			// non-blocking select are exempt either way (bounded wait).
+			for _, c := range nn.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, st := range cc.Body {
+						ast.Inspect(st, func(m ast.Node) bool { return scan(m, inDefer) })
+					}
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if key, name, ok := syncMutexCall(info, nn); ok {
+				events = append(events, lockEvent{pos: nn.Pos(), kind: lockKind(name), key: key})
+				return true
+			}
+			var sum EffectSummary
+			classifyCallEffects(pass.Prog, fi, nn, &sum)
+			for _, bit := range []uint64{effIO, effChan, effHTTP} {
+				if sum.Mask&bit != 0 {
+					events = append(events, lockEvent{pos: nn.Pos(), kind: levEffect, bit: bit, desc: sum.desc(bit)})
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool { return scan(n, false) })
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	// held maps mutex key -> lock position; deferred-unlock keys stay
+	// held to function end.
+	held := make(map[string]token.Pos)
+	reported := make(map[token.Pos]bool)
+	for _, ev := range events {
+		switch ev.kind {
+		case levLock:
+			if !ev.deferred { // `defer mu.Lock()` is nonsense; ignore
+				held[ev.key] = ev.pos
+			}
+		case levUnlock:
+			if !ev.deferred {
+				delete(held, ev.key)
+			}
+			// deferred unlock: lock intentionally held to function end
+		case levEffect:
+			if len(held) == 0 || reported[ev.pos] {
+				continue
+			}
+			// Name one held mutex deterministically (lexically smallest).
+			keys := make([]string, 0, len(held))
+			for k := range held {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			reported[ev.pos] = true
+			pass.Reportf(ev.pos,
+				"%s (%s) while holding %s (locked at line %d); snapshot under the lock, unlock, then do the slow work",
+				effectLabel(ev.bit), ev.desc, keys[0], pass.Fset.Position(held[keys[0]]).Line)
+		}
+	}
+}
+
+// lockKind maps a sync method name to a lock event kind.
+func lockKind(name string) int {
+	if name == "Lock" || name == "RLock" {
+		return levLock
+	}
+	return levUnlock
+}
+
+// syncMutexCall matches mu.Lock/RLock/Unlock/RUnlock where the method
+// is declared in package sync, returning the receiver key.
+func syncMutexCall(info *types.Info, call *ast.CallExpr) (key, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return storeKey(sel.X), sel.Sel.Name, true
+}

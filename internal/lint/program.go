@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Inter-procedural substrate
+//
+// The original five analyzers are intra-procedural: each looks at one
+// function body and stays silent the moment a value crosses a call
+// boundary. That was enough while the invariants were about *syntax*
+// (a `go` statement, a map range). The determinism invariants of the
+// parallel substrate (PR 4's SampleBatch, PR 5's WorldEvaluator) are
+// about *values*: a wall-clock-derived number is just as poisonous to
+// reproducibility after it has passed through two helpers, and an
+// arena sub-slice is just as dangling when the Append happened inside
+// a callee. This file adds the module-wide view those checks need:
+//
+//   - Program: an index of every function declared in the analyzed
+//     packages, resolvable from call sites via go/types.
+//   - FuncInfo: one function plus its computed summaries — taint
+//     transfer (which params/results carry nondeterminism), arena
+//     aliasing (which results view a SetStore arena, which params get
+//     mutated), and effects (file I/O, channel ops, HTTP work).
+//   - solve: a chaotic-iteration fixed point. Summaries start empty
+//     and only grow (bitmask unions and boolean ORs), so iteration is
+//     monotone and terminates; each round re-summarizes every function
+//     against the current summaries of its callees, which is exactly
+//     what lets a fact propagate through call chains of any depth.
+//
+// Summaries exist only for functions in the packages handed to Check
+// in one run: `imlint ./...` sees the whole module, while a run scoped
+// to one directory degrades to conservative intra-procedural behavior
+// for out-of-set callees (unknown callees propagate taint from
+// arguments to results but are never sources, sinks, mutators, or
+// effectful). The framework stays stdlib-only.
+
+// Program is the module-wide view shared by the summary-driven
+// analyzers. It is built once per Check run and is read-only afterwards.
+type Program struct {
+	funcs map[*types.Func]*FuncInfo
+	// ordered lists functions in load order (package order, then file,
+	// then declaration), so fixed-point iteration and any diagnostics
+	// derived from it are deterministic.
+	ordered []*FuncInfo
+}
+
+// FuncInfo is one declared function with a body, plus its summaries.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	Taint   *TaintSummary
+	Arena   *ArenaSummary
+	Effects EffectSummary
+}
+
+// name returns the diagnostic-friendly name of the function.
+func (fi *FuncInfo) name() string { return fi.Obj.Name() }
+
+// BuildProgram indexes every function declaration in pkgs and solves
+// the summary fixed point.
+func BuildProgram(pkgs []*Package) *Program {
+	p := &Program{funcs: make(map[*types.Func]*FuncInfo)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fn.Name].(*types.Func)
+				if obj == nil {
+					continue // type-check hole: degrade to intra-procedural
+				}
+				fi := &FuncInfo{Obj: obj, Decl: fn, Pkg: pkg}
+				p.funcs[obj] = fi
+				p.ordered = append(p.ordered, fi)
+			}
+		}
+	}
+	p.solve()
+	return p
+}
+
+// callee resolves the statically-known target of call within the
+// analyzed set, or nil (unknown callee, interface method, func value,
+// builtin, out-of-set package).
+func (p *Program) callee(info *types.Info, call *ast.CallExpr) *FuncInfo {
+	obj := calleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return p.funcs[fn]
+}
+
+// calleeObj returns the object the call's function expression resolves
+// to: a *types.Func for direct calls, *types.Builtin for builtins,
+// *types.Var for func-value calls, nil when unresolvable.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	if info == nil {
+		return nil
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// calleePkgPath returns the import path of the package declaring the
+// call target ("" when unknown or universe-scoped).
+func calleePkgPath(info *types.Info, call *ast.CallExpr) string {
+	obj := calleeObj(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// paramObjs returns the function's parameter objects in signature
+// order, with the method receiver (when present) first. This is the
+// index space every per-param summary bitmask uses; nil entries mark
+// unnamed (and therefore unobservable) parameters.
+func paramObjs(pkg *Package, fn *ast.FuncDecl) []types.Object {
+	var objs []types.Object
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if len(f.Names) == 0 {
+				objs = append(objs, nil)
+				continue
+			}
+			for _, n := range f.Names {
+				objs = append(objs, pkg.Info.Defs[n])
+			}
+		}
+	}
+	add(fn.Recv)
+	add(fn.Type.Params)
+	return objs
+}
+
+// hasRecv reports whether the function is a method (bit 0 of its param
+// index space is the receiver).
+func hasRecv(fn *ast.FuncDecl) bool { return fn.Recv != nil }
+
+// isVariadic reports whether the function's last parameter is variadic.
+func isVariadic(fn *ast.FuncDecl) bool {
+	params := fn.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	_, ok := params.List[len(params.List)-1].Type.(*ast.Ellipsis)
+	return ok
+}
+
+// numResults returns the declared result count of fn (counting each
+// name in a grouped result once).
+func numResults(fn *ast.FuncDecl) int {
+	res := fn.Type.Results
+	if res == nil {
+		return 0
+	}
+	n := 0
+	for _, f := range res.List {
+		if len(f.Names) == 0 {
+			n++
+		} else {
+			n += len(f.Names)
+		}
+	}
+	return n
+}
+
+// solve runs chaotic iteration to a fixed point. All three summary
+// domains are monotone (masks and flags only ever gain bits), so the
+// loop terminates; the iteration cap is a belt-and-suspenders bound
+// against a future non-monotone summarizer bug, not a tuning knob.
+func (p *Program) solve() {
+	const maxRounds = 64
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, fi := range p.ordered {
+			if summarizeTaint(p, fi) {
+				changed = true
+			}
+			if summarizeArena(p, fi) {
+				changed = true
+			}
+			if summarizeEffects(p, fi) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// funcsIn yields the indexed functions declared in the package with
+// the given import path, in declaration order.
+func (p *Program) funcsIn(pkgPath string) []*FuncInfo {
+	var out []*FuncInfo
+	for _, fi := range p.ordered {
+		if fi.Pkg.Path == pkgPath {
+			out = append(out, fi)
+		}
+	}
+	return out
+}

@@ -20,21 +20,42 @@ import (
 // Directives with a missing reason or an unknown analyzer name are
 // reported as findings themselves (analyzer name "directive") — a typo
 // must fail the gate rather than silently disable a check.
+//
+// Every well-formed directive is also recorded as a Directive value
+// and marked Used when it actually waives a finding; `imlint
+// -suppressions` audits the full set and fails on directives that no
+// longer suppress anything, so waivers cannot rot in place after the
+// code they excused is gone.
 
 const directivePrefix = "imlint:ignore"
 
-// suppressions records, per file, which (line, analyzer) pairs are
-// waived, plus any malformed directives found while parsing.
+// Directive is one well-formed //imlint:ignore comment.
+type Directive struct {
+	// Pos is the position of the directive comment itself.
+	Pos token.Position
+	// Analyzer is the analyzer the directive waives.
+	Analyzer string
+	// Reason is the mandatory justification text.
+	Reason string
+	// Used records whether the directive suppressed at least one
+	// finding in this run. A run over the full module with every
+	// analyzer selected leaves Used=false only on stale directives.
+	Used bool
+}
+
+// suppressions records, per file, which directives cover which lines,
+// plus any malformed directives found while parsing.
 type suppressions struct {
-	// waived maps filename -> line -> analyzer names ignored on that
-	// line and the line below it.
-	waived   map[string]map[int]map[string]bool
-	problems []Diagnostic
+	// waived maps filename -> line -> directives whose waiver covers
+	// that line (a directive covers its own line and the line below).
+	waived     map[string]map[int][]*Directive
+	directives []*Directive
+	problems   []Diagnostic
 }
 
 // collectDirectives scans every comment in pkg for ignore directives.
 func collectDirectives(pkg *Package, known map[string]bool) *suppressions {
-	s := &suppressions{waived: make(map[string]map[int]map[string]bool)}
+	s := &suppressions{waived: make(map[string]map[int][]*Directive)}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -74,16 +95,15 @@ func (s *suppressions) addComment(fset *token.FileSet, c *ast.Comment, known map
 		})
 		return
 	}
+	dir := &Directive{Pos: pos, Analyzer: name, Reason: strings.Join(fields[1:], " ")}
+	s.directives = append(s.directives, dir)
 	byLine := s.waived[pos.Filename]
 	if byLine == nil {
-		byLine = make(map[int]map[string]bool)
+		byLine = make(map[int][]*Directive)
 		s.waived[pos.Filename] = byLine
 	}
 	for _, line := range []int{pos.Line, pos.Line + 1} {
-		if byLine[line] == nil {
-			byLine[line] = make(map[string]bool)
-		}
-		byLine[line][name] = true
+		byLine[line] = append(byLine[line], dir)
 	}
 }
 
@@ -99,11 +119,18 @@ func directiveText(comment string) (string, bool) {
 }
 
 // suppressed reports whether d is waived by a directive on its line or
-// the line above.
+// the line above, marking every covering directive as used.
 func (s *suppressions) suppressed(d Diagnostic) bool {
 	byLine := s.waived[d.Pos.Filename]
 	if byLine == nil {
 		return false
 	}
-	return byLine[d.Pos.Line][d.Analyzer]
+	hit := false
+	for _, dir := range byLine[d.Pos.Line] {
+		if dir.Analyzer == d.Analyzer {
+			dir.Used = true
+			hit = true
+		}
+	}
+	return hit
 }

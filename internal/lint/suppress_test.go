@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSuppressionEdgeCases pins the directive-coverage semantics on
+// the suppressedge fixture: a directive covers its own line and the
+// line directly below, no further.
+func TestSuppressionEdgeCases(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load([]string{filepath.Join("testdata", "src", "suppressedge")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			t.Errorf("fixture should type-check cleanly: %v", e)
+		}
+	}
+
+	diags, directives := CheckAudit(pkgs, Analyzers())
+
+	// Multiple directives affecting one line (DoubleWaiver) and the
+	// directive above a multi-line statement (MultiLine) suppress their
+	// findings; only WrongLine's emission survives.
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly 1 (WrongLine):\n%v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "detflow" || !strings.Contains(d.Message, "wall clock") {
+		t.Errorf("surviving finding = %s, want a detflow wall-clock emission", d)
+	}
+
+	if len(directives) != 4 {
+		t.Fatalf("got %d directives, want 4:\n%v", len(directives), directives)
+	}
+	var stale []*Directive
+	for _, dir := range directives {
+		if !dir.Used {
+			stale = append(stale, dir)
+		}
+	}
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale directives, want exactly 1 (WrongLine's):\n%v", len(stale), stale)
+	}
+	// The stale one is the wrong-line waiver: same analyzer as the
+	// surviving finding, anchored two lines above it.
+	if stale[0].Analyzer != "detflow" {
+		t.Errorf("stale directive analyzer = %q, want detflow", stale[0].Analyzer)
+	}
+	if got, want := stale[0].Pos.Line, d.Pos.Line-2; got != want {
+		t.Errorf("stale directive at line %d, want %d (two above the surviving finding)", got, want)
+	}
+
+	// Used directives must include both analyzers of the double-waiver
+	// line: one from the directive above, one from the trailing one.
+	used := make(map[string]int)
+	for _, dir := range directives {
+		if dir.Used {
+			used[dir.Analyzer]++
+		}
+	}
+	if used["detrand"] != 1 || used["detflow"] != 2 {
+		t.Errorf("used directive histogram = %v, want detrand:1 detflow:2", used)
+	}
+}

@@ -1,0 +1,727 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism-taint engine
+//
+// A value is "tainted" when its content or ordering depends on
+// something outside the campaign seed: the wall clock (time.Now /
+// time.Since), map iteration order (a slice accumulated by appending
+// inside a `for range m`), or select arrival order (a value bound in a
+// select with two or more communication cases). Taint propagates
+// through assignments, expressions, and — via the Program summaries —
+// function calls, and must never reach a determinism sink: the
+// internal/rng seed surface, journal/CSV/HTTP emission, or a
+// SetStore merge (Append/AppendStore), whose content must be
+// byte-identical at any worker count.
+//
+// The per-function analysis is deliberately flow-insensitive over
+// *local variables and parameters only*: assigning a tainted value to
+// a struct field, slice element, or package variable drops the taint.
+// That keeps the check precise where the platform's determinism bugs
+// actually happen (a helper returning a wall-clock seed, a key slice
+// emitted before sorting) without drowning the gate in heap-aliasing
+// false positives — measured durations stored into result records are
+// data being reported, not a determinism channel.
+//
+// Sorting is the endorsed cleanser for map-order taint: a slice that
+// is passed to sort.* / slices.Sort* anywhere in the function never
+// carries map-order taint (wall-clock and select taint survive
+// sorting — sorting a timestamp does not make it reproducible).
+
+// Taint bits: params occupy bits [0, maxTaintParams); the top bits
+// carry the three intrinsic source kinds so diagnostics can say what
+// the nondeterminism is.
+const (
+	maxTaintParams = 59
+
+	taintTime   uint64 = 1 << 59 // wall clock: time.Now / time.Since
+	taintMap    uint64 = 1 << 60 // map iteration order
+	taintSelect uint64 = 1 << 61 // select arrival order
+
+	taintSrcMask = taintTime | taintMap | taintSelect
+)
+
+// taintKinds renders the intrinsic-source bits of m for diagnostics.
+func taintKinds(m uint64) string {
+	var kinds []string
+	if m&taintTime != 0 {
+		kinds = append(kinds, "the wall clock (time.Now)")
+	}
+	if m&taintMap != 0 {
+		kinds = append(kinds, "map iteration order")
+	}
+	if m&taintSelect != 0 {
+		kinds = append(kinds, "select arrival order")
+	}
+	return strings.Join(kinds, ", ")
+}
+
+// TaintSummary is the inter-procedural taint contract of one function.
+type TaintSummary struct {
+	// Results[r] is the taint mask of result r: intrinsic-source bits
+	// the function introduces itself, plus one bit per parameter whose
+	// taint transfers into that result.
+	Results []uint64
+	// SinkParams marks parameters that reach a determinism sink inside
+	// the function (directly or through further calls).
+	SinkParams uint64
+	// SinkDesc describes the first such sink, for call-site messages.
+	SinkDesc string
+}
+
+func (s *TaintSummary) equal(t *TaintSummary) bool {
+	if s == nil || t == nil {
+		return s == t
+	}
+	if s.SinkParams != t.SinkParams || s.SinkDesc != t.SinkDesc || len(s.Results) != len(t.Results) {
+		return false
+	}
+	for i := range s.Results {
+		if s.Results[i] != t.Results[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sinkHit is one call site where taint reaches a sink.
+type sinkHit struct {
+	pos  token.Pos
+	mask uint64
+	desc string
+}
+
+// taintScan is one per-function analysis run.
+type taintScan struct {
+	prog    *Program
+	fi      *FuncInfo
+	params  []types.Object
+	bits    map[types.Object]uint64
+	mask    map[types.Object]uint64
+	sorted  map[types.Object]bool
+	mapRngs [][2]token.Pos // body spans of map-range statements
+	changed bool
+}
+
+// summarizeTaint recomputes fi's taint summary against the current
+// callee summaries and reports whether it changed.
+func summarizeTaint(p *Program, fi *FuncInfo) bool {
+	s := newTaintScan(p, fi)
+	s.propagate()
+	sum := s.summary()
+	if sum.equal(fi.Taint) {
+		return false
+	}
+	fi.Taint = sum
+	return true
+}
+
+// taintFindings runs the converged analysis once more and returns the
+// sink hits whose taint mask carries an intrinsic source — the actual
+// violations, reported by detflow.
+func taintFindings(p *Program, fi *FuncInfo) []sinkHit {
+	s := newTaintScan(p, fi)
+	s.propagate()
+	var out []sinkHit
+	for _, h := range s.sinkHits() {
+		if h.mask&taintSrcMask != 0 {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func newTaintScan(p *Program, fi *FuncInfo) *taintScan {
+	s := &taintScan{
+		prog:   p,
+		fi:     fi,
+		params: paramObjs(fi.Pkg, fi.Decl),
+		bits:   make(map[types.Object]uint64),
+		mask:   make(map[types.Object]uint64),
+		sorted: make(map[types.Object]bool),
+	}
+	for i, obj := range s.params {
+		if obj == nil || i >= maxTaintParams {
+			continue
+		}
+		s.bits[obj] = 1 << uint(i)
+		s.mask[obj] = 1 << uint(i)
+	}
+	s.prescan()
+	return s
+}
+
+// prescan records which objects are sorted somewhere in the function
+// (map-order cleansing) and the spans of map-range bodies (map-order
+// source detection).
+func (s *taintScan) prescan() {
+	info := s.fi.Pkg.Info
+	ast.Inspect(s.fi.Decl.Body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.CallExpr:
+			pkg := calleePkgPath(info, nn)
+			name := ""
+			if obj := calleeObj(info, nn); obj != nil {
+				name = obj.Name()
+			}
+			if pkg == "sort" || (pkg == "slices" && strings.HasPrefix(name, "Sort")) {
+				for _, a := range nn.Args {
+					if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+						if obj := s.objOf(id); obj != nil {
+							s.sorted[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(nn.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					s.mapRngs = append(s.mapRngs, [2]token.Pos{nn.Body.Pos(), nn.Body.End()})
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (s *taintScan) inMapRange(pos token.Pos) bool {
+	for _, r := range s.mapRngs {
+		if r[0] <= pos && pos <= r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *taintScan) objOf(id *ast.Ident) types.Object {
+	info := s.fi.Pkg.Info
+	var obj types.Object
+	if o := info.Defs[id]; o != nil {
+		obj = o
+	} else if o := info.Uses[id]; o != nil {
+		obj = o
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return nil
+	}
+	return obj
+}
+
+func (s *taintScan) add(obj types.Object, m uint64) {
+	if obj == nil || m == 0 {
+		return
+	}
+	if s.mask[obj]|m != s.mask[obj] {
+		s.mask[obj] |= m
+		s.changed = true
+	}
+}
+
+// propagate iterates the flow-insensitive transfer to a (bounded)
+// fixed point within the function.
+func (s *taintScan) propagate() {
+	for iter := 0; iter < 32; iter++ {
+		s.changed = false
+		ast.Inspect(s.fi.Decl.Body, s.visit)
+		if !s.changed {
+			return
+		}
+	}
+}
+
+func (s *taintScan) visit(n ast.Node) bool {
+	switch nn := n.(type) {
+	case *ast.AssignStmt:
+		s.assign(nn.Lhs, nn.Rhs)
+	case *ast.ValueSpec:
+		lhs := make([]ast.Expr, len(nn.Names))
+		for i, id := range nn.Names {
+			lhs[i] = id
+		}
+		s.assign(lhs, nn.Values)
+	case *ast.RangeStmt:
+		s.rangeAssign(nn)
+	case *ast.SelectStmt:
+		s.selectAssign(nn)
+	case *ast.CallExpr:
+		// copy(dst, src) moves taint between objects like an assignment.
+		if b, ok := calleeObj(s.fi.Pkg.Info, nn).(*types.Builtin); ok && b.Name() == "copy" && len(nn.Args) == 2 {
+			if id, ok := ast.Unparen(nn.Args[0]).(*ast.Ident); ok {
+				s.add(s.objOf(id), s.exprMask(nn.Args[1]))
+			}
+		}
+	}
+	return true
+}
+
+func (s *taintScan) assign(lhs, rhs []ast.Expr) {
+	if len(rhs) == 1 && len(lhs) > 1 {
+		masks := s.tupleMasks(rhs[0], len(lhs))
+		for i, l := range lhs {
+			s.taintLHS(l, masks[i], rhs[0])
+		}
+		return
+	}
+	for i, l := range lhs {
+		if i >= len(rhs) {
+			break
+		}
+		s.taintLHS(l, s.exprMask(rhs[i]), rhs[i])
+	}
+}
+
+// taintLHS applies one (possibly compound) assignment. Only identifier
+// targets are tracked: writes through fields, indices, or dereferences
+// drop taint by design (see the package comment on precision).
+func (s *taintScan) taintLHS(l ast.Expr, m uint64, rhs ast.Expr) {
+	// A slice accumulated by appending inside a map-range body captures
+	// iteration order: that is the map-order source.
+	if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+		if b, isB := calleeObj(s.fi.Pkg.Info, call).(*types.Builtin); isB && b.Name() == "append" && s.inMapRange(call.Pos()) {
+			m |= taintMap
+		}
+	}
+	id, ok := ast.Unparen(l).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := s.objOf(id)
+	if obj == nil {
+		return
+	}
+	if m&taintMap != 0 && s.sorted[obj] {
+		m &^= taintMap // sorted before use: order restored deterministically
+	}
+	s.add(obj, m)
+}
+
+// rangeAssign propagates taint from the ranged value into the
+// iteration variables. Ranging a map does NOT taint the key/value
+// variables themselves — each binding is a deterministic map entry;
+// only captured *order* (append accumulation, handled in taintLHS) is
+// nondeterministic. Direct emission inside a map range is maporder's
+// jurisdiction.
+func (s *taintScan) rangeAssign(rng *ast.RangeStmt) {
+	info := s.fi.Pkg.Info
+	t := info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); isMap {
+		return
+	}
+	m := s.exprMask(rng.X)
+	if m == 0 {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Pointer:
+		if rng.Value != nil {
+			s.taintLHS(rng.Value, m, rng.X)
+		}
+	case *types.Chan:
+		if rng.Key != nil {
+			s.taintLHS(rng.Key, m, rng.X)
+		}
+	}
+}
+
+// selectAssign marks values bound in a multi-way select: with two or
+// more communication cases the winner is scheduler-chosen, so which
+// channel produced the bound value is nondeterministic.
+func (s *taintScan) selectAssign(sel *ast.SelectStmt) {
+	comm := 0
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			comm++
+		}
+	}
+	if comm < 2 {
+		return
+	}
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		if as, ok := cc.Comm.(*ast.AssignStmt); ok {
+			for _, l := range as.Lhs {
+				s.taintLHS(l, taintSelect, nil)
+			}
+		}
+	}
+}
+
+// exprMask computes the taint mask of an expression.
+func (s *taintScan) exprMask(e ast.Expr) uint64 {
+	switch ee := e.(type) {
+	case nil:
+		return 0
+	case *ast.Ident:
+		if obj := s.objOf(ee); obj != nil {
+			return s.mask[obj]
+		}
+		return 0
+	case *ast.CallExpr:
+		var m uint64
+		for _, r := range s.callMasks(ee) {
+			m |= r
+		}
+		return m
+	case *ast.ParenExpr:
+		return s.exprMask(ee.X)
+	case *ast.SelectorExpr:
+		return s.exprMask(ee.X)
+	case *ast.StarExpr:
+		return s.exprMask(ee.X)
+	case *ast.UnaryExpr:
+		return s.exprMask(ee.X)
+	case *ast.BinaryExpr:
+		return s.exprMask(ee.X) | s.exprMask(ee.Y)
+	case *ast.IndexExpr:
+		return s.exprMask(ee.X) | s.exprMask(ee.Index)
+	case *ast.SliceExpr:
+		return s.exprMask(ee.X)
+	case *ast.TypeAssertExpr:
+		return s.exprMask(ee.X)
+	case *ast.KeyValueExpr:
+		return s.exprMask(ee.Value)
+	case *ast.CompositeLit:
+		var m uint64
+		for _, el := range ee.Elts {
+			m |= s.exprMask(el)
+		}
+		return m
+	}
+	return 0
+}
+
+// callMasks computes per-result taint masks for a call expression.
+func (s *taintScan) callMasks(call *ast.CallExpr) []uint64 {
+	info := s.fi.Pkg.Info
+	n := 1
+	if t := info.TypeOf(call); t != nil {
+		if tup, ok := t.(*types.Tuple); ok {
+			n = tup.Len()
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	res := make([]uint64, n)
+
+	unionArgs := func() uint64 {
+		var m uint64
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			m |= s.exprMask(sel.X) // method/bound receiver, or field chain
+		}
+		for _, a := range call.Args {
+			m |= s.exprMask(a)
+		}
+		return m
+	}
+	fill := func(m uint64) []uint64 {
+		for i := range res {
+			res[i] = m
+		}
+		return res
+	}
+
+	switch obj := calleeObj(info, call).(type) {
+	case *types.Builtin:
+		switch obj.Name() {
+		case "len", "cap", "make", "new", "close", "delete", "clear", "recover", "print", "println", "panic":
+			return res // structurally deterministic (or no result)
+		default: // append, min, max, complex, real, imag, abs, copy...
+			return fill(unionArgs())
+		}
+	case *types.TypeName:
+		// Conversion T(x): taint passes through.
+		return fill(unionArgs())
+	}
+
+	// Intrinsic wall-clock sources.
+	if s.pkgCall(call, "time", "Now", "Since") {
+		return fill(taintTime)
+	}
+	switch calleePkgPath(info, call) {
+	case "sort":
+		return res // sort.* results (e.g. sort.SearchInts) are order-deterministic
+	case "slices":
+		if obj := calleeObj(info, call); obj != nil && strings.HasPrefix(obj.Name(), "Sort") {
+			return res
+		}
+		return fill(unionArgs())
+	case "maps":
+		if obj := calleeObj(info, call); obj != nil && (obj.Name() == "Keys" || obj.Name() == "Values") {
+			return fill(taintMap | unionArgs())
+		}
+		return fill(unionArgs())
+	}
+
+	if fi := s.prog.callee(info, call); fi != nil && fi.Taint != nil {
+		for r := range res {
+			if r >= len(fi.Taint.Results) {
+				break
+			}
+			sum := fi.Taint.Results[r]
+			res[r] |= sum & taintSrcMask
+			for j := 0; j < maxTaintParams; j++ {
+				if sum&(1<<uint(j)) != 0 {
+					res[r] |= s.argMask(fi, call, j)
+				}
+			}
+		}
+		return res
+	}
+
+	// Unknown callee: conservatively propagate argument taint to every
+	// result; unknown code is never a source or a sink by itself.
+	return fill(unionArgs())
+}
+
+// argMask returns the caller-side taint mask of the argument bound to
+// callee parameter index j (in paramObjs index space: receiver first).
+func (s *taintScan) argMask(fi *FuncInfo, call *ast.CallExpr, j int) uint64 {
+	if hasRecv(fi.Decl) {
+		if j == 0 {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				return s.exprMask(sel.X)
+			}
+			return 0
+		}
+		j--
+	}
+	nParams := len(paramObjs(fi.Pkg, fi.Decl))
+	if hasRecv(fi.Decl) {
+		nParams--
+	}
+	if isVariadic(fi.Decl) && j >= nParams-1 {
+		var m uint64
+		for i := nParams - 1; i < len(call.Args); i++ {
+			m |= s.exprMask(call.Args[i])
+		}
+		return m
+	}
+	if j < len(call.Args) {
+		return s.exprMask(call.Args[j])
+	}
+	return 0
+}
+
+// tupleMasks computes per-binding masks for a 1-to-n assignment.
+func (s *taintScan) tupleMasks(rhs ast.Expr, n int) []uint64 {
+	masks := make([]uint64, n)
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		cm := s.callMasks(e)
+		for i := range masks {
+			if i < len(cm) {
+				masks[i] = cm[i]
+			}
+		}
+	case *ast.TypeAssertExpr, *ast.IndexExpr, *ast.UnaryExpr:
+		m := s.exprMask(rhs)
+		if n > 0 {
+			masks[0] = m // the ok/bool binding stays clean
+		}
+	}
+	return masks
+}
+
+// pkgCall reports whether call invokes pkgPath.<one of names>, using
+// type information with a syntactic fallback (mirrors Pass.pkgFuncCall
+// for use outside a Pass).
+func (s *taintScan) pkgCall(call *ast.CallExpr, pkgPath string, names ...string) bool {
+	return pkgFuncCallInfo(s.fi.Pkg.Info, call, pkgPath, names...)
+}
+
+// ---- sinks ----
+
+// emitSinkNames are method selectors that count as output emission for
+// the taint analysis; the set mirrors maporder's emission vocabulary.
+var emitSinkNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteRecord": true, "WriteAll": true, "Encode": true, "AddRow": true,
+}
+
+// sinkHits scans the (converged) function for determinism sinks and
+// returns one hit per call whose sink-relevant arguments carry taint.
+func (s *taintScan) sinkHits() []sinkHit {
+	info := s.fi.Pkg.Info
+	var hits []sinkHit
+	ast.Inspect(s.fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if h, ok := s.sinkOf(info, call); ok {
+			hits = append(hits, h)
+		}
+		return true
+	})
+	return hits
+}
+
+// sinkOf classifies one call as a determinism sink and computes the
+// taint mask of the values it would leak.
+func (s *taintScan) sinkOf(info *types.Info, call *ast.CallExpr) (sinkHit, bool) {
+	union := func(args []ast.Expr) uint64 {
+		var m uint64
+		for _, a := range args {
+			m |= s.exprMask(a)
+		}
+		return m
+	}
+
+	// 1. RNG seed surface: any call into internal/rng. Seeding or
+	// re-seeding from a nondeterministic value silently forks the
+	// campaign's random universe.
+	if pkg := calleePkgPath(info, call); strings.HasSuffix(pkg, "/internal/rng") {
+		if m := union(call.Args); m != 0 {
+			return sinkHit{pos: call.Pos(), mask: m, desc: "the internal/rng seed surface"}, true
+		}
+		return sinkHit{}, false
+	}
+
+	// 2. Emission: fmt.Fprint* to anything but the console streams
+	// (journals, CSVs, HTTP bodies, archives), http.Error, and
+	// writer/encoder-style methods.
+	if s.pkgCall(call, "fmt", "Fprint", "Fprintf", "Fprintln") && len(call.Args) > 0 && !isStdStream(call.Args[0]) {
+		if m := union(call.Args[1:]); m != 0 {
+			return sinkHit{pos: call.Pos(), mask: m, desc: "output emission (" + types.ExprString(call.Fun) + ")"}, true
+		}
+		return sinkHit{}, false
+	}
+	if s.pkgCall(call, "net/http", "Error") && len(call.Args) > 1 {
+		if m := s.exprMask(call.Args[1]); m != 0 {
+			return sinkHit{pos: call.Pos(), mask: m, desc: "HTTP error emission"}, true
+		}
+		return sinkHit{}, false
+	}
+	name := methodCallName(call)
+	if isSetStoreCall(info, call) && (name == "Append" || name == "AppendStore") {
+		if m := union(call.Args); m != 0 {
+			return sinkHit{pos: call.Pos(), mask: m, desc: "a SetStore merge (byte-identical-at-any-worker-count contract)"}, true
+		}
+		return sinkHit{}, false
+	}
+	if emitSinkNames[name] {
+		if m := union(call.Args); m != 0 {
+			return sinkHit{pos: call.Pos(), mask: m, desc: "output emission (" + types.ExprString(call.Fun) + ")"}, true
+		}
+		return sinkHit{}, false
+	}
+
+	// 3. Chained sink: the callee's summary says some parameter reaches
+	// a sink inside it.
+	if fi := s.prog.callee(info, call); fi != nil && fi.Taint != nil && fi.Taint.SinkParams != 0 {
+		var m uint64
+		for j := 0; j < maxTaintParams; j++ {
+			if fi.Taint.SinkParams&(1<<uint(j)) != 0 {
+				m |= s.argMask(fi, call, j)
+			}
+		}
+		if m != 0 {
+			return sinkHit{pos: call.Pos(), mask: m, desc: "via call to " + fi.name() + ", which reaches " + fi.Taint.SinkDesc}, true
+		}
+	}
+	return sinkHit{}, false
+}
+
+// isStdStream reports whether e is os.Stdout or os.Stderr: console
+// output is diagnostic, not a determinism artifact.
+func isStdStream(e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "os" && (sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr")
+}
+
+// summary assembles the function's TaintSummary from the converged
+// masks: result taint from return statements, sink-reaching params
+// from the sink scan.
+func (s *taintScan) summary() *TaintSummary {
+	sum := &TaintSummary{Results: make([]uint64, numResults(s.fi.Decl))}
+
+	// Named results participate like locals; bare returns use them.
+	var namedResults []types.Object
+	if res := s.fi.Decl.Type.Results; res != nil {
+		for _, f := range res.List {
+			for _, n := range f.Names {
+				namedResults = append(namedResults, s.fi.Pkg.Info.Defs[n])
+			}
+		}
+	}
+
+	ast.Inspect(s.fi.Decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		switch {
+		case len(ret.Results) == 0:
+			for i, obj := range namedResults {
+				if i < len(sum.Results) && obj != nil {
+					sum.Results[i] |= s.mask[obj]
+				}
+			}
+		case len(ret.Results) == 1 && len(sum.Results) > 1:
+			for i, m := range s.tupleMasks(ret.Results[0], len(sum.Results)) {
+				sum.Results[i] |= m
+			}
+		default:
+			for i, e := range ret.Results {
+				if i < len(sum.Results) {
+					sum.Results[i] |= s.exprMask(e)
+				}
+			}
+		}
+		return false
+	})
+
+	paramBits := uint64(0)
+	for i := range s.params {
+		if i < maxTaintParams {
+			paramBits |= 1 << uint(i)
+		}
+	}
+	for _, h := range s.sinkHits() {
+		if pb := h.mask & paramBits; pb != 0 {
+			sum.SinkParams |= pb
+			if sum.SinkDesc == "" {
+				sum.SinkDesc = h.desc
+			}
+		}
+	}
+	return sum
+}
+
+// DetFlow is the inter-procedural determinism-taint analyzer.
+var DetFlow = &Analyzer{
+	Name: "detflow",
+	Doc: "nondeterministic values (wall clock, map iteration order, select arrival order) must not " +
+		"reach RNG seeds, journal/CSV/HTTP emission, or SetStore merges — even through call chains",
+	NeedsProgram: true,
+	Run:          runDetFlow,
+}
+
+func runDetFlow(pass *Pass) {
+	if pass.Prog == nil || !detrandScoped(pass.ModRel) {
+		return
+	}
+	for _, fi := range pass.Prog.funcsIn(pass.PkgPath) {
+		for _, h := range taintFindings(pass.Prog, fi) {
+			pass.Reportf(h.pos, "value derived from %s reaches %s; a run is only reproducible if everything emitted or seeded derives from the campaign seed — sort map-collected keys, merge worker results in worker order, and thread seeds through internal/rng",
+				taintKinds(h.mask), h.desc)
+		}
+	}
+}

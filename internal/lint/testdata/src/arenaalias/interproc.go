@@ -1,0 +1,32 @@
+package fixture
+
+// These cases fail only with summary propagation: the view constructor
+// and the mutation are each two calls deep, so no single function body
+// shows both the Set and the Append.
+
+// head returns a view of st's arena (view constructor, depth 1).
+func head(st *SetStore) []int32 {
+	return st.Set(0)
+}
+
+// first wraps head: still a view of st, two calls deep.
+func first(st *SetStore) []int32 {
+	return head(st)
+}
+
+// fill mutates st inside a helper (mutator, depth 1).
+func fill(st *SetStore, vals []int32) {
+	st.Append(vals)
+}
+
+// grow wraps fill: the realloc risk is two calls deep.
+func grow(st *SetStore, n int) {
+	fill(st, make([]int32, n))
+}
+
+// Chain holds a chain-constructed view across a chain-hidden mutation.
+func Chain(st *SetStore) int32 {
+	v := first(st)
+	grow(st, 8)
+	return v[0] // want arenaalias "used after call to grow"
+}

@@ -1,0 +1,35 @@
+package fixture
+
+// Retake is the endorsed pattern: views are cheap, so re-take after
+// every mutation instead of holding one across it.
+func Retake(st *SetStore) int32 {
+	v := st.Set(0)
+	st.Append([]int32{9})
+	v = st.Set(0)
+	return v[0]
+}
+
+// CopyOut materializes the data before mutating: the copy does not
+// alias the arena.
+func CopyOut(st *SetStore) []int32 {
+	v := st.Set(0)
+	out := make([]int32, len(v))
+	copy(out, v)
+	st.Reset()
+	return out
+}
+
+// MutateThenView orders the operations correctly.
+func MutateThenView(st *SetStore) int32 {
+	st.Append([]int32{5})
+	v := st.Set(0)
+	return v[0]
+}
+
+// IndependentStores: mutating one store does not invalidate views of
+// another.
+func IndependentStores(a, b *SetStore) int32 {
+	v := a.Set(0)
+	b.Append([]int32{7})
+	return v[0]
+}

@@ -1,0 +1,10 @@
+package fixture
+
+// SuppressedStale documents a deliberate waiver: here the caller
+// guarantees capacity was pre-reserved, so Append cannot realloc.
+func SuppressedStale(st *SetStore) int32 {
+	v := st.Set(0)
+	st.Append([]int32{1})
+	//imlint:ignore arenaalias capacity pre-reserved by caller, Append cannot realloc here
+	return v[0]
+}

@@ -1,0 +1,41 @@
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// These cases fail only with summary propagation: intra-procedurally,
+// every function below looks innocent.
+
+var processEpoch = time.Unix(0, 0)
+
+// nowMs derives a value from the wall clock (source, depth 1).
+func nowMs() int64 {
+	return int64(time.Since(processEpoch) / time.Millisecond)
+}
+
+// header formats it (pure transfer, depth 2).
+func header(ms int64) string {
+	return fmt.Sprintf("t=%d", ms)
+}
+
+// WriteHeader emits at depth 3: the taint survives two intermediate
+// calls before reaching the sink.
+func WriteHeader(f *os.File) {
+	h := header(nowMs())
+	_, _ = fmt.Fprintln(f, h) // want detflow "wall clock"
+}
+
+// emit is a sink hidden inside a helper: its second parameter reaches
+// file emission.
+func emit(f *os.File, v int64) {
+	_, _ = fmt.Fprintf(f, "%d\n", v)
+}
+
+// RecordStamp reaches the hidden sink with a tainted argument: the
+// SinkParams summary carries the sink back to this call site.
+func RecordStamp(f *os.File) {
+	emit(f, nowMs()) // want detflow "via call to emit"
+}

@@ -1,0 +1,46 @@
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// SortedKeys is the endorsed cleanse: sorting restores a deterministic
+// order, so the map-order taint does not survive to the emission.
+func SortedKeys(m map[string]int, f *os.File) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	_, _ = fmt.Fprintln(f, keys)
+}
+
+// ConsoleElapsed prints a duration to stdout: console diagnostics are
+// best-effort human output, not a determinism artifact.
+func ConsoleElapsed(start time.Time) {
+	fmt.Printf("elapsed %v\n", time.Since(start))
+}
+
+// RecordedElapsed stores a measured duration into a result record
+// field. Measured wall time is data being reported, not a determinism
+// channel: field writes deliberately drop taint.
+type runRecord struct {
+	Label   string
+	Elapsed time.Duration
+}
+
+func RecordedElapsed(start time.Time, rec *runRecord) {
+	rec.Elapsed = time.Since(start)
+}
+
+// SingleRecv: a one-case select has no arrival race.
+func SingleRecv(a chan int, f *os.File) {
+	var v int
+	select {
+	case v = <-a:
+	}
+	_, _ = fmt.Fprintln(f, v)
+}

@@ -1,0 +1,47 @@
+// Package fixture exercises the detflow analyzer: nondeterministic
+// values (wall clock, map iteration order, select arrival order) must
+// not reach RNG seeds or output emission.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/rng"
+)
+
+// ClockToFile: a wall-clock value flows straight into file emission.
+func ClockToFile(f *os.File) {
+	stamp := time.Now()
+	_, _ = fmt.Fprintf(f, "run at %v\n", stamp) // want detflow "wall clock"
+}
+
+// ClockToSeed: an elapsed duration becomes an RNG seed, silently
+// forking the campaign's random universe.
+func ClockToSeed(epoch time.Time) *rng.Source {
+	d := time.Since(epoch)
+	return rng.New(uint64(d)) // want detflow "internal/rng seed surface"
+}
+
+// KeysUnsorted: a slice accumulated inside a map range captures
+// iteration order; emitting it unsorted makes output diff unstably.
+// (maporder stays silent here — nothing is emitted in the range body.)
+func KeysUnsorted(m map[string]int, f *os.File) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	_, _ = fmt.Fprintln(f, keys) // want detflow "map iteration order"
+}
+
+// MergeRace: a value bound in a two-way select depends on scheduler
+// arrival order; emitting it breaks replica determinism.
+func MergeRace(a, b chan int, f *os.File) {
+	var v int
+	select {
+	case v = <-a:
+	case v = <-b:
+	}
+	_, _ = fmt.Fprintln(f, v) // want detflow "select arrival order"
+}

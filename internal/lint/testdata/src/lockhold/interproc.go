@@ -1,0 +1,28 @@
+package fixture
+
+import (
+	"fmt"
+	"os"
+)
+
+// This case fails only with effect-summary propagation: the disk write
+// is two calls below the critical section.
+
+// persistTo hits the disk (effect source, depth 1).
+func persistTo(f *os.File, n int) {
+	_, _ = fmt.Fprintf(f, "%d\n", n)
+}
+
+// flush wraps persistTo (depth 2): nothing in this body looks like I/O.
+func flush(j *journal) {
+	persistTo(j.f, j.n)
+}
+
+// CheckpointLocked calls the wrapper while holding the mutex: the I/O
+// effect surfaces here only through the callee summaries.
+func (j *journal) CheckpointLocked() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.n++
+	flush(j) // want lockhold "call to flush"
+}

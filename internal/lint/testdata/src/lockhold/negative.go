@@ -1,0 +1,41 @@
+package fixture
+
+import (
+	"fmt"
+)
+
+// WriteSnapshot is the endorsed pattern: snapshot under the lock,
+// unlock, then do the slow work outside the critical section.
+func (j *journal) WriteSnapshot(line string) error {
+	j.mu.Lock()
+	n := j.n
+	j.n++
+	j.mu.Unlock()
+	_, err := fmt.Fprintf(j.f, "%d %s\n", n, line)
+	return err
+}
+
+// TryPublish uses a non-blocking send: the default case bounds the
+// wait, so holding the lock across it is fine.
+func (s *fanout) TryPublish(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.out <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// ReadCounter holds the lock only around in-memory state.
+func (j *journal) ReadCounter() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// UnlockedWrite never takes the lock at all.
+func (j *journal) UnlockedWrite(line string) {
+	_, _ = fmt.Fprintln(j.f, line)
+}

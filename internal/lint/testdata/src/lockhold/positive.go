@@ -1,0 +1,51 @@
+// Package fixture exercises the lockhold analyzer: no file I/O,
+// blocking channel operation, or HTTP work inside a critical section.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+	n  int
+}
+
+// WriteLocked performs file I/O while holding the mutex: one slow disk
+// write serializes every caller behind it.
+func (j *journal) WriteLocked(line string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.n++
+	_, _ = fmt.Fprintln(j.f, line) // want lockhold "file I/O"
+}
+
+type fanout struct {
+	mu  sync.Mutex
+	out chan int
+	buf []int
+}
+
+// PublishLocked sends on a channel under the lock: if the receiver is
+// slow, every other publisher blocks on the mutex.
+func (s *fanout) PublishLocked(v int) {
+	s.mu.Lock()
+	s.buf = append(s.buf, v)
+	s.out <- v // want lockhold "blocking channel operation"
+	s.mu.Unlock()
+}
+
+// SyncLocked syncs the file under an RWMutex write lock.
+type snapshotter struct {
+	mu sync.RWMutex
+	f  *os.File
+}
+
+func (s *snapshotter) SyncLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.f.Sync() // want lockhold "file I/O"
+}

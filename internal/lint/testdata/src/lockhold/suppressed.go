@@ -1,0 +1,13 @@
+package fixture
+
+import "fmt"
+
+// CheckpointSuppressed documents a deliberate waiver: this write must
+// be atomic with the counter update for crash consistency.
+func (j *journal) CheckpointSuppressed() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.n = 0
+	//imlint:ignore lockhold checkpoint write must be atomic with the counter reset
+	_, _ = fmt.Fprintln(j.f, "checkpoint")
+}

@@ -1,0 +1,40 @@
+// Package fixture exercises suppression-directive edge cases: multiple
+// directives affecting one line, a directive above a multi-line
+// statement, and a directive whose target reports on a different line
+// (stale). It is loaded by suppress_test.go, not by the corpus test.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/rng"
+)
+
+// DoubleWaiver: one line carries findings from two analyzers, waived
+// by two different directives — one above the line, one trailing it.
+func DoubleWaiver() *rng.Source {
+	//imlint:ignore detrand demo seed, not a benchmark artifact
+	return rng.New(uint64(time.Now().UnixNano())) //imlint:ignore detflow demo seed, not a benchmark artifact
+}
+
+// MultiLine: the finding anchors to the first line of a statement that
+// spans several, and the directive above that first line covers it.
+func MultiLine(f *os.File) {
+	//imlint:ignore detflow banner stamp on a multi-line call is waived at its first line
+	_, _ = fmt.Fprintf(
+		f,
+		"started %v\n",
+		time.Now(),
+	)
+}
+
+// WrongLine: the directive names a valid analyzer but sits two lines
+// above the finding, so it waives nothing — the finding must survive
+// and the directive must audit as stale.
+func WrongLine(f *os.File) {
+	//imlint:ignore detflow waiver is two lines above the finding and must not apply
+	x := 1
+	_, _ = fmt.Fprintf(f, "%v %d\n", time.Now(), x)
+}

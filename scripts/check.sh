@@ -20,6 +20,9 @@ go vet ./...
 echo "==> imlint ./..."
 go run ./cmd/imlint ./...
 
+echo "==> imlint -suppressions ./..."
+go run ./cmd/imlint -suppressions ./...
+
 echo "==> go build ./..."
 go build ./...
 
@@ -32,8 +35,9 @@ sh scripts/smoke_serve.sh
 # One iteration of the RR-sampling, spread-evaluation and snapshot
 # round-trip benchmarks: catches bit-rot in the parallel batch engines'
 # and the persistence codec's bench harnesses without paying real bench
-# time.
+# time. Discovery spans every package (./...) so a future per-package
+# benchmark matching the pattern cannot silently rot outside the gate.
 echo "==> bench smoke (RR sampling + spread evaluation + persistence)"
-go test -benchtime=1x -run=NONE -bench='BenchmarkRR|BenchmarkSpreadEvalBatch|BenchmarkPersist' .
+go test -benchtime=1x -run=NONE -bench='BenchmarkRR|BenchmarkSpreadEvalBatch|BenchmarkPersist' ./...
 
 echo "==> all checks passed"
