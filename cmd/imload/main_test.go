@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/sigdata/goinfmax/internal/loadgen"
+)
+
+// loadArgs is a fast in-process configuration: tiny graph, short
+// phases, a ramp ceiling the small server passes at (so every leg has a
+// knee), legs covering both serving modes.
+func loadArgs(out string, extra ...string) []string {
+	args := []string{
+		"-dataset", "nethept", "-scale", "1000000", // 64-node floor
+		"-mode", "search", "-slo", "250", "-maxfailfrac", "0.05",
+		"-qpsmin", "50", "-qpsmax", "200", "-brackets", "1",
+		"-phase", "100ms", "-warmup", "20ms",
+		"-legs", "ready,degraded",
+		"-seed", "7", "-digestn", "500",
+		"-out", out,
+	}
+	return append(args, extra...)
+}
+
+func readReport(t *testing.T, path string) loadgen.Report {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	return rep
+}
+
+// TestInProcessReportShape runs the full in-process path and checks the
+// BENCH_load.json contract: one leg per requested mode, each with a
+// saturation-search result carrying a knee phase.
+func TestInProcessReportShape(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "load.json")
+	if err := run(context.Background(), loadArgs(out)); err != nil {
+		t.Fatal(err)
+	}
+	rep := readReport(t, out)
+	if len(rep.Legs) != 2 || rep.Legs[0].Mode != "ready" || rep.Legs[1].Mode != "degraded" {
+		t.Fatalf("legs = %+v, want [ready degraded]", rep.Legs)
+	}
+	for _, leg := range rep.Legs {
+		if leg.Search == nil {
+			t.Fatalf("leg %s has no search result", leg.Mode)
+		}
+		if leg.Search.Knee == nil {
+			t.Fatalf("leg %s found no knee (phases: %+v)", leg.Mode, leg.Search.Phases)
+		}
+		if leg.Search.Knee.Requests == 0 || leg.Search.Knee.P99MS <= 0 {
+			t.Fatalf("leg %s knee phase empty: %+v", leg.Mode, leg.Search.Knee)
+		}
+	}
+	if rep.WorkloadDigest == "" || rep.DigestN != 500 {
+		t.Fatalf("digest missing: %q n=%d", rep.WorkloadDigest, rep.DigestN)
+	}
+}
+
+// TestDigestStableAcrossWorkers is the CLI half of the acceptance
+// criterion: the same -seed must report the same workload digest no
+// matter the worker count (the stream is a pure function of the seed,
+// not of scheduling).
+func TestDigestStableAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	digests := make(map[string]bool)
+	for _, workers := range []string{"1", "8"} {
+		out := filepath.Join(dir, "load-"+workers+".json")
+		args := loadArgs(out, "-workers", workers,
+			// One cheap fixed leg: this test is about the digest, not the knee.
+			"-mode", "fixed", "-discipline", "closed", "-duration", "100ms", "-legs", "ready")
+		if err := run(context.Background(), args); err != nil {
+			t.Fatal(err)
+		}
+		digests[readReport(t, out).WorkloadDigest] = true
+	}
+	if len(digests) != 1 {
+		t.Fatalf("worker count changed the workload digest: %v", digests)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad mode":       {"-mode", "sideways"},
+		"bad discipline": {"-mode", "fixed", "-discipline", "diagonal"},
+		"bad leg":        {"-legs", "zombie", "-mode", "fixed"},
+		"bad model":      {"-model", "XY"},
+		"bad workload":   {"-spreadfrac", "1.5"},
+	} {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("%s: run accepted %v", name, args)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package loadgen
+
+import (
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/metrics"
+)
+
+// LoadBuckets is the latency bucket ladder for load phases: the
+// serving LatencyBuckets extended down to 20µs so the in-process
+// fast-429 path (tens of microseconds) resolves below the 1ms SLO line
+// instead of disappearing into the first bucket.
+func LoadBuckets() []float64 {
+	return []float64{
+		0.02, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+		1000, 2500, 5000, 10000,
+	}
+}
+
+// collector accumulates one worker's observations. It is owned by a
+// single goroutine during the phase — no locks — and merged after the
+// workers join, which is what Histogram.Merge exists for.
+type collector struct {
+	lat    *metrics.Histogram // all completed requests, ms
+	lat429 *metrics.Histogram // fast-reject (429) requests only, ms
+
+	requests  int64
+	ok        int64
+	s429      int64
+	s503      int64
+	s4xx      int64
+	s5xx      int64
+	transport int64
+	degraded  int64
+	backoffNS int64 // closed-loop time spent sleeping on Retry-After
+}
+
+func newCollector(bounds []float64) *collector {
+	return &collector{
+		lat:    metrics.NewHistogram(bounds),
+		lat429: metrics.NewHistogram(bounds),
+	}
+}
+
+// observe records one completed request.
+func (c *collector) observe(out Outcome, latency time.Duration) {
+	ms := float64(latency.Nanoseconds()) / 1e6
+	c.lat.Observe(ms)
+	c.requests++
+	switch {
+	case out.Err != nil:
+		c.transport++
+	case out.Status == 429:
+		c.s429++
+		c.lat429.Observe(ms)
+	case out.Status == 503:
+		c.s503++
+	case out.Status >= 500:
+		c.s5xx++
+	case out.Status >= 400:
+		c.s4xx++
+	default:
+		c.ok++
+		if out.Degraded {
+			c.degraded++
+		}
+	}
+}
+
+// merge folds other into c (post-join aggregation).
+func (c *collector) merge(other *collector) {
+	c.lat.Merge(other.lat)
+	c.lat429.Merge(other.lat429)
+	c.requests += other.requests
+	c.ok += other.ok
+	c.s429 += other.s429
+	c.s503 += other.s503
+	c.s4xx += other.s4xx
+	c.s5xx += other.s5xx
+	c.transport += other.transport
+	c.degraded += other.degraded
+	c.backoffNS += other.backoffNS
+}
+
+// PhaseStats is the aggregate of one driven phase, JSON-shaped for the
+// BENCH_load.json report. Latencies are milliseconds; open-loop phases
+// measure from each request's intended start (coordinated-omission
+// free), closed-loop phases from its actual issue time.
+type PhaseStats struct {
+	Label      string  `json:"label,omitempty"`
+	Discipline string  `json:"discipline"`
+	OfferedQPS float64 `json:"offered_qps,omitempty"` // open loop only
+	Workers    int     `json:"workers"`
+	DurationMS float64 `json:"duration_ms"`
+
+	Requests    int64   `json:"requests"`
+	OK          int64   `json:"ok"`
+	Status429   int64   `json:"status_429"`
+	Status503   int64   `json:"status_503"`
+	Status4xx   int64   `json:"status_4xx"`
+	Status5xx   int64   `json:"status_5xx"`
+	Transport   int64   `json:"transport_errors"`
+	Degraded    int64   `json:"degraded_responses"`
+	AchievedQPS float64 `json:"achieved_qps"`
+
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	MaxMS  float64 `json:"max_ms"`
+
+	// P99Reject429MS is the p99 of 429 responses alone: the fast-reject
+	// promise (absent when the phase saw no 429).
+	P99Reject429MS float64 `json:"p99_reject_429_ms,omitempty"`
+	// BackoffMS is closed-loop worker time spent honoring Retry-After.
+	BackoffMS float64 `json:"backoff_ms,omitempty"`
+}
+
+// stats renders the merged collector into PhaseStats.
+func (c *collector) stats(discipline string, offeredQPS float64, workers int, elapsed time.Duration) PhaseStats {
+	ps := PhaseStats{
+		Discipline: discipline,
+		OfferedQPS: offeredQPS,
+		Workers:    workers,
+		DurationMS: float64(elapsed.Nanoseconds()) / 1e6,
+		Requests:   c.requests,
+		OK:         c.ok,
+		Status429:  c.s429,
+		Status503:  c.s503,
+		Status4xx:  c.s4xx,
+		Status5xx:  c.s5xx,
+		Transport:  c.transport,
+		Degraded:   c.degraded,
+		MeanMS:     c.lat.Mean(),
+		P50MS:      c.lat.Quantile(0.50),
+		P95MS:      c.lat.Quantile(0.95),
+		P99MS:      c.lat.Quantile(0.99),
+		P999MS:     c.lat.Quantile(0.999),
+		MaxMS:      c.lat.Max(),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		ps.AchievedQPS = float64(c.requests) / secs
+	}
+	if c.s429 > 0 {
+		ps.P99Reject429MS = c.lat429.Quantile(0.99)
+	}
+	if c.backoffNS > 0 {
+		ps.BackoffMS = float64(c.backoffNS) / 1e6
+	}
+	return ps
+}
+
+// FailFrac is the fraction of requests that did not get a 2xx answer;
+// the saturation search treats a phase above MaxFailFrac as over the
+// knee even when the surviving requests' p99 looks healthy.
+func (ps PhaseStats) FailFrac() float64 {
+	if ps.Requests == 0 {
+		return 0
+	}
+	return float64(ps.Requests-ps.OK) / float64(ps.Requests)
+}

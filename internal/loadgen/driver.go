@@ -1,0 +1,309 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sigdata/goinfmax/internal/rng"
+)
+
+// arrivalDomain separates the Poisson arrival schedule's RNG stream
+// from the request-content streams rooted at the same seed.
+const arrivalDomain = 0xa55e55ed10ad
+
+// Driver runs workload phases against a target under one of the two
+// disciplines. The zero value is not usable; set Target and Workload,
+// everything else defaults.
+type Driver struct {
+	Target   Target
+	Workload Workload
+	// Workers bounds concurrency: the worker-pool size in closed loop,
+	// the max outstanding requests in open loop (default 4×GOMAXPROCS).
+	// The request stream is index-claimed, so the stream content is
+	// identical for any value.
+	Workers int
+	// Timeout is the per-request context deadline (default 10s). A
+	// timed-out request records its full elapsed latency as a transport
+	// error — dropping it would be coordinated omission by another name.
+	Timeout time.Duration
+	// BaseBackoff seeds the closed-loop 429 backoff when the server sent
+	// no Retry-After (default 2ms); it doubles per consecutive 429.
+	BaseBackoff time.Duration
+	// MaxBackoff caps every closed-loop backoff sleep, including a
+	// server-requested Retry-After (default 250ms) — "honor the server,
+	// but bounded" so one header cannot park the generator.
+	MaxBackoff time.Duration
+	// Buckets is the latency histogram ladder (default LoadBuckets).
+	Buckets []float64
+}
+
+func (d *Driver) workers() int {
+	if d.Workers > 0 {
+		return d.Workers
+	}
+	return 4 * runtime.GOMAXPROCS(0)
+}
+
+func (d *Driver) timeout() time.Duration {
+	if d.Timeout > 0 {
+		return d.Timeout
+	}
+	return 10 * time.Second
+}
+
+func (d *Driver) baseBackoff() time.Duration {
+	if d.BaseBackoff > 0 {
+		return d.BaseBackoff
+	}
+	return 2 * time.Millisecond
+}
+
+func (d *Driver) maxBackoff() time.Duration {
+	if d.MaxBackoff > 0 {
+		return d.MaxBackoff
+	}
+	return 250 * time.Millisecond
+}
+
+func (d *Driver) buckets() []float64 {
+	if d.Buckets != nil {
+		return d.Buckets
+	}
+	return LoadBuckets()
+}
+
+func (d *Driver) validate() error {
+	if d.Target == nil {
+		return errors.New("loadgen: Driver.Target is required")
+	}
+	return d.Workload.Validate()
+}
+
+// panicBox collects the first worker panic so the phase can surface it
+// as an error instead of killing the process (the gosupervise
+// contract applied to load workers).
+type panicBox struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (b *panicBox) note(p interface{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err == nil {
+		b.err = fmt.Errorf("loadgen: worker panicked: %v", p)
+	}
+}
+
+func (b *panicBox) first() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+// RunOpen drives an open-loop phase: requests arrive on a Poisson
+// schedule at qps for the given duration, with latency measured from
+// each request's intended (scheduled) start time. When the server or
+// the worker pool falls behind, requests start late and the queueing
+// delay lands in the recorded tail — coordinated omission cannot hide
+// it. The phase issues every scheduled request even if that overruns
+// duration; AchievedQPS below the offered rate is itself a saturation
+// signal.
+//
+// Cancellation stops the phase early and returns the partial stats
+// alongside ctx's error.
+func (d *Driver) RunOpen(ctx context.Context, qps float64, duration time.Duration) (PhaseStats, error) {
+	if err := d.validate(); err != nil {
+		return PhaseStats{}, err
+	}
+	if qps <= 0 || duration <= 0 {
+		return PhaseStats{}, fmt.Errorf("loadgen: open loop needs qps > 0 and duration > 0 (got %v, %v)", qps, duration)
+	}
+	n := int64(qps * duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	// The whole arrival schedule is fixed before the first request: a
+	// Poisson process thinned from one deterministic stream, so the same
+	// seed offers the same instants no matter how the run goes.
+	arrivals := make([]time.Duration, n)
+	ar := rng.New(d.Workload.Seed ^ arrivalDomain)
+	var at float64 // seconds
+	for i := range arrivals {
+		at += ar.Exp(qps)
+		arrivals[i] = time.Duration(at * float64(time.Second))
+	}
+
+	workers := d.workers()
+	cols := make([]*collector, workers)
+	var next atomic.Int64
+	var box panicBox
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		col := newCollector(d.buckets())
+		cols[w] = col
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					box.note(p)
+				}
+			}()
+			d.openWorker(ctx, col, arrivals, &next, start)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	merged := newCollector(d.buckets())
+	for _, col := range cols {
+		merged.merge(col)
+	}
+	ps := merged.stats("open", qps, workers, elapsed)
+	if err := box.first(); err != nil {
+		return ps, err
+	}
+	return ps, ctx.Err()
+}
+
+// openWorker claims schedule slots and issues them at their intended
+// instants.
+func (d *Driver) openWorker(ctx context.Context, col *collector, arrivals []time.Duration, next *atomic.Int64, start time.Time) {
+	timeout := d.timeout()
+	for {
+		if ctx.Err() != nil {
+			return // budget poll: stop claiming new slots on cancellation
+		}
+		i := next.Add(1) - 1
+		if i >= int64(len(arrivals)) {
+			return
+		}
+		intended := start.Add(arrivals[i])
+		if wait := time.Until(intended); wait > 0 {
+			if !sleepCtx(ctx, wait) {
+				return
+			}
+		}
+		req := d.Workload.Request(uint64(i))
+		rctx, cancel := context.WithTimeout(ctx, timeout)
+		out := d.Target.Do(rctx, req)
+		cancel()
+		col.observe(out, time.Since(intended))
+	}
+}
+
+// RunClosed drives a closed-loop phase: Workers workers issue requests
+// back to back for duration, honoring Retry-After on 429 with a capped
+// deterministic exponential backoff. Latency is measured from the
+// actual issue time (service latency, not a tail claim — see the
+// package comment).
+func (d *Driver) RunClosed(ctx context.Context, duration time.Duration) (PhaseStats, error) {
+	if err := d.validate(); err != nil {
+		return PhaseStats{}, err
+	}
+	if duration <= 0 {
+		return PhaseStats{}, fmt.Errorf("loadgen: closed loop needs duration > 0 (got %v)", duration)
+	}
+	workers := d.workers()
+	cols := make([]*collector, workers)
+	var next atomic.Int64
+	var box panicBox
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(duration)
+	for w := 0; w < workers; w++ {
+		col := newCollector(d.buckets())
+		cols[w] = col
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					box.note(p)
+				}
+			}()
+			d.closedWorker(ctx, col, &next, deadline)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	merged := newCollector(d.buckets())
+	for _, col := range cols {
+		merged.merge(col)
+	}
+	ps := merged.stats("closed", 0, workers, elapsed)
+	if err := box.first(); err != nil {
+		return ps, err
+	}
+	return ps, ctx.Err()
+}
+
+// closedWorker issues stream requests until the deadline, backing off
+// on 429. A rejected request is not replayed — the stream moves on and
+// the backoff spaces the next attempt — so the claimed index sequence
+// stays contiguous for the digest contract.
+func (d *Driver) closedWorker(ctx context.Context, col *collector, next *atomic.Int64, deadline time.Time) {
+	timeout := d.timeout()
+	base, maxBackoff := d.baseBackoff(), d.maxBackoff()
+	consecutive := 0
+	for {
+		if ctx.Err() != nil {
+			return // budget poll
+		}
+		if !time.Now().Before(deadline) {
+			return
+		}
+		i := next.Add(1) - 1
+		req := d.Workload.Request(uint64(i))
+		issued := time.Now()
+		rctx, cancel := context.WithTimeout(ctx, timeout)
+		out := d.Target.Do(rctx, req)
+		cancel()
+		col.observe(out, time.Since(issued))
+
+		if out.Err == nil && out.Status == 429 {
+			backoff := out.RetryAfter
+			if backoff <= 0 {
+				backoff = base << uint(consecutive)
+			}
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			if consecutive < 16 {
+				consecutive++
+			}
+			if until := time.Until(deadline); backoff > until {
+				backoff = until
+			}
+			if backoff > 0 {
+				col.backoffNS += backoff.Nanoseconds()
+				if !sleepCtx(ctx, backoff) {
+					return
+				}
+			}
+		} else {
+			consecutive = 0
+		}
+	}
+}
+
+// sleepCtx sleeps for dur unless ctx is cancelled first; it reports
+// whether the full sleep completed.
+func sleepCtx(ctx context.Context, dur time.Duration) bool {
+	t := time.NewTimer(dur)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,232 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeTarget simulates a server with capacity slots and a fixed service
+// time: a request that cannot claim a slot is rejected 429 with the
+// configured Retry-After, mirroring imserve's admission gate.
+type fakeTarget struct {
+	service    time.Duration
+	slots      chan struct{} // nil = unlimited
+	retryAfter time.Duration
+	panicOnce  atomic.Bool // panic on the first request when armed
+	calls      atomic.Int64
+}
+
+func (f *fakeTarget) Do(ctx context.Context, req Request) Outcome {
+	f.calls.Add(1)
+	if f.panicOnce.CompareAndSwap(true, false) {
+		panic("injected target panic")
+	}
+	if f.slots != nil {
+		select {
+		case f.slots <- struct{}{}:
+			defer func() { <-f.slots }()
+		default:
+			return Outcome{Status: 429, RetryAfter: f.retryAfter}
+		}
+	}
+	if f.service > 0 {
+		t := time.NewTimer(f.service)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return Outcome{Err: ctx.Err()}
+		}
+	}
+	return Outcome{Status: 200}
+}
+
+func testDriver(t *fakeTarget) *Driver {
+	return &Driver{Target: t, Workload: testWorkload(42), Workers: 8, Timeout: time.Second}
+}
+
+// TestOpenLoopExposesQueueing is the coordinated-omission check: one
+// worker against a 2ms service at an offered rate demanding ~4
+// outstanding requests. A closed-loop client would report ~2ms
+// latencies (it only sends when free); the open-loop driver must charge
+// the growing backlog to the tail because latency is measured from each
+// request's intended start.
+func TestOpenLoopExposesQueueing(t *testing.T) {
+	target := &fakeTarget{service: 2 * time.Millisecond}
+	d := testDriver(target)
+	d.Workers = 1
+	ps, err := d.RunOpen(context.Background(), 2000, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Requests == 0 || ps.OK != ps.Requests {
+		t.Fatalf("stats: %+v", ps)
+	}
+	// Offered 2000 qps, capacity ~500 qps: the backlog at phase end is
+	// ~100ms+. p99 must be far above the 2ms service time.
+	if ps.P99MS < 20 {
+		t.Fatalf("open-loop p99 %.2fms does not expose queueing (service 2ms)", ps.P99MS)
+	}
+	if ps.AchievedQPS > 1000 {
+		t.Fatalf("achieved %.0f qps exceeds single-worker capacity", ps.AchievedQPS)
+	}
+	if ps.Discipline != "open" || ps.OfferedQPS != 2000 {
+		t.Fatalf("phase labeling: %+v", ps)
+	}
+}
+
+// TestClosedLoopMeasuresServiceTime: same target, closed discipline —
+// latency is service latency, a sanity baseline for the CO contrast.
+func TestClosedLoopMeasuresServiceTime(t *testing.T) {
+	target := &fakeTarget{service: 2 * time.Millisecond}
+	d := testDriver(target)
+	d.Workers = 2
+	ps, err := d.RunClosed(context.Background(), 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Requests == 0 || ps.OK != ps.Requests {
+		t.Fatalf("stats: %+v", ps)
+	}
+	if ps.P99MS > 20 {
+		t.Fatalf("closed-loop p99 %.2fms way above the 2ms service time", ps.P99MS)
+	}
+	if ps.Discipline != "closed" {
+		t.Fatalf("discipline = %q", ps.Discipline)
+	}
+}
+
+// TestClosedLoopHonorsRetryAfterCapped: a target that always rejects
+// with Retry-After: 1s. The driver must back off (no hammering) but cap
+// the server's request at MaxBackoff so one header cannot park the
+// generator.
+func TestClosedLoopHonorsRetryAfterCapped(t *testing.T) {
+	target := &fakeTarget{slots: make(chan struct{}), retryAfter: time.Second} // capacity 0: every request 429s
+	d := testDriver(target)
+	d.Workers = 2
+	d.MaxBackoff = 5 * time.Millisecond
+	ps, err := d.RunClosed(context.Background(), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Status429 != ps.Requests || ps.Requests == 0 {
+		t.Fatalf("expected all-429: %+v", ps)
+	}
+	// 2 workers × (100ms / 5ms cap) ≈ 40 requests. Without backoff this
+	// in-process loop would issue hundreds of thousands; without the cap
+	// (sleeping the full 1s) each worker would issue exactly 1.
+	if ps.Requests < 6 {
+		t.Fatalf("%d requests: backoff overshot the 5ms cap (Retry-After 1s not capped?)", ps.Requests)
+	}
+	if ps.Requests > 2000 {
+		t.Fatalf("%d requests in 100ms: Retry-After not honored", ps.Requests)
+	}
+	if ps.BackoffMS <= 0 {
+		t.Fatalf("BackoffMS not recorded: %+v", ps)
+	}
+}
+
+// TestClosedLoopOverloadConvergesNoLeak drives sustained overload at a
+// capacity-4 target and requires (a) a stable, nonzero 429 ratio across
+// two consecutive phases and (b) no goroutine leak after the phases
+// join.
+func TestClosedLoopOverloadConvergesNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	target := &fakeTarget{service: time.Millisecond, slots: make(chan struct{}, 4)}
+	d := testDriver(target)
+	d.Workers = 16
+	d.BaseBackoff = 200 * time.Microsecond
+	d.MaxBackoff = time.Millisecond
+
+	var ratios [2]float64
+	for i := range ratios {
+		ps, err := d.RunClosed(context.Background(), 150*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ps.Requests == 0 || ps.Status429 == 0 || ps.OK == 0 {
+			t.Fatalf("phase %d did not mix OK and 429 under overload: %+v", i, ps)
+		}
+		ratios[i] = float64(ps.Status429) / float64(ps.Requests)
+	}
+	// 16 workers on 4 slots: most requests reject; the ratio must be
+	// substantial and reproducible across phases (loose bound — this is
+	// wall-clock scheduling, not a deterministic quantity).
+	for i, r := range ratios {
+		if r < 0.2 || r > 0.999 {
+			t.Fatalf("phase %d 429 ratio %.3f outside (0.2, 0.999)", i, r)
+		}
+	}
+	if diff := ratios[0] - ratios[1]; diff < -0.35 || diff > 0.35 {
+		t.Fatalf("429 ratio did not converge: %.3f vs %.3f", ratios[0], ratios[1])
+	}
+
+	// Leak check: every worker goroutine must have joined.
+	var after int
+	for i := 0; i < 100; i++ {
+		after = runtime.NumGoroutine()
+		if after <= before {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestDriverSupervisesWorkerPanic: a panicking target must surface as a
+// phase error, not kill the process.
+func TestDriverSupervisesWorkerPanic(t *testing.T) {
+	target := &fakeTarget{}
+	target.panicOnce.Store(true)
+	d := testDriver(target)
+	_, err := d.RunOpen(context.Background(), 500, 50*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("worker panic not surfaced: err=%v", err)
+	}
+	// The stream keeps flowing on the surviving workers.
+	if target.calls.Load() < 2 {
+		t.Fatalf("only %d calls after panic: surviving workers stalled", target.calls.Load())
+	}
+}
+
+// TestDriverCancellation: a cancelled context stops the phase promptly
+// and surfaces the cancellation.
+func TestDriverCancellation(t *testing.T) {
+	target := &fakeTarget{service: time.Millisecond}
+	d := testDriver(target)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		defer func() { _ = recover() }()
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := d.RunOpen(ctx, 100, 10*time.Second)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+func TestDriverValidates(t *testing.T) {
+	d := &Driver{} // no target, no workload
+	if _, err := d.RunOpen(context.Background(), 100, time.Second); err == nil {
+		t.Fatal("RunOpen accepted a zero driver")
+	}
+	d = testDriver(&fakeTarget{})
+	if _, err := d.RunOpen(context.Background(), 0, time.Second); err == nil {
+		t.Fatal("RunOpen accepted qps=0")
+	}
+	if _, err := d.RunClosed(context.Background(), 0); err == nil {
+		t.Fatal("RunClosed accepted duration=0")
+	}
+}

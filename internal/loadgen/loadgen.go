@@ -1,0 +1,153 @@
+// Package loadgen is the serving layer's measurement instrument: a
+// deterministic, coordinated-omission-free load generator for imserve.
+//
+// The source paper's core lesson is that performance claims only hold
+// up under controlled, apples-to-apples measurement; its refutation
+// (arXiv:1705.05144) shows how easily protocol choices skew
+// conclusions. This package applies that rigor to the serving layer,
+// where the classic protocol mistake is *coordinated omission*: a
+// closed-loop client that waits for each response before sending the
+// next request slows its own arrival rate exactly when the server
+// stalls, so the latency samples it records systematically exclude the
+// queueing delay real users would have seen. loadgen offers both
+// disciplines, honestly labeled:
+//
+//   - Open loop (RunOpen): requests arrive on a Poisson schedule fixed
+//     before the run starts, and every latency is measured from the
+//     request's *intended* start time — if the server (or a saturated
+//     worker pool) falls behind, the backlog shows up in the recorded
+//     tail instead of silently stretching the schedule.
+//   - Closed loop (RunClosed): N workers issue requests back to back,
+//     honoring Retry-After on 429 with capped exponential backoff.
+//     This measures server-paced service latency and is the right
+//     discipline for convergence questions (does sustained overload
+//     settle into a stable reject ratio?), not for tail claims.
+//
+// Determinism contract: the request stream is a pure function of the
+// Workload — request i is generated from an O(1)-indexed RNG stream
+// derived from (seed, i), never from which worker issues it, so the
+// same seed reproduces a byte-identical stream at any concurrency
+// (Workload.Digest pins it). Latencies are wall-clock measurements and
+// are reported as data; nothing measured ever feeds back into request
+// generation.
+//
+// The saturation search (Driver.SaturationSearch) ramps offered QPS
+// until the p99 exceeds a stated SLO, then bisects the bracket to find
+// the knee: the highest offered rate the server sustains within SLO.
+// BENCH_load.json is this report, one leg per oracle mode.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"time"
+)
+
+// Request is one generated query: an endpoint path and a JSON body.
+// Bodies are built byte-by-byte (no map marshaling), so equal workload
+// indices yield equal bytes — the digest contract depends on it.
+type Request struct {
+	Path string
+	Body []byte
+}
+
+// Outcome is the result of issuing one Request.
+type Outcome struct {
+	// Status is the HTTP status code, or 0 when the transport failed.
+	Status int
+	// RetryAfter is the parsed Retry-After header on a 429 (0 if absent).
+	RetryAfter time.Duration
+	// Degraded reports whether the response body was stamped
+	// degraded:true (the lifecycle fallback oracle answered).
+	Degraded bool
+	// Err is the transport error, nil for any HTTP response.
+	Err error
+}
+
+// Target issues requests against a server. Implementations must be safe
+// for concurrent use by many driver workers.
+type Target interface {
+	Do(ctx context.Context, req Request) Outcome
+}
+
+// degradedStamp is the body marker the serve layer puts on fallback
+// answers; sniffing bytes avoids a JSON decode per response.
+var degradedStamp = []byte(`"degraded":true`)
+
+// HTTPTarget drives an external server over real sockets.
+type HTTPTarget struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// Client is the HTTP client; NewHTTPTarget installs one tuned for
+	// high connection reuse.
+	Client *http.Client
+}
+
+// NewHTTPTarget returns a target for the server rooted at base, with a
+// transport sized so connection churn does not pollute the latency
+// measurement at high worker counts.
+func NewHTTPTarget(base string) *HTTPTarget {
+	tr := &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 512,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	return &HTTPTarget{Base: base, Client: &http.Client{Transport: tr}}
+}
+
+// Do implements Target.
+func (t *HTTPTarget) Do(ctx context.Context, req Request) Outcome {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, t.Base+req.Path, bytes.NewReader(req.Body))
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close() // read-only handle; the read result already decided the outcome
+	if err != nil {
+		return Outcome{Status: resp.StatusCode, Err: err}
+	}
+	return outcomeOf(resp.StatusCode, resp.Header.Get("Retry-After"), body)
+}
+
+// HandlerTarget drives an http.Handler in-process, bypassing sockets:
+// the CI-deterministic mode, and the only honest way to measure the
+// sub-millisecond fast-429 path without kernel noise.
+type HandlerTarget struct {
+	H http.Handler
+}
+
+// Do implements Target.
+func (t *HandlerTarget) Do(ctx context.Context, req Request) Outcome {
+	hreq := httptest.NewRequest(http.MethodPost, req.Path, bytes.NewReader(req.Body)).WithContext(ctx)
+	hreq.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	t.H.ServeHTTP(rec, hreq)
+	return outcomeOf(rec.Code, rec.Header().Get("Retry-After"), rec.Body.Bytes())
+}
+
+// outcomeOf classifies one HTTP response.
+func outcomeOf(status int, retryAfter string, body []byte) Outcome {
+	out := Outcome{Status: status}
+	if status == http.StatusTooManyRequests && retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+			out.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	if bytes.Contains(body, degradedStamp) {
+		out.Degraded = true
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// SearchConfig parameterizes a saturation search. The search is
+// open-loop by construction: a closed-loop generator's arrival rate is
+// a function of server latency, so "offered QPS" is not a free variable
+// there and a knee found that way understates queueing.
+type SearchConfig struct {
+	// SLOP99MS is the latency objective: a phase passes when its p99 (ms,
+	// measured from intended start) is at or under this.
+	SLOP99MS float64 `json:"slo_p99_ms"`
+	// MaxFailFrac fails a phase whose non-2xx fraction exceeds it
+	// (default 0.01): a server shedding half its load with a great p99 on
+	// the survivors is not "within SLO".
+	MaxFailFrac float64 `json:"max_fail_frac"`
+	// MinQPS is the first offered rate (default 50).
+	MinQPS float64 `json:"min_qps"`
+	// MaxQPS stops the ramp (default 1e6): reaching it without failing a
+	// phase reports the knee as unbracketed.
+	MaxQPS float64 `json:"max_qps"`
+	// RampFactor multiplies the offered rate between ramp phases
+	// (default 2; must be > 1).
+	RampFactor float64 `json:"ramp_factor"`
+	// Brackets is the number of bisection refinements after the ramp
+	// brackets the knee (default 3).
+	Brackets int `json:"brackets"`
+	// PhaseDuration is the measured length of each phase (default 2s).
+	PhaseDuration time.Duration `json:"-"`
+	// Warmup runs each offered rate unmeasured for this long before its
+	// measured phase, so cache fill and connection establishment are not
+	// billed to the latency distribution (default PhaseDuration/4).
+	Warmup time.Duration `json:"-"`
+
+	// PhaseDurationMS/WarmupMS mirror the durations into the JSON report.
+	PhaseDurationMS float64 `json:"phase_duration_ms"`
+	WarmupMS        float64 `json:"warmup_ms"`
+}
+
+func (c SearchConfig) withDefaults() SearchConfig {
+	if c.MaxFailFrac == 0 {
+		c.MaxFailFrac = 0.01
+	}
+	if c.MinQPS <= 0 {
+		c.MinQPS = 50
+	}
+	if c.MaxQPS <= 0 {
+		c.MaxQPS = 1e6
+	}
+	if c.RampFactor <= 1 {
+		c.RampFactor = 2
+	}
+	if c.Brackets == 0 {
+		c.Brackets = 3
+	}
+	if c.PhaseDuration <= 0 {
+		c.PhaseDuration = 2 * time.Second
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = c.PhaseDuration / 4
+	}
+	c.PhaseDurationMS = float64(c.PhaseDuration.Nanoseconds()) / 1e6
+	c.WarmupMS = float64(c.Warmup.Nanoseconds()) / 1e6
+	return c
+}
+
+// SearchResult is one saturation search: every measured phase in run
+// order, and the knee — the highest offered rate whose phase stayed
+// within SLO. Knee is nil when even MinQPS failed; Bracketed is false
+// when the ramp hit MaxQPS without ever failing (the knee is a lower
+// bound, not a crossing).
+type SearchResult struct {
+	Config    SearchConfig `json:"config"`
+	Phases    []PhaseStats `json:"phases"`
+	Knee      *PhaseStats  `json:"knee"`
+	FirstOver *PhaseStats  `json:"first_over,omitempty"`
+	Bracketed bool         `json:"bracketed"`
+}
+
+// SaturationSearch locates the server's latency knee: it ramps offered
+// QPS geometrically until a phase exceeds the SLO (p99 or fail
+// fraction), then bisects the [last-good, first-bad] bracket Brackets
+// times. Each phase runs Warmup unmeasured, then PhaseDuration
+// measured.
+func (d *Driver) SaturationSearch(ctx context.Context, cfg SearchConfig) (SearchResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SLOP99MS <= 0 {
+		return SearchResult{}, fmt.Errorf("loadgen: saturation search needs SLOP99MS > 0 (got %v)", cfg.SLOP99MS)
+	}
+	res := SearchResult{Config: cfg}
+
+	pass := func(ps PhaseStats) bool {
+		return ps.P99MS <= cfg.SLOP99MS && ps.FailFrac() <= cfg.MaxFailFrac
+	}
+	runPhase := func(label string, qps float64) (PhaseStats, error) {
+		if cfg.Warmup > 0 {
+			if _, err := d.RunOpen(ctx, qps, cfg.Warmup); err != nil {
+				return PhaseStats{}, err
+			}
+		}
+		ps, err := d.RunOpen(ctx, qps, cfg.PhaseDuration)
+		ps.Label = label
+		res.Phases = append(res.Phases, ps)
+		return ps, err
+	}
+
+	// Ramp: geometric climb until a phase fails or MaxQPS is reached.
+	var knee, firstOver *PhaseStats
+	qps := cfg.MinQPS
+	for {
+		ps, err := runPhase("ramp", qps)
+		if err != nil {
+			return res, err
+		}
+		if !pass(ps) {
+			p := ps
+			firstOver = &p
+			break
+		}
+		p := ps
+		knee = &p
+		if qps >= cfg.MaxQPS {
+			break
+		}
+		qps *= cfg.RampFactor
+		if qps > cfg.MaxQPS {
+			qps = cfg.MaxQPS
+		}
+	}
+
+	// Bisect the bracket. Without a failure (or without a single pass)
+	// there is nothing to bisect.
+	if knee != nil && firstOver != nil {
+		lo, hi := knee.OfferedQPS, firstOver.OfferedQPS
+		for i := 0; i < cfg.Brackets; i++ {
+			mid := (lo + hi) / 2
+			if mid <= lo || mid >= hi {
+				break
+			}
+			ps, err := runPhase("bracket", mid)
+			if err != nil {
+				return res, err
+			}
+			if pass(ps) {
+				p := ps
+				knee = &p
+				lo = mid
+			} else {
+				p := ps
+				firstOver = &p
+				hi = mid
+			}
+		}
+	}
+
+	res.Knee = knee
+	res.FirstOver = firstOver
+	res.Bracketed = knee != nil && firstOver != nil
+	return res, nil
+}
+
+// Report is the top-level BENCH_load.json document: the workload
+// contract (knobs + stream digest), then one leg per serving mode.
+type Report struct {
+	Suite   string `json:"suite"`
+	Date    string `json:"date,omitempty"`
+	Command string `json:"command,omitempty"`
+	Target  string `json:"target"`
+
+	Workload Workload `json:"workload"`
+	// WorkloadDigest fingerprints the first DigestN requests of the
+	// stream (Workload.Digest): equal digests ⇒ byte-identical streams.
+	WorkloadDigest string `json:"workload_digest"`
+	DigestN        uint64 `json:"digest_n"`
+
+	Legs []Leg `json:"legs"`
+}
+
+// Leg is one serving mode's measurement: a saturation search and/or a
+// fixed-rate phase (the transition leg records a fixed phase whose
+// degraded_responses count profiles the degraded→ready swap mid-load).
+type Leg struct {
+	Mode   string        `json:"mode"` // "ready", "degraded", "transition", ...
+	Search *SearchResult `json:"search,omitempty"`
+	Fixed  *PhaseStats   `json:"fixed,omitempty"`
+}

@@ -1,0 +1,133 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSaturationSearchBracketsKnee runs the search against a simulated
+// server whose capacity is the driver's own 8 workers over a 2ms
+// service time, ≈4000 qps: below the knee the open-loop p99 sits at
+// the service time, above it the backlog blows through the 10ms SLO
+// within one phase because latency is charged from each request's
+// intended start. The search must bracket the knee between those
+// regimes. (No admission gate here on purpose — an instant-reject
+// target turns single stray 429s in short phases into fail-frac
+// flakes; the latency knee is the deterministic signal.)
+func TestSaturationSearchBracketsKnee(t *testing.T) {
+	target := &fakeTarget{service: 2 * time.Millisecond}
+	d := testDriver(target)
+	res, err := d.SaturationSearch(context.Background(), SearchConfig{
+		SLOP99MS:      10,
+		MinQPS:        250,
+		MaxQPS:        64000,
+		RampFactor:    2,
+		Brackets:      2,
+		PhaseDuration: 150 * time.Millisecond,
+		Warmup:        30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Bracketed || res.Knee == nil || res.FirstOver == nil {
+		t.Fatalf("search did not bracket: %+v", res)
+	}
+	if res.Knee.P99MS > 10 {
+		t.Fatalf("knee phase p99 %.2fms violates the 10ms SLO", res.Knee.P99MS)
+	}
+	if res.FirstOver.P99MS <= 10 && res.FirstOver.FailFrac() <= res.Config.MaxFailFrac {
+		t.Fatalf("first-over phase passes the SLO: %+v", res.FirstOver)
+	}
+	if res.Knee.OfferedQPS >= res.FirstOver.OfferedQPS {
+		t.Fatalf("bracket inverted: knee %.0f >= first-over %.0f",
+			res.Knee.OfferedQPS, res.FirstOver.OfferedQPS)
+	}
+	// The capacity is ~4000 qps; with wall-clock noise the knee must
+	// still land between the floor and the hard ceiling.
+	if res.Knee.OfferedQPS < 250 || res.Knee.OfferedQPS > 32000 {
+		t.Fatalf("knee %.0f qps implausible for a ~4000 qps target", res.Knee.OfferedQPS)
+	}
+	if len(res.Phases) < 3 {
+		t.Fatalf("only %d phases measured", len(res.Phases))
+	}
+}
+
+// TestSaturationSearchUnbracketed: a server that never violates the SLO
+// reports the MaxQPS phase as an unbracketed knee (lower bound), not a
+// failure.
+func TestSaturationSearchUnbracketed(t *testing.T) {
+	target := &fakeTarget{} // instant 200s, unlimited capacity
+	d := testDriver(target)
+	res, err := d.SaturationSearch(context.Background(), SearchConfig{
+		SLOP99MS:      1000,
+		MinQPS:        100,
+		MaxQPS:        400,
+		RampFactor:    2,
+		PhaseDuration: 40 * time.Millisecond,
+		Warmup:        10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bracketed || res.Knee == nil || res.FirstOver != nil {
+		t.Fatalf("expected unbracketed pass-through: %+v", res)
+	}
+	if res.Knee.OfferedQPS != 400 {
+		t.Fatalf("unbracketed knee at %.0f, want MaxQPS 400", res.Knee.OfferedQPS)
+	}
+}
+
+// TestSaturationSearchImmediateOverload: when even MinQPS fails, the
+// knee is nil and FirstOver records the failing floor.
+func TestSaturationSearchImmediateOverload(t *testing.T) {
+	target := &fakeTarget{service: 50 * time.Millisecond}
+	d := testDriver(target)
+	d.Workers = 1
+	res, err := d.SaturationSearch(context.Background(), SearchConfig{
+		SLOP99MS:      1, // unmeetable: service alone is 50ms
+		MinQPS:        200,
+		MaxQPS:        400,
+		PhaseDuration: 60 * time.Millisecond,
+		Warmup:        time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Knee != nil || res.FirstOver == nil || res.Bracketed {
+		t.Fatalf("expected immediate overload shape: %+v", res)
+	}
+}
+
+func TestSearchConfigValidation(t *testing.T) {
+	d := testDriver(&fakeTarget{})
+	if _, err := d.SaturationSearch(context.Background(), SearchConfig{}); err == nil {
+		t.Fatal("search accepted SLOP99MS=0")
+	}
+}
+
+// TestReportJSONShape pins the report field names the smoke script and
+// CI grep for: knee, p99_ms, workload_digest, legs/mode.
+func TestReportJSONShape(t *testing.T) {
+	w := testWorkload(42)
+	knee := PhaseStats{Discipline: "open", OfferedQPS: 100, P99MS: 3.5}
+	rep := Report{
+		Suite:          "test",
+		Target:         "in-process",
+		Workload:       w,
+		WorkloadDigest: "0123456789abcdef",
+		DigestN:        1000,
+		Legs:           []Leg{{Mode: "ready", Search: &SearchResult{Knee: &knee, Bracketed: true}}},
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"knee"`, `"p99_ms"`, `"workload_digest"`, `"mode":"ready"`, `"bracketed":true`} {
+		if !strings.Contains(string(data), field) {
+			t.Fatalf("report JSON missing %s: %s", field, data)
+		}
+	}
+}

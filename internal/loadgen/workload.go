@@ -1,0 +1,181 @@
+package loadgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+
+	"github.com/sigdata/goinfmax/internal/rng"
+)
+
+// Workload is the deterministic request-stream specification. Request i
+// is a pure function of (Workload, i): the generator derives an
+// independent O(1)-indexed RNG stream per index — the RRSampler idiom —
+// so the stream is byte-identical no matter how many workers consume it
+// or in what order they claim indices.
+//
+// The cache-hit knob works by construction, not by measurement: with
+// probability HotFrac a request is redrawn from a fixed pool of HotPool
+// distinct requests, so after warmup the server's canonical-request LRU
+// converges to roughly HotFrac cache hits regardless of rate.
+type Workload struct {
+	// Seed roots every per-index stream; same Seed ⇒ same stream.
+	Seed uint64 `json:"seed"`
+	// Nodes is the served graph's node count: seed IDs are drawn from
+	// [0, Nodes). Required.
+	Nodes int32 `json:"nodes"`
+	// SpreadFrac is the fraction of /v1/spread requests; the rest are
+	// /v1/seeds (default 0.7).
+	SpreadFrac float64 `json:"spread_frac"`
+	// SetMin..SetMax bounds the spread seed-set size (default 1..10).
+	SetMin int `json:"set_min"`
+	SetMax int `json:"set_max"`
+	// KMin..KMax bounds the /v1/seeds k (default 1..20).
+	KMin int `json:"k_min"`
+	KMax int `json:"k_max"`
+	// HotFrac is the probability a request is drawn from the hot pool
+	// (the cache-hit knob; default 0.5). Zero disables the pool.
+	HotFrac float64 `json:"hot_frac"`
+	// HotPool is the number of distinct hot requests (default 64).
+	HotPool int `json:"hot_pool"`
+	// EvalSims, when > 0, asks spread requests for MC refinement.
+	EvalSims int `json:"eval_sims,omitempty"`
+	// BudgetMS, when > 0, attaches a per-request budget_ms.
+	BudgetMS int64 `json:"budget_ms,omitempty"`
+}
+
+// hotDomain separates the hot pool's RNG universe from the per-index
+// one, so pool entry j never collides with stream index j.
+const hotDomain = 0x9e3779b97f4a7c15
+
+// WithDefaults fills unset knobs with the documented defaults.
+func (w Workload) WithDefaults() Workload {
+	if w.SpreadFrac == 0 {
+		w.SpreadFrac = 0.7
+	}
+	if w.SetMin == 0 {
+		w.SetMin = 1
+	}
+	if w.SetMax == 0 {
+		w.SetMax = 10
+	}
+	if w.KMin == 0 {
+		w.KMin = 1
+	}
+	if w.KMax == 0 {
+		w.KMax = 20
+	}
+	if w.HotFrac == 0 {
+		w.HotFrac = 0.5
+	}
+	if w.HotPool == 0 {
+		w.HotPool = 64
+	}
+	return w
+}
+
+// Validate reports the first nonsensical knob.
+func (w Workload) Validate() error {
+	switch {
+	case w.Nodes <= 0:
+		return fmt.Errorf("loadgen: workload needs Nodes > 0 (got %d)", w.Nodes)
+	case w.SpreadFrac < 0 || w.SpreadFrac > 1:
+		return fmt.Errorf("loadgen: SpreadFrac %v outside [0,1]", w.SpreadFrac)
+	case w.HotFrac < 0 || w.HotFrac > 1:
+		return fmt.Errorf("loadgen: HotFrac %v outside [0,1]", w.HotFrac)
+	case w.SetMin < 1 || w.SetMax < w.SetMin:
+		return fmt.Errorf("loadgen: seed-set size range [%d,%d] invalid", w.SetMin, w.SetMax)
+	case w.KMin < 1 || w.KMax < w.KMin:
+		return fmt.Errorf("loadgen: k range [%d,%d] invalid", w.KMin, w.KMax)
+	case w.HotFrac > 0 && w.HotPool < 1:
+		return fmt.Errorf("loadgen: HotFrac %v needs HotPool >= 1 (got %d)", w.HotFrac, w.HotPool)
+	case w.EvalSims < 0:
+		return fmt.Errorf("loadgen: EvalSims %d negative", w.EvalSims)
+	case w.BudgetMS < 0:
+		return fmt.Errorf("loadgen: BudgetMS %d negative", w.BudgetMS)
+	}
+	return nil
+}
+
+// Request generates the i-th request of the stream.
+func (w Workload) Request(i uint64) Request {
+	r := rng.New(w.Seed + i*hotDomain)
+	if w.HotFrac > 0 && r.Float64() < w.HotFrac {
+		j := uint64(r.Intn(w.HotPool))
+		return w.generate(rng.New((w.Seed ^ hotDomain) + j*hotDomain))
+	}
+	return w.generate(r)
+}
+
+// generate builds one request from an RNG stream. Bodies are appended
+// byte-by-byte in fixed field order; nothing here may consult a map or
+// the clock.
+func (w Workload) generate(r *rng.Source) Request {
+	if r.Float64() < w.SpreadFrac {
+		size := w.SetMin + r.Intn(w.SetMax-w.SetMin+1)
+		seeds := make([]int32, 0, size)
+		for len(seeds) < size {
+			v := r.Int31n(w.Nodes)
+			dup := false
+			for _, s := range seeds {
+				if s == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				seeds = append(seeds, v)
+			}
+			if int(w.Nodes) <= len(seeds) {
+				break // degenerate graph smaller than the requested set
+			}
+		}
+		body := make([]byte, 0, 24+8*len(seeds))
+		body = append(body, `{"seeds":[`...)
+		for i, s := range seeds {
+			if i > 0 {
+				body = append(body, ',')
+			}
+			body = strconv.AppendInt(body, int64(s), 10)
+		}
+		body = append(body, ']')
+		if w.EvalSims > 0 {
+			body = append(body, `,"evalsims":`...)
+			body = strconv.AppendInt(body, int64(w.EvalSims), 10)
+		}
+		body = w.appendBudget(body)
+		body = append(body, '}')
+		return Request{Path: "/v1/spread", Body: body}
+	}
+	k := w.KMin + r.Intn(w.KMax-w.KMin+1)
+	body := make([]byte, 0, 32)
+	body = append(body, `{"k":`...)
+	body = strconv.AppendInt(body, int64(k), 10)
+	body = w.appendBudget(body)
+	body = append(body, '}')
+	return Request{Path: "/v1/seeds", Body: body}
+}
+
+func (w Workload) appendBudget(body []byte) []byte {
+	if w.BudgetMS > 0 {
+		body = append(body, `,"budget_ms":`...)
+		body = strconv.AppendInt(body, w.BudgetMS, 10)
+	}
+	return body
+}
+
+// Digest fingerprints the first n requests of the stream: FNV-1a over
+// each request's path and body in index order. Two configurations with
+// equal digests issue byte-identical streams; the imload report records
+// it so reproducibility is checkable across runs and worker counts.
+func (w Workload) Digest(n uint64) uint64 {
+	h := fnv.New64a()
+	for i := uint64(0); i < n; i++ {
+		req := w.Request(i)
+		_, _ = h.Write([]byte(req.Path))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write(req.Body)
+		_, _ = h.Write([]byte{0})
+	}
+	return h.Sum64()
+}

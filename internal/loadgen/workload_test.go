@@ -1,0 +1,153 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func testWorkload(seed uint64) Workload {
+	return Workload{Seed: seed, Nodes: 1000}.WithDefaults()
+}
+
+// TestWorkloadStreamPure: Request(i) must be a pure function of
+// (workload, i) — equal on repeated calls, and equal no matter how many
+// concurrent consumers claim the indices. This is the acceptance
+// criterion "same -seed reproduces a byte-identical request stream at
+// any worker count".
+func TestWorkloadStreamPure(t *testing.T) {
+	w := testWorkload(42)
+	const n = 2000
+	sequential := make([]Request, n)
+	for i := range sequential {
+		sequential[i] = w.Request(uint64(i))
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got := make([]Request, n)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { _ = recover() }()
+				for {
+					i := next.Add(1) - 1
+					if i >= n {
+						return
+					}
+					got[i] = w.Request(uint64(i))
+				}
+			}()
+		}
+		wg.Wait()
+		for i := range got {
+			if got[i].Path != sequential[i].Path || !bytes.Equal(got[i].Body, sequential[i].Body) {
+				t.Fatalf("workers=%d: request %d differs: %s %s vs %s %s",
+					workers, i, got[i].Path, got[i].Body, sequential[i].Path, sequential[i].Body)
+			}
+		}
+	}
+}
+
+func TestWorkloadDigest(t *testing.T) {
+	a, b := testWorkload(42), testWorkload(42)
+	if a.Digest(500) != b.Digest(500) {
+		t.Fatal("same seed produced different digests")
+	}
+	c := testWorkload(43)
+	if a.Digest(500) == c.Digest(500) {
+		t.Fatal("different seeds produced the same digest")
+	}
+	if a.Digest(500) == a.Digest(501) {
+		t.Fatal("digest ignored the request count")
+	}
+}
+
+// TestWorkloadShape decodes every generated body and checks the knobs
+// actually steer the mix: endpoint fractions, value ranges, and hot-pool
+// repeats (the cache-hit mechanism).
+func TestWorkloadShape(t *testing.T) {
+	w := Workload{Seed: 7, Nodes: 100, SpreadFrac: 0.7, SetMin: 2, SetMax: 5,
+		KMin: 3, KMax: 9, HotFrac: 0.5, HotPool: 8}
+	const n = 4000
+	spread := 0
+	distinct := make(map[string]int)
+	for i := 0; i < n; i++ {
+		req := w.Request(uint64(i))
+		distinct[req.Path+string(req.Body)]++
+		var decoded map[string]interface{}
+		if err := json.Unmarshal(req.Body, &decoded); err != nil {
+			t.Fatalf("request %d body is not JSON: %s (%v)", i, req.Body, err)
+		}
+		switch req.Path {
+		case "/v1/spread":
+			spread++
+			seeds := decoded["seeds"].([]interface{})
+			if len(seeds) < 2 || len(seeds) > 5 {
+				t.Fatalf("seed-set size %d outside [2,5]", len(seeds))
+			}
+			for _, s := range seeds {
+				if v := s.(float64); v < 0 || v >= 100 {
+					t.Fatalf("seed %v outside [0,100)", v)
+				}
+			}
+		case "/v1/seeds":
+			k := decoded["k"].(float64)
+			if k < 3 || k > 9 {
+				t.Fatalf("k %v outside [3,9]", k)
+			}
+		default:
+			t.Fatalf("unexpected path %s", req.Path)
+		}
+	}
+	if frac := float64(spread) / n; frac < 0.6 || frac > 0.8 {
+		t.Fatalf("spread fraction %.3f far from 0.7", frac)
+	}
+	// With a hot pool of 8 at 50%, roughly half the stream is repeats of
+	// at most 8 bodies, so the distinct count must be way below n.
+	if len(distinct) > n*3/4 {
+		t.Fatalf("distinct requests %d of %d: hot pool not repeating", len(distinct), n)
+	}
+	hot := 0
+	for _, count := range distinct {
+		if count > 10 {
+			hot += count
+		}
+	}
+	if frac := float64(hot) / n; frac < 0.3 || frac > 0.7 {
+		t.Fatalf("hot-pool mass %.3f far from HotFrac 0.5", frac)
+	}
+}
+
+func TestWorkloadKnobsInBody(t *testing.T) {
+	w := Workload{Seed: 1, Nodes: 50, SpreadFrac: 1, SetMin: 1, SetMax: 3,
+		KMin: 1, KMax: 1, HotFrac: 0, HotPool: 1, EvalSims: 100, BudgetMS: 250}
+	req := w.Request(0)
+	if req.Path != "/v1/spread" {
+		t.Fatalf("SpreadFrac=1 produced %s", req.Path)
+	}
+	if !bytes.Contains(req.Body, []byte(`"evalsims":100`)) || !bytes.Contains(req.Body, []byte(`"budget_ms":250`)) {
+		t.Fatalf("knobs missing from body: %s", req.Body)
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	valid := testWorkload(1)
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+	for name, w := range map[string]Workload{
+		"no nodes":      {Seed: 1},
+		"bad frac":      {Seed: 1, Nodes: 10, SpreadFrac: 1.5, SetMin: 1, SetMax: 2, KMin: 1, KMax: 2, HotFrac: 0.5, HotPool: 4},
+		"bad set range": {Seed: 1, Nodes: 10, SpreadFrac: 0.5, SetMin: 5, SetMax: 2, KMin: 1, KMax: 2, HotFrac: 0.5, HotPool: 4},
+		"bad k range":   {Seed: 1, Nodes: 10, SpreadFrac: 0.5, SetMin: 1, SetMax: 2, KMin: 0, KMax: 2, HotFrac: 0.5, HotPool: 4},
+		"hot no pool":   {Seed: 1, Nodes: 10, SpreadFrac: 0.5, SetMin: 1, SetMax: 2, KMin: 1, KMax: 2, HotFrac: 0.5, HotPool: 0},
+	} {
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, w)
+		}
+	}
+}

@@ -132,6 +132,53 @@ func (h *Histogram) Quantile(p float64) float64 {
 	return h.max
 }
 
+// Merge folds other into h. Both histograms must have been built over
+// identical bucket bounds — per-worker histograms cloned from one
+// template, the loadgen aggregation pattern — or Merge panics; there is
+// no meaningful way to combine counts binned against different ladders.
+// Merging is commutative and associative up to float64 summation order,
+// and the merged Quantile is computed over the union of observations:
+// the merged min/max clamp is exact, so per-worker tail samples survive
+// aggregation instead of being lost to each worker's local clamp.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if len(h.bounds) != len(other.bounds) {
+		panic("metrics: cannot merge histograms with different bucket bounds")
+	}
+	for i, b := range h.bounds {
+		if other.bounds[i] != b {
+			panic("metrics: cannot merge histograms with different bucket bounds")
+		}
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if h.n == 0 || other.max > h.max {
+		h.max = other.max
+	}
+	h.n += other.n
+	h.sum += other.sum
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+}
+
+// Clone returns an independent copy of h, sharing only the immutable
+// bounds. A driver
+// clones one template histogram per worker so the per-worker copies are
+// guaranteed Merge-compatible.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{
+		bounds: h.bounds, // immutable after NewHistogram
+		counts: make([]int64, len(h.counts)),
+		n:      h.n, sum: h.sum, min: h.min, max: h.max,
+	}
+	copy(c.counts, h.counts)
+	return c
+}
+
 // Buckets invokes fn for each bucket in ascending order with its upper
 // bound (math.Inf(1) for the catch-all) and count, for renderers.
 func (h *Histogram) Buckets(fn func(upper float64, count int64)) {

@@ -143,3 +143,131 @@ func TestLatencyBucketsAscending(t *testing.T) {
 		t.Fatalf("LatencyBuckets range too narrow: %v", b)
 	}
 }
+
+// mergeAll folds hs into a fresh histogram left to right.
+func mergeAll(bounds []float64, hs ...*Histogram) *Histogram {
+	out := NewHistogram(bounds)
+	for _, h := range hs {
+		out.Merge(h)
+	}
+	return out
+}
+
+func TestHistogramMergeEqualsSingleStream(t *testing.T) {
+	// Partitioning one observation stream across workers and merging must
+	// reproduce the single-histogram aggregate exactly: same counts, same
+	// moments, same quantiles.
+	bounds := LatencyBuckets()
+	whole := NewHistogram(bounds)
+	parts := []*Histogram{NewHistogram(bounds), NewHistogram(bounds), NewHistogram(bounds)}
+	for i := 0; i < 1000; i++ {
+		x := float64(i%977)*0.37 + 0.05
+		whole.Observe(x)
+		parts[i%3].Observe(x)
+	}
+	merged := mergeAll(bounds, parts...)
+	// Sum is exact up to float64 summation order; everything else exactly.
+	sumDiff := math.Abs(merged.Sum()-whole.Sum()) / whole.Sum()
+	if merged.N() != whole.N() || sumDiff > 1e-12 ||
+		merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merged moments differ: n=%d/%d sum=%v/%v min=%v/%v max=%v/%v",
+			merged.N(), whole.N(), merged.Sum(), whole.Sum(),
+			merged.Min(), whole.Min(), merged.Max(), whole.Max())
+	}
+	for _, p := range []float64{0, 0.5, 0.95, 0.99, 0.999, 1} {
+		if got, want := merged.Quantile(p), whole.Quantile(p); got != want {
+			t.Fatalf("Quantile(%v) = %v after merge, want %v", p, got, want)
+		}
+	}
+}
+
+func TestHistogramMergeAssociative(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	obs := [][]float64{{0.5, 2}, {3, 50, 50}, {200}}
+	build := func(xs []float64) *Histogram {
+		h := NewHistogram(bounds)
+		for _, x := range xs {
+			h.Observe(x)
+		}
+		return h
+	}
+	// (a ⊕ b) ⊕ c  vs  a ⊕ (b ⊕ c)
+	left := mergeAll(bounds, build(obs[0]), build(obs[1]))
+	left.Merge(build(obs[2]))
+	rightTail := mergeAll(bounds, build(obs[1]), build(obs[2]))
+	right := build(obs[0])
+	right.Merge(rightTail)
+	if left.N() != right.N() || left.Sum() != right.Sum() ||
+		left.Min() != right.Min() || left.Max() != right.Max() {
+		t.Fatalf("merge not associative: n=%d/%d sum=%v/%v", left.N(), right.N(), left.Sum(), right.Sum())
+	}
+	for _, p := range []float64{0.25, 0.5, 0.75, 0.99} {
+		if left.Quantile(p) != right.Quantile(p) {
+			t.Fatalf("Quantile(%v) differs across association: %v vs %v",
+				p, left.Quantile(p), right.Quantile(p))
+		}
+	}
+}
+
+func TestHistogramMergeEmptyAndNil(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	h.Observe(5)
+	h.Merge(nil)
+	h.Merge(NewHistogram([]float64{1, 10}))
+	if h.N() != 1 || h.Min() != 5 || h.Max() != 5 {
+		t.Fatalf("merge with empty/nil perturbed state: n=%d min=%v max=%v", h.N(), h.Min(), h.Max())
+	}
+	// Merging INTO an empty histogram must adopt the other's min/max, not
+	// keep the zero-value clamp.
+	empty := NewHistogram([]float64{1, 10})
+	empty.Merge(h)
+	if empty.Min() != 5 || empty.Max() != 5 || empty.N() != 1 {
+		t.Fatalf("empty.Merge(h): n=%d min=%v max=%v, want 1/5/5", empty.N(), empty.Min(), empty.Max())
+	}
+}
+
+func TestHistogramMergeRejectsDifferentBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge accepted histograms with different bounds")
+		}
+	}()
+	a := NewHistogram([]float64{1, 10})
+	b := NewHistogram([]float64{1, 20})
+	b.Observe(5)
+	a.Merge(b)
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	// Quantile must be non-decreasing in p, including across merged
+	// histograms with disjoint ranges.
+	bounds := LatencyBuckets()
+	a, b := NewHistogram(bounds), NewHistogram(bounds)
+	for i := 0; i < 200; i++ {
+		a.Observe(0.2 + float64(i)*0.01) // 0.2 .. 2.2
+		b.Observe(50 + float64(i)*3)     // 50 .. 650
+	}
+	a.Merge(b)
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0; p += 0.001 {
+		q := a.Quantile(p)
+		if q < prev {
+			t.Fatalf("Quantile not monotone: Quantile(%v) = %v < %v", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestHistogramClone(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	h.Observe(5)
+	c := h.Clone()
+	c.Observe(0.5)
+	if h.N() != 1 || c.N() != 2 {
+		t.Fatalf("clone not independent: h.n=%d c.n=%d", h.N(), c.N())
+	}
+	h.Merge(c) // clones must stay merge-compatible
+	if h.N() != 3 {
+		t.Fatalf("merge after clone: n=%d, want 3", h.N())
+	}
+}

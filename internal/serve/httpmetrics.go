@@ -100,12 +100,23 @@ func (m *serverMetrics) render(w io.Writer, oracle OracleStats, lc lifecycleStat
 	}
 	sort.Strings(names)
 	req := metrics.NewTable("requests",
-		"route", "count", "2xx", "4xx", "5xx", "mean_ms", "p50_ms", "p95_ms", "max_ms")
+		"route", "count", "2xx", "4xx", "5xx", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms")
+	all := &routeStats{latency: metrics.NewHistogram(metrics.LatencyBuckets())}
 	for _, name := range names {
 		rs := m.routes[name]
 		req.AddRow(name, rs.requests, rs.status2x, rs.status4x, rs.status5x,
 			rs.latency.Mean(), rs.latency.Quantile(0.50), rs.latency.Quantile(0.95),
-			rs.latency.Max())
+			rs.latency.Quantile(0.99), rs.latency.Max())
+		all.requests += rs.requests
+		all.status2x += rs.status2x
+		all.status4x += rs.status4x
+		all.status5x += rs.status5x
+		all.latency.Merge(rs.latency)
+	}
+	if len(names) > 1 {
+		req.AddRow("(all)", all.requests, all.status2x, all.status4x, all.status5x,
+			all.latency.Mean(), all.latency.Quantile(0.50), all.latency.Quantile(0.95),
+			all.latency.Quantile(0.99), all.latency.Max())
 	}
 	lastPanic := m.lastPanic
 	m.mu.Unlock()

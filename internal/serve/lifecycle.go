@@ -96,6 +96,25 @@ func newLifecycle() *Lifecycle {
 	return lc
 }
 
+// NewDegradedLifecycle wraps a fallback oracle in a lifecycle pinned to
+// the degraded state: every response it serves is stamped
+// degraded:true until PromoteReady swaps the real oracle in. Load
+// harnesses use it to profile degraded serving and the degraded→ready
+// transition at a chosen instant instead of racing StartOracle's
+// background build.
+func NewDegradedLifecycle(fallback Oracle) *Lifecycle {
+	lc := newLifecycle()
+	lc.startFallback(fallback)
+	lc.state.Store(int32(StateDegraded))
+	return lc
+}
+
+// PromoteReady installs o as the serving oracle under a fresh
+// generation and marks the lifecycle ready, returning the new
+// generation. It is the same swap StartOracle's background build
+// performs; exporting it lets a harness fire the transition mid-load.
+func (lc *Lifecycle) PromoteReady(o Oracle) uint64 { return lc.swapReady(o) }
+
 // startFallback installs the degraded fallback as generation 1 while the
 // state remains building.
 func (lc *Lifecycle) startFallback(fallback Oracle) {

@@ -159,3 +159,30 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // CacheLen returns the current response-cache entry count.
 func (s *Server) CacheLen() int { return s.cache.Len() }
+
+// Stats is a point-in-time snapshot of the admission and cache
+// counters, for harnesses that assert gate invariants (bounded
+// in-flight, monotone rejects) without parsing the /metrics text.
+type Stats struct {
+	InFlight    int64
+	Rejected    int64
+	Panics      int64
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// Stats snapshots the server counters. The fields are read from
+// independent atomics, so the snapshot is per-field consistent, not a
+// single linearization point.
+func (s *Server) Stats() Stats {
+	return Stats{
+		InFlight:    s.met.inFlight.Load(),
+		Rejected:    s.met.rejected.Load(),
+		Panics:      s.met.panics.Load(),
+		CacheHits:   s.met.hits.Load(),
+		CacheMisses: s.met.misses.Load(),
+	}
+}
+
+// MaxInFlight reports the admission-gate capacity after defaulting.
+func (s *Server) MaxInFlight() int { return s.cfg.MaxInFlight }

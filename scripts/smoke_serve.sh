@@ -4,9 +4,11 @@
 # then deliver SIGINT and require a clean (exit 0) drain. A second leg
 # exercises the persistence lifecycle: boot with -oraclefile (build +
 # save), kill, re-boot from the snapshot and require an immediate ready
-# with byte-identical /v1/seeds bodies. This is the black-box complement
-# to the httptest suites — it proves the shipped binary, not just the
-# handler tree.
+# with byte-identical /v1/seeds bodies. A third leg runs imload's
+# deterministic in-process saturation search (~2s) and asserts the
+# knee-report fields plus workload-digest reproducibility across worker
+# counts. This is the black-box complement to the httptest suites — it
+# proves the shipped binaries, not just the handler tree.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -131,5 +133,29 @@ out=$(curl -sf "$base/readyz") || fail "readyz failed on snapshot boot"
 body2=$(curl -sf -X POST "$base/v1/seeds" -d '{"k":5}') || fail "seeds failed on snapshot boot"
 [ "$body1" = "$body2" ] || fail "snapshot boot body differs: $body1 vs $body2"
 stop_clean
+
+echo "==> load: deterministic in-process saturation leg (imload)"
+LOADBIN="${BIN%/*}/imload"
+go build -o "$LOADBIN" ./cmd/imload
+LOADOUT="$SNAPDIR/load.json"
+: >"$LOG"
+"$LOADBIN" -dataset nethept -scale 64 -mode search -slo 250 -maxfailfrac 0.05 \
+	-qpsmin 50 -qpsmax 200 -brackets 1 -phase 150ms -warmup 30ms \
+	-legs ready,degraded -seed 7 -out "$LOADOUT" >"$LOG" 2>&1 || fail "imload run failed"
+for field in '"knee"' '"p99_ms"' '"workload_digest"' '"bracketed"'; do
+	grep -q -- "$field" "$LOADOUT" || fail "load report missing $field"
+done
+grep -q '"mode": "ready"' "$LOADOUT" || fail "load report missing ready leg"
+grep -q '"mode": "degraded"' "$LOADOUT" || fail "load report missing degraded leg"
+
+echo "==> load: same seed, different worker count, same stream digest"
+LOADOUT2="$SNAPDIR/load2.json"
+: >"$LOG"
+"$LOADBIN" -dataset nethept -scale 64 -mode fixed -discipline closed -duration 100ms \
+	-legs ready -seed 7 -workers 1 -out "$LOADOUT2" >"$LOG" 2>&1 || fail "imload second run failed"
+d1=$(sed -n 's/.*"workload_digest": "\([0-9a-f]*\)".*/\1/p' "$LOADOUT")
+d2=$(sed -n 's/.*"workload_digest": "\([0-9a-f]*\)".*/\1/p' "$LOADOUT2")
+[ -n "$d1" ] || fail "could not extract workload digest from $LOADOUT"
+[ "$d1" = "$d2" ] || fail "workload digest changed with worker count: $d1 vs $d2"
 
 echo "==> smoke passed"
