@@ -32,7 +32,7 @@ func benchGraph(b *testing.B, dataset string, scale int64, scheme goinfmax.Schem
 	if g, ok := benchGraphs[key]; ok {
 		return g
 	}
-	g := scheme.Apply(goinfmax.Dataset(dataset, scale, 1))
+	g := scheme.Apply(goinfmax.Dataset(dataset, scale, 1)).(*graph.Graph)
 	benchGraphs[key] = g
 	return g
 }

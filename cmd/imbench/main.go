@@ -9,6 +9,14 @@
 //	imbench -algo CELF -dataset hepph -model LT -k 10 -param 100
 //	imbench -algo PMC -file my_graph.txt -directed -model IC -k 20
 //	imbench -algo IMM -ks 1,25,50,100 -journal run.jsonl -resume run.jsonl
+//	imbench -algo IMM -gfile rmat100m.gimb -backend compact -arenabytes 67108864
+//
+// -gfile loads a binary (GIMB) graph written by imgen -format=binary or
+// -rmat. -backend picks its in-process representation: csr (decode to the
+// in-memory arrays), compact (mmap the compressed file — resident memory
+// stays O(n)), or compact-heap (compressed but heap-resident). -arenabytes
+// bounds the RR-set sampling arena for the RR-set algorithms; seeds and
+// spreads are byte-identical to an unbounded run at the same seed.
 //
 // Models: IC (constant 0.1), WC (weighted cascade), LT (uniform); or use
 // -icp to change the IC constant.
@@ -71,6 +79,10 @@ func runCtx(ctx context.Context, args []string) (err error) {
 	algoName := fs.String("algo", "IMM", "algorithm name (see -listalgos)")
 	dataset := fs.String("dataset", "nethept", "synthetic dataset name")
 	file := fs.String("file", "", "load an edge-list file instead of a synthetic dataset")
+	gfile := fs.String("gfile", "", "load a binary (GIMB) graph file instead of a synthetic dataset")
+	backend := fs.String("backend", "compact", "backend for -gfile: csr, compact (mmap) or compact-heap")
+	arenaBytes := fs.Int64("arenabytes", 0, "bound the resident RR-set sampling arena (0 = materialize all sets, the paper's measurement; results are byte-identical either way)")
+	spillDir := fs.String("spilldir", "", "directory for streaming-mode spill files (\"\" = system temp)")
 	directed := fs.Bool("directed", false, "treat the edge-list file as directed")
 	scale := fs.Int64("scale", 0, "dataset scale divisor (0 = default)")
 	model := fs.String("model", "WC", "model configuration: IC, WC or LT")
@@ -120,13 +132,26 @@ func runCtx(ctx context.Context, args []string) (err error) {
 		return nil
 	}
 
-	var base *graph.Graph
-	if *file != "" {
+	var base graph.G
+	switch {
+	case *gfile != "":
+		base, err = loadBinaryBackend(*gfile, *backend)
+		if err != nil {
+			return err
+		}
+		if c, ok := base.(*graph.Compact); ok {
+			defer func() {
+				if cerr := c.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}()
+		}
+	case *file != "":
 		base, err = graph.LoadEdgeListFile(*file, *directed)
 		if err != nil {
 			return err
 		}
-	} else {
+	default:
 		base = goinfmax.Dataset(*dataset, *scale, *seed)
 	}
 
@@ -156,6 +181,7 @@ func runCtx(ctx context.Context, args []string) (err error) {
 		EvalSims: *evalSims, EvalWorkers: *evalWorkers,
 		TimeBudget: *budget, HardBudget: *hardBudget,
 		MemBudgetBytes: *memBudget, Workers: *workers,
+		ArenaBytes: *arenaBytes, SpillDir: *spillDir,
 	}
 
 	if *ksFlag != "" {
@@ -188,6 +214,22 @@ func runCtx(ctx context.Context, args []string) (err error) {
 	}
 	fmt.Printf("total:     %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// loadBinaryBackend opens a GIMB file under the requested backend. The
+// compact backends keep the compressed encoding in place; csr decodes it to
+// the in-memory array representation (fastest traversal, largest footprint).
+func loadBinaryBackend(path, backend string) (graph.G, error) {
+	switch backend {
+	case "csr":
+		return graph.LoadBinaryCSR(path)
+	case "compact":
+		return graph.OpenBinary(path, graph.OpenBinaryOptions{Mmap: true})
+	case "compact-heap":
+		return graph.OpenBinary(path, graph.OpenBinaryOptions{})
+	default:
+		return nil, fmt.Errorf("unknown -backend %q (want csr, compact or compact-heap)", backend)
+	}
 }
 
 // startProfiles starts the optional CPU profile and returns a stop function
@@ -258,7 +300,7 @@ func parseKs(s string) ([]int, error) {
 // evaluation pass — and finally the evaluated cells are journaled. Only
 // evaluated cells checkpoint: interrupting the evaluation phase re-runs the
 // sweep's fresh cells on resume.
-func sweep(ctx context.Context, alg goinfmax.Algorithm, g *goinfmax.Graph, cfg goinfmax.RunConfig, ks []int, journalPath, resumePath string) (err error) {
+func sweep(ctx context.Context, alg goinfmax.Algorithm, g goinfmax.G, cfg goinfmax.RunConfig, ks []int, journalPath, resumePath string) (err error) {
 	var resume map[string]goinfmax.Result
 	if resumePath != "" {
 		prior, err := goinfmax.LoadJournal(resumePath)

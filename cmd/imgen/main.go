@@ -6,6 +6,13 @@
 //	imgen -dataset dblp -stats           # generate and print Table-1 stats
 //	imgen -dataset dblp -o dblp.txt      # write the edge list to a file
 //	imgen -dataset orkut -scale 256 -o orkut_small.txt
+//	imgen -dataset dblp -format binary -o dblp.gimb
+//
+// The streaming mode sidesteps the in-memory generators entirely: an R-MAT
+// arc stream is fed straight into the binary writer, so graphs far larger
+// than RAM (hundreds of millions of edges) are generated in bounded memory:
+//
+//	imgen -rmat -n 8000000 -m 100000000 -seed 1 -o rmat100m.gimb
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"os"
 
 	"github.com/sigdata/goinfmax/internal/datasets"
+	"github.com/sigdata/goinfmax/internal/graph"
 	"github.com/sigdata/goinfmax/internal/rng"
 )
 
@@ -31,7 +39,12 @@ func run(args []string) error {
 	scale := fs.Int64("scale", 0, "scale divisor (0 = dataset default)")
 	seed := fs.Uint64("seed", 1, "generator seed")
 	stats := fs.Bool("stats", false, "print Table-1-style statistics")
-	out := fs.String("o", "", "write edge list to this path")
+	out := fs.String("o", "", "output path")
+	format := fs.String("format", "text", "output format: text (edge list) or binary (GIMB)")
+	rmat := fs.Bool("rmat", false, "stream an R-MAT graph directly to a binary file (needs -n, -m, -o)")
+	nFlag := fs.Int64("n", 0, "R-MAT node count")
+	mFlag := fs.Int64("m", 0, "R-MAT edge count")
+	sortMB := fs.Int64("sort-budget-mb", 256, "binary writer external-sort window in MiB")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,8 +61,16 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	if *format != "text" && *format != "binary" {
+		return fmt.Errorf("unknown -format %q (want text or binary)", *format)
+	}
+
+	if *rmat {
+		return streamRMAT(*nFlag, *mFlag, *seed, *out, *sortMB<<20)
+	}
+
 	if *name == "" {
-		return fmt.Errorf("need -dataset (or -list); have %v", datasets.Names())
+		return fmt.Errorf("need -dataset, -rmat or -list; have %v", datasets.Names())
 	}
 	g, err := datasets.Generate(*name, *scale, *seed)
 	if err != nil {
@@ -64,10 +85,58 @@ func run(args []string) error {
 		fmt.Println(st)
 	}
 	if *out != "" {
-		if err := g.SaveEdgeListFile(*out); err != nil {
+		switch *format {
+		case "binary":
+			err = graph.WriteBinary(g, *out, graph.BinaryWriterOptions{SortBudgetBytes: *sortMB << 20})
+		default:
+			err = g.SaveEdgeListFile(*out)
+		}
+		if err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+	return nil
+}
+
+// streamRMAT generates an n-node m-edge R-MAT graph and streams it to a
+// binary file without ever materializing the edge list: resident memory is
+// the writer's O(n) degree arrays plus the external-sort window, regardless
+// of m.
+func streamRMAT(n, m int64, seed uint64, out string, sortBudget int64) error {
+	if n < 2 || m <= 0 {
+		return fmt.Errorf("-rmat needs -n >= 2 and -m >= 1 (got n=%d m=%d)", n, m)
+	}
+	if n > int64(^uint32(0)>>1) {
+		return fmt.Errorf("-n %d exceeds the int32 node-ID space", n)
+	}
+	if out == "" {
+		return fmt.Errorf("-rmat needs -o (binary output path)")
+	}
+	w, err := graph.NewBinaryWriter(out, int32(n), graph.BinaryWriterOptions{
+		Name:            fmt.Sprintf("rmat-n%d-m%d-s%d", n, m, seed),
+		Directed:        true,
+		SortBudgetBytes: sortBudget,
+	})
+	if err != nil {
+		return err
+	}
+	emitted := int64(0)
+	err = datasets.StreamRMAT(int32(n), m, seed, func(u, v graph.NodeID) error {
+		emitted++
+		if emitted%(10<<20) == 0 {
+			fmt.Fprintf(os.Stderr, "imgen: rmat %d/%d edges\n", emitted, m)
+		}
+		return w.AddEdge(u, v, 1)
+	})
+	if err != nil {
+		w.Abort()
+		return err
+	}
+	arcs := w.NumArcs()
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: n=%d arcs=%d (rmat seed %d)\n", out, n, arcs, seed)
 	return nil
 }

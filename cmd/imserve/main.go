@@ -85,7 +85,7 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 
-	var base *graph.Graph
+	var base graph.G
 	var err error
 	if *file != "" {
 		base, err = graph.LoadEdgeListFile(*file, *directed)

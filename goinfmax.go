@@ -32,8 +32,11 @@ import (
 
 // Re-exported core types; see the internal packages for full documentation.
 type (
-	// Graph is the directed edge-weighted social network (paper Def. 1).
+	// Graph is the in-memory CSR social network (paper Def. 1).
 	Graph = graph.Graph
+	// G is the narrow read interface every consumer uses; both the CSR
+	// Graph and the compact binary backend implement it.
+	G = graph.G
 	// NodeID identifies a node.
 	NodeID = graph.NodeID
 	// Model is the diffusion semantics (IC or LT).
@@ -133,13 +136,13 @@ func Datasets() []string { return datasets.Names() }
 
 // Run executes one instrumented benchmark cell (seed selection + decoupled
 // MC spread evaluation).
-func Run(alg Algorithm, g *Graph, cfg RunConfig) Result { return core.Run(alg, g, cfg) }
+func Run(alg Algorithm, g G, cfg RunConfig) Result { return core.Run(alg, g, cfg) }
 
 // RunCtx is Run under an external context: cancellation interrupts the
 // cell cleanly (Status Cancelled), panics are isolated (Status Panicked)
 // and the hard watchdog bounds non-cooperative algorithms (DNF with
 // Result.HardKilled set).
-func RunCtx(ctx context.Context, alg Algorithm, g *Graph, cfg RunConfig) Result {
+func RunCtx(ctx context.Context, alg Algorithm, g G, cfg RunConfig) Result {
 	return core.RunCtx(ctx, alg, g, cfg)
 }
 
@@ -148,7 +151,7 @@ func RunCtx(ctx context.Context, alg Algorithm, g *Graph, cfg RunConfig) Result 
 // the whole sweep against common live-edge worlds: prefix-chained greedy
 // selections cost roughly one full evaluation pass instead of one per k,
 // and each cell's Spread is bit-identical to running that cell alone.
-func RunSweepCtx(ctx context.Context, alg Algorithm, g *Graph, cfg RunConfig, ks []int) []Result {
+func RunSweepCtx(ctx context.Context, alg Algorithm, g G, cfg RunConfig, ks []int) []Result {
 	return core.RunSweepCtx(ctx, alg, g, cfg, ks)
 }
 
@@ -157,7 +160,7 @@ func RunSweepCtx(ctx context.Context, alg Algorithm, g *Graph, cfg RunConfig, ks
 // common-world batch sharing live-edge worlds across all cells. On
 // cancellation the cells still awaiting evaluation are downgraded to
 // Cancelled (re-run on resume) and core.ErrCancelled is returned.
-func EvaluateSweepCtx(ctx context.Context, g *Graph, cfg RunConfig, results []Result) error {
+func EvaluateSweepCtx(ctx context.Context, g G, cfg RunConfig, results []Result) error {
 	return core.EvaluateSweepCtx(ctx, g, cfg, results)
 }
 
@@ -177,7 +180,7 @@ func DefaultRunConfig(m Model, k int) RunConfig { return core.DefaultRunConfig(m
 
 // EstimateSpread evaluates σ(seeds) with r Monte-Carlo simulations in
 // parallel (paper Alg. 1 + §5.1 evaluation protocol).
-func EstimateSpread(g *Graph, m Model, seeds []NodeID, r int, seed uint64) Estimate {
+func EstimateSpread(g G, m Model, seeds []NodeID, r int, seed uint64) Estimate {
 	return diffusion.EstimateSpreadParallel(g, m, seeds, r, seed, 0)
 }
 

@@ -19,7 +19,7 @@ func randomWC(seed uint64, n int32, m int) *graph.Graph {
 			_ = b.AddEdge(u, v, 1)
 		}
 	}
-	return weights.WeightedCascade{}.Apply(b.BuildSimple())
+	return weights.WeightedCascade{}.Apply(b.BuildSimple()).(*graph.Graph)
 }
 
 func selectSeeds(t *testing.T, alg core.Algorithm, g *graph.Graph, k int, rounds float64) []graph.NodeID {

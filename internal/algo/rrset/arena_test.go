@@ -132,7 +132,7 @@ func TestBuildIndexDeterministicAcrossWorkers(t *testing.T) {
 // parallel sampling too — a budgeted build crashes mid-batch because the
 // supervising goroutine charges interim arena growth while workers run.
 func TestCrashedOnMemoryBudgetParallel(t *testing.T) {
-	g := weights.ICConstant{P: 0.4}.Apply(randomWC(15, 300, 3000))
+	g := weights.ICConstant{P: 0.4}.Apply(randomWC(15, 300, 3000)).(*graph.Graph)
 	res := core.Run(IMM{}, g, core.RunConfig{
 		K: 10, Model: weights.IC, Seed: 1, ParamValue: 0.1,
 		MemBudgetBytes: 32 * 1024, Workers: 4,

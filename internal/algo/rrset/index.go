@@ -25,11 +25,17 @@ import (
 // The index is immutable after construction and safe for concurrent
 // queries: SpreadOf reads shared state only, and SelectSeeds clones the
 // coverage marks per call.
+//
+// Under a streaming build (Context.ArenaBytes > 0) the raw sets are never
+// materialized: only the inversion is kept, store is nil and the index is
+// not persistable (Persistable reports which). Every query answer is still
+// byte-identical to a materialized build at the same seed.
 type Index struct {
-	n     int32
-	store *graphalgo.SetStore
-	cp    *graphalgo.CoverageProblem
-	bytes int64
+	n       int32
+	store   *graphalgo.SetStore // nil for streaming builds
+	cp      *graphalgo.CoverageProblem
+	numSets int
+	bytes   int64
 }
 
 // BuildIndex samples theta RR sets under ctx (graph, model, RNG, budget)
@@ -46,15 +52,24 @@ func BuildIndex(ctx *core.Context, theta int64) (*Index, error) {
 		theta = 1
 	}
 	c := newCollection(ctx)
+	defer c.close()
 	if err := c.extend(theta); err != nil {
 		return nil, err
 	}
-	return &Index{
-		n:     ctx.G.N(),
-		store: c.store,
-		cp:    graphalgo.NewCoverageProblem(ctx.G.N(), c.store),
-		bytes: c.store.Bytes(),
-	}, nil
+	cp, err := c.problem()
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{n: ctx.G.N(), cp: cp, numSets: cp.NumSets()}
+	if c.streaming() {
+		// Only the inversion survives; the spill is released by close.
+		ix.bytes = cp.MemoryBytes()
+		ctx.Account(ix.bytes)
+	} else {
+		ix.store = c.store
+		ix.bytes = c.store.Bytes()
+	}
+	return ix, nil
 }
 
 // NewIndexFromStore rehydrates an index from a previously sampled RR-set
@@ -76,22 +91,29 @@ func NewIndexFromStore(n int32, store *graphalgo.SetStore) (*Index, error) {
 		}
 	}
 	return &Index{
-		n:     n,
-		store: store,
-		cp:    graphalgo.NewCoverageProblem(n, store),
-		bytes: store.Bytes(),
+		n:       n,
+		store:   store,
+		cp:      graphalgo.NewCoverageProblem(n, store),
+		numSets: store.Len(),
+		bytes:   store.Bytes(),
 	}, nil
 }
 
 // Store exposes the sampled RR-set arena for serialization. The returned
-// store aliases the index's memory and must be treated as read-only.
+// store aliases the index's memory and must be treated as read-only. It is
+// nil for a streaming build, which keeps only the inversion; check
+// Persistable before serializing.
 func (ix *Index) Store() *graphalgo.SetStore { return ix.store }
+
+// Persistable reports whether the index retains the raw sets a snapshot
+// needs. Streaming builds trade persistability for bounded build memory.
+func (ix *Index) Persistable() bool { return ix.store != nil }
 
 // N returns the node count of the indexed graph.
 func (ix *Index) N() int32 { return ix.n }
 
-// NumSets returns θ, the number of stored RR sets.
-func (ix *Index) NumSets() int { return ix.store.Len() }
+// NumSets returns θ, the number of sampled RR sets.
+func (ix *Index) NumSets() int { return ix.numSets }
 
 // MemoryBytes returns the approximate resident size of the stored sets
 // (the inversion roughly doubles it; callers wanting the full footprint
@@ -101,11 +123,11 @@ func (ix *Index) MemoryBytes() int64 { return ix.bytes }
 // SpreadOf returns the index's spread estimate n·F(seeds). It does not
 // mutate the index and is safe for concurrent use.
 func (ix *Index) SpreadOf(seeds []graph.NodeID) float64 {
-	if ix.store.Len() == 0 {
+	if ix.numSets == 0 {
 		return 0
 	}
 	covered := ix.cp.CoverageOf(seeds)
-	return float64(ix.n) * float64(covered) / float64(ix.store.Len())
+	return float64(ix.n) * float64(covered) / float64(ix.numSets)
 }
 
 // SelectSeeds greedily selects k seeds by max-cover over the stored sets
@@ -126,6 +148,6 @@ func (ix *Index) SelectSeeds(k int, poll func() error) ([]graph.NodeID, float64,
 	copy(seeds, res.Seeds)
 	// Same expression as SpreadOf so a follow-up point query for the
 	// selected set returns bit-identical spread.
-	spread := float64(ix.n) * float64(res.NumCovered) / float64(ix.store.Len())
+	spread := float64(ix.n) * float64(res.NumCovered) / float64(ix.numSets)
 	return seeds, spread, nil
 }

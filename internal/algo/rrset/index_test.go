@@ -12,7 +12,7 @@ import (
 
 func testIndex(t *testing.T, theta int64) *Index {
 	t.Helper()
-	g := weights.WeightedCascade{}.Apply(datasets.MustGenerate("nethept", 64, 1))
+	g := weights.WeightedCascade{}.Apply(datasets.MustGenerate("nethept", 64, 1)).(*graph.Graph)
 	ctx := core.NewContext(g, weights.IC, 1, 7)
 	ix, err := BuildIndex(ctx, theta)
 	if err != nil {
@@ -114,7 +114,7 @@ func TestIndexSelectSeedsPollAborts(t *testing.T) {
 }
 
 func TestIndexBuildHonorsBudget(t *testing.T) {
-	g := weights.WeightedCascade{}.Apply(datasets.MustGenerate("nethept", 64, 1))
+	g := weights.WeightedCascade{}.Apply(datasets.MustGenerate("nethept", 64, 1)).(*graph.Graph)
 	ctx := core.NewContext(g, weights.IC, 1, 7)
 	ctx.Cancel(core.ErrCancelled)
 	if _, err := BuildIndex(ctx, 1_000_000); !errors.Is(err, core.ErrCancelled) {

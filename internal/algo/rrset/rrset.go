@@ -32,63 +32,213 @@ import (
 // epsSpectrum is the ε spectrum of the Table 2 sweep, most accurate first.
 var epsSpectrum = []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 
-// collection accumulates RR sets in a flat SetStore arena with budget-aware
-// accounting: Context.Account is charged the arena's true (capacity-based)
-// footprint, so the paper's M6 memory-blow-up reproduction stays faithful —
-// budgeted runs still crash at the same scale they did with per-set slices,
-// while the flat layout drops the per-set header and allocator slack.
+// collection accumulates RR sets with budget-aware accounting in one of two
+// modes, selected by Context.ArenaBytes:
+//
+//   - Materialized (ArenaBytes == 0, the paper's measurement): all sets live
+//     in one flat SetStore arena; Context.Account is charged its true
+//     (capacity-based) footprint, so the paper's M6 memory-blow-up
+//     reproduction stays faithful — budgeted runs still crash at the same
+//     scale they did with per-set slices.
+//   - Streaming (ArenaBytes > 0): sets are sampled through a bounded arena
+//     (diffusion.SampleStream) and folded batch-by-batch into an incremental
+//     coverage builder that spills raw sets to disk; resident memory is the
+//     arena bound plus O(n) builder state plus — only while a greedy cover
+//     runs — one inversion.
+//
+// Both modes draw exactly one ctx.RNG value per extend and derive per-sample
+// streams from it by global index, so seeds and extrapolated spreads are
+// byte-identical across modes, worker counts and graph backends.
 type collection struct {
 	ctx     *core.Context
 	sampler *diffusion.RRSampler
-	store   *graphalgo.SetStore
+	store   *graphalgo.SetStore        // materialized mode (nil when streaming)
+	builder *graphalgo.CoverageBuilder // streaming mode (nil when materialized)
+	count   int64                      // streaming mode: sets folded so far
 }
 
 func newCollection(ctx *core.Context) *collection {
-	return &collection{
+	c := &collection{
 		ctx:     ctx,
 		sampler: diffusion.NewRRSampler(ctx.G, ctx.Model),
-		store:   graphalgo.NewSetStore(),
+	}
+	if ctx.ArenaBytes > 0 {
+		c.builder = graphalgo.NewCoverageBuilder(ctx.G.N(), ctx.SpillDir)
+		ctx.Account(c.builder.MemoryBytes())
+	} else {
+		c.store = graphalgo.NewSetStore()
+	}
+	return c
+}
+
+// streaming reports whether the collection runs in bounded-arena mode.
+func (c *collection) streaming() bool { return c.builder != nil }
+
+// close releases streaming-mode resources (spill file, accounted builder
+// state). Algorithms defer it; materialized mode is a no-op — the store's
+// charge stays visible until the run ends, as before.
+func (c *collection) close() {
+	if c.builder != nil {
+		c.ctx.Account(-c.builder.MemoryBytes())
+		// Best-effort: a leaked temp file is the worst case, and the OS
+		// temp dir reaps those.
+		_ = c.builder.Close()
+		c.builder = nil
 	}
 }
 
 // size returns the number of sets currently held.
-func (c *collection) size() int64 { return int64(c.store.Len()) }
+func (c *collection) size() int64 {
+	if c.streaming() {
+		return c.count
+	}
+	return int64(c.store.Len())
+}
 
 // extend samples RR sets until the collection holds target sets, fanning
 // the sampling out over ctx.SampleWorkers() deterministic streams. The
-// resulting store is byte-identical for any worker count: each extend call
-// consumes exactly one draw of ctx.RNG for the batch's base seed, and the
-// batch sampler derives per-sample streams from it.
+// resulting set sequence is byte-identical for any worker count and either
+// mode: each extend call consumes exactly one draw of ctx.RNG for the
+// batch's base seed, and the samplers derive per-sample streams from it by
+// global index.
 func (c *collection) extend(target int64) error {
 	need := target - c.size()
 	if need <= 0 {
 		return nil
 	}
 	baseSeed := c.ctx.RNG.Uint64()
+	if c.streaming() {
+		before := c.builder.MemoryBytes()
+		added, err := c.sampler.SampleStream(need, baseSeed, c.streamConfig(),
+			func(batch *graphalgo.SetStore) error {
+				if err := c.builder.Add(batch); err != nil {
+					return err
+				}
+				c.count += int64(batch.Len())
+				return nil
+			}, c.ctx.Check, c.ctx.Account)
+		c.ctx.Account(c.builder.MemoryBytes() - before)
+		c.ctx.Lookups += added
+		return err
+	}
 	added, err := c.sampler.SampleBatch(c.store, need, baseSeed,
 		c.ctx.SampleWorkers(), c.ctx.Check, c.ctx.Account)
 	c.ctx.Lookups += added // one lookup = one RR set sampled
 	return err
 }
 
+func (c *collection) streamConfig() diffusion.StreamConfig {
+	return diffusion.StreamConfig{
+		ArenaBytes: c.ctx.ArenaBytes,
+		Workers:    c.ctx.SampleWorkers(),
+	}
+}
+
 // reset discards all sets (between IMM's sampling and selection phases the
 // original keeps them; TIM+'s KPT phase discards — both modeled). The
 // accounting credit is the exact arena footprint, returning the charge to
 // zero for an otherwise-idle context.
-func (c *collection) reset() {
+func (c *collection) reset() error {
+	if c.streaming() {
+		if err := c.builder.Reset(); err != nil {
+			return err
+		}
+		c.count = 0
+		return nil
+	}
 	c.ctx.Account(-c.store.Bytes())
 	c.store.Reset()
 	c.ctx.Account(c.store.Bytes())
+	return nil
+}
+
+// problem builds the coverage problem over the current sets. Both paths
+// produce field-for-field identical problems (the builder replays its spill
+// through the same counting-sort passes NewCoverageProblem runs in memory).
+func (c *collection) problem() (*graphalgo.CoverageProblem, error) {
+	if c.streaming() {
+		return c.builder.Build()
+	}
+	return graphalgo.NewCoverageProblem(c.ctx.G.N(), c.store), nil
 }
 
 // cover runs greedy max-cover for k seeds and returns them with the covered
 // fraction F(S). GreedyMaxCover allocates its Seeds slice fresh on every
 // call (it shares no memory with the problem), so the result is returned
-// without a defensive copy.
-func (c *collection) cover(k int) ([]graph.NodeID, float64) {
-	cp := graphalgo.NewCoverageProblem(c.ctx.G.N(), c.store)
+// without a defensive copy. In streaming mode the transient inversion is
+// accounted for the duration of the greedy.
+func (c *collection) cover(k int) ([]graph.NodeID, float64, error) {
+	cp, err := c.problem()
+	if err != nil {
+		return nil, 0, err
+	}
+	if c.streaming() {
+		b := cp.MemoryBytes()
+		c.ctx.Account(b)
+		defer c.ctx.Account(-b)
+	}
 	res := cp.GreedyMaxCover(k)
-	return res.Seeds, res.Fraction
+	return res.Seeds, res.Fraction, nil
+}
+
+// coveredBy returns how many of the collection's sets contain at least one
+// of the given seeds (SSA's stare statistic). The materialized path scans
+// the raw sets; the streaming path counts distinct memberships on the
+// inversion — the two figures are identical by construction.
+func (c *collection) coveredBy(inSeed map[graph.NodeID]struct{}) (int64, error) {
+	if c.streaming() {
+		cp, err := c.builder.Build()
+		if err != nil {
+			return 0, err
+		}
+		seeds := make([]graph.NodeID, 0, len(inSeed))
+		for s := range inSeed {
+			seeds = append(seeds, s)
+		}
+		return cp.CoverageOf(seeds), nil
+	}
+	covered := int64(0)
+	for i := 0; i < c.store.Len(); i++ {
+		for _, v := range c.store.Set(i) {
+			if _, ok := inSeed[v]; ok {
+				covered++
+				break
+			}
+		}
+	}
+	return covered, nil
+}
+
+// ephemeral samples count transient RR sets — sampled, visited, discarded —
+// and calls visit once per set in global sample order. The materialized
+// path reuses the caller's unaccounted scratch store (TIM+'s KPT batches,
+// which the original likewise never charged); the streaming path visits
+// bounded-arena batches in place, so even the KPT estimation phase runs in
+// bounded memory. Consumes exactly one ctx.RNG draw either way.
+func (c *collection) ephemeral(count int64, scratch *graphalgo.SetStore, visit func(set []graph.NodeID)) error {
+	baseSeed := c.ctx.RNG.Uint64()
+	if c.streaming() {
+		added, err := c.sampler.SampleStream(count, baseSeed, c.streamConfig(),
+			func(batch *graphalgo.SetStore) error {
+				for j := 0; j < batch.Len(); j++ {
+					visit(batch.Set(j))
+				}
+				return nil
+			}, c.ctx.Check, nil)
+		c.ctx.Lookups += added
+		return err
+	}
+	scratch.Reset()
+	added, err := c.sampler.SampleBatch(scratch, count, baseSeed,
+		c.ctx.SampleWorkers(), c.ctx.Check, nil)
+	c.ctx.Lookups += added
+	if err != nil {
+		return err
+	}
+	for j := 0; j < scratch.Len(); j++ {
+		visit(scratch.Set(j))
+	}
+	return nil
 }
 
 // logNChooseK computes ln C(n, k) via lgamma.
@@ -137,10 +287,14 @@ func (RIS) Select(ctx *core.Context) ([]graph.NodeID, error) {
 		theta = max
 	}
 	c := newCollection(ctx)
+	defer c.close()
 	if err := c.extend(theta); err != nil {
 		return nil, err
 	}
-	seeds, frac := c.cover(ctx.K)
+	seeds, frac, err := c.cover(ctx.K)
+	if err != nil {
+		return nil, err
+	}
 	ctx.EstimatedSpread = frac * n
 	return seeds, nil
 }
@@ -180,10 +334,15 @@ func (t TIMPlus) Select(ctx *core.Context) ([]graph.NodeID, error) {
 	const l = 1.0 // confidence parameter: 1 − n^−l success probability
 
 	c := newCollection(ctx)
+	defer c.close()
 
 	// Phase 1: KPT estimation (TIM Alg. 2). KPT ≈ the expected spread of a
 	// uniformly random size-k seed set; measured through the width
-	// statistic κ(R) = 1 − (1 − w(R)/m)^k of sampled RR sets.
+	// statistic κ(R) = 1 − (1 − w(R)/m)^k of sampled RR sets. KPT sets are
+	// transient — sampled, measured, discarded — so they go through the
+	// collection's ephemeral path (an unaccounted scratch store, or the
+	// bounded arena in streaming mode; the original likewise never charged
+	// them).
 	kpt := 1.0
 	logn := math.Log2(n)
 	scratch := graphalgo.NewSetStore()
@@ -195,24 +354,16 @@ func (t TIMPlus) Select(ctx *core.Context) ([]graph.NodeID, error) {
 		if ci < 1 {
 			ci = 1
 		}
-		// KPT sets are transient — sampled, measured, discarded — so the
-		// batch is drawn into an unaccounted scratch store (the original
-		// likewise never charged them) and reused across rounds.
-		scratch.Reset()
-		baseSeed := ctx.RNG.Uint64()
-		added, err := c.sampler.SampleBatch(scratch, ci, baseSeed, ctx.SampleWorkers(), ctx.Check, nil)
-		ctx.Lookups += added
-		if err != nil {
-			return nil, err
-		}
 		sum := 0.0
-		for j := 0; j < scratch.Len(); j++ {
+		err := c.ephemeral(ci, scratch, func(set []graph.NodeID) {
 			width := 0.0
-			for _, v := range scratch.Set(j) {
+			for _, v := range set {
 				width += float64(ctx.G.InDegree(v))
 			}
-			kappa := 1 - math.Pow(1-width/m, k)
-			sum += kappa
+			sum += 1 - math.Pow(1-width/m, k)
+		})
+		if err != nil {
+			return nil, err
 		}
 		if sum/float64(ci) > 1/math.Exp2(i) {
 			kpt = n * sum / (2 * float64(ci))
@@ -235,13 +386,17 @@ func (t TIMPlus) Select(ctx *core.Context) ([]graph.NodeID, error) {
 	if err := c.extend(thetaPrime); err != nil {
 		return nil, err
 	}
-	sPrime, frac := c.cover(ctx.K)
-	_ = sPrime
+	_, frac, err := c.cover(ctx.K)
+	if err != nil {
+		return nil, err
+	}
 	kptPlus := frac * n / (1 + epsPrime)
 	if kptPlus < kpt {
 		kptPlus = kpt
 	}
-	c.reset()
+	if err := c.reset(); err != nil {
+		return nil, err
+	}
 
 	// Phase 3: node selection on θ = λ/KPT⁺ RR sets.
 	lambda := (8 + 2*eps) * n * (l*math.Log(n) + logNChooseK(n, k) + math.Log(2)) / (eps * eps)
@@ -252,7 +407,10 @@ func (t TIMPlus) Select(ctx *core.Context) ([]graph.NodeID, error) {
 	if err := c.extend(theta); err != nil {
 		return nil, err
 	}
-	seeds, fracFinal := c.cover(ctx.K)
+	seeds, fracFinal, err := c.cover(ctx.K)
+	if err != nil {
+		return nil, err
+	}
 	// The reference implementation reports the EXTRAPOLATED spread n·F(S)
 	// (paper M4 / Appendix A), not an MC estimate.
 	ctx.EstimatedSpread = fracFinal * n
@@ -298,6 +456,7 @@ func (IMM) Select(ctx *core.Context) ([]graph.NodeID, error) {
 	lambdaStar := 2 * n * math.Pow((1-1/math.E)*alpha+beta, 2) / (eps * eps)
 
 	c := newCollection(ctx)
+	defer c.close()
 	lb := 1.0
 	for i := 1.0; i < math.Log2(n); i++ {
 		// One phase is a coarse unit of work: poll the deadline
@@ -313,7 +472,10 @@ func (IMM) Select(ctx *core.Context) ([]graph.NodeID, error) {
 		if err := c.extend(thetaI); err != nil {
 			return nil, err
 		}
-		_, frac := c.cover(int(k))
+		_, frac, err := c.cover(int(k))
+		if err != nil {
+			return nil, err
+		}
 		if n*frac >= (1+epsPrime)*x {
 			lb = n * frac / (1 + epsPrime)
 			break
@@ -327,7 +489,10 @@ func (IMM) Select(ctx *core.Context) ([]graph.NodeID, error) {
 	if err := c.extend(theta); err != nil {
 		return nil, err
 	}
-	seeds, frac := c.cover(ctx.K)
+	seeds, frac, err := c.cover(ctx.K)
+	if err != nil {
+		return nil, err
+	}
 	// Extrapolated spread, as in the reference code (paper M4).
 	ctx.EstimatedSpread = frac * n
 	return seeds, nil

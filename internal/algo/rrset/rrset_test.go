@@ -28,7 +28,7 @@ func randomWC(seed uint64, n int32, m int) *graph.Graph {
 			_ = b.AddEdge(u, v, 1)
 		}
 	}
-	return weights.WeightedCascade{}.Apply(b.BuildSimple())
+	return weights.WeightedCascade{}.Apply(b.BuildSimple()).(*graph.Graph)
 }
 
 func randomLT(seed uint64, n int32, m int) *graph.Graph {
@@ -40,7 +40,7 @@ func randomLT(seed uint64, n int32, m int) *graph.Graph {
 			_ = b.AddEdge(u, v, 1)
 		}
 	}
-	return weights.LTUniform{}.Apply(b.BuildSimple())
+	return weights.LTUniform{}.Apply(b.BuildSimple()).(*graph.Graph)
 }
 
 func selectSeeds(t *testing.T, alg core.Algorithm, g *graph.Graph, m weights.Model, k int, eps float64) ([]graph.NodeID, *core.Context) {
@@ -79,7 +79,7 @@ func TestPickHubFirstIC(t *testing.T) {
 }
 
 func TestPickHubFirstLT(t *testing.T) {
-	g := weights.LTUniform{}.Apply(star(10, 1.0))
+	g := weights.LTUniform{}.Apply(star(10, 1.0)).(*graph.Graph)
 	for _, alg := range algos() {
 		seeds, _ := selectSeeds(t, alg, g, weights.LT, 1, 0.3)
 		if seeds[0] != 0 {
@@ -172,7 +172,7 @@ func TestExtrapolationInflatesWithEps(t *testing.T) {
 // IC(0.3) RR collections must account more bytes than WC on the same graph.
 func TestMemoryAccountingGrowsWithEdgeWeight(t *testing.T) {
 	base := randomWC(13, 120, 900)
-	hi := weights.ICConstant{P: 0.3}.Apply(base)
+	hi := weights.ICConstant{P: 0.3}.Apply(base).(*graph.Graph)
 	mem := func(g *graph.Graph) int64 {
 		ctx := core.NewContext(g, weights.IC, 3, 21)
 		ctx.ParamValue = 0.5
@@ -189,7 +189,7 @@ func TestMemoryAccountingGrowsWithEdgeWeight(t *testing.T) {
 // TestCrashedOnMemoryBudget: with a tiny memory cap, IMM under high-weight
 // IC must return Crashed — the paper's Table 3 outcome.
 func TestCrashedOnMemoryBudget(t *testing.T) {
-	g := weights.ICConstant{P: 0.4}.Apply(randomWC(15, 300, 3000))
+	g := weights.ICConstant{P: 0.4}.Apply(randomWC(15, 300, 3000)).(*graph.Graph)
 	res := core.Run(IMM{}, g, core.RunConfig{
 		K: 10, Model: weights.IC, Seed: 1, ParamValue: 0.1,
 		MemBudgetBytes: 32 * 1024,
@@ -223,8 +223,8 @@ func TestLTRRSetsSmallerThanIC(t *testing.T) {
 	// Under LT, RR sets are reverse walks; their total size should be far
 	// below IC(0.3) RR sets on the same dense structure.
 	base := randomWC(19, 100, 800)
-	ic := weights.ICConstant{P: 0.3}.Apply(base)
-	lt := weights.LTUniform{}.Apply(base)
+	ic := weights.ICConstant{P: 0.3}.Apply(base).(*graph.Graph)
+	lt := weights.LTUniform{}.Apply(base).(*graph.Graph)
 	memIC := func() int64 {
 		ctx := core.NewContext(ic, weights.IC, 3, 7)
 		ctx.ParamValue = 0.5

@@ -57,8 +57,10 @@ func (SSA) Select(ctx *core.Context) ([]graph.NodeID, error) {
 	// Monte-Carlo estimate (Dagum et al. stopping rule, as used by SSA).
 	lambda := (1 + eps2) * (2 + 2*eps2/3) * math.Log(2/delta) / (eps2 * eps2)
 
-	opt := newCollection(ctx)   // optimization collection R
-	ver := newCollection(ctx)   // verification collection R'
+	opt := newCollection(ctx) // optimization collection R
+	defer opt.close()
+	ver := newCollection(ctx) // verification collection R'
+	defer ver.close()
 	batch := int64(500 + ctx.K) // initial |R|
 	maxRounds := 24             // 2^24 batches: far beyond any real need
 
@@ -73,7 +75,11 @@ func (SSA) Select(ctx *core.Context) ([]graph.NodeID, error) {
 			return nil, err
 		}
 		var fOpt float64
-		seeds, fOpt = opt.cover(ctx.K)
+		var err error
+		seeds, fOpt, err = opt.cover(ctx.K)
+		if err != nil {
+			return nil, err
+		}
 		estOpt := n * fOpt
 
 		// Stare: grow R' until the seeds cover ≥ λ of its samples (or R'
@@ -83,27 +89,20 @@ func (SSA) Select(ctx *core.Context) ([]graph.NodeID, error) {
 		for _, s := range seeds {
 			inSeed[s] = struct{}{}
 		}
-		countCovered := func() int64 {
-			covered := int64(0)
-			for i := 0; i < ver.store.Len(); i++ {
-				for _, v := range ver.store.Set(i) {
-					if _, ok := inSeed[v]; ok {
-						covered++
-						break
-					}
-				}
-			}
-			return covered
-		}
 		if err := ver.extend(opt.size()); err != nil {
 			return nil, err
 		}
-		covered := countCovered()
+		covered, err := ver.coveredBy(inSeed)
+		if err != nil {
+			return nil, err
+		}
 		for covered < int64(lambda) && ver.size() < 8*opt.size() {
 			if err := ver.extend(ver.size() * 2); err != nil {
 				return nil, err
 			}
-			covered = countCovered()
+			if covered, err = ver.coveredBy(inSeed); err != nil {
+				return nil, err
+			}
 		}
 		estVer := n * float64(covered) / float64(ver.size())
 

@@ -1,0 +1,145 @@
+package rrset
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/rng"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// streamTestGraph builds one WC-weighted test graph and an observationally
+// identical compact-backend copy loaded through the binary format.
+func streamTestGraph(t *testing.T) (csr graph.G, compact graph.G) {
+	t.Helper()
+	r := rng.New(17)
+	n := int32(120)
+	b := graph.NewBuilder(n, true)
+	b.SetName("stream-test")
+	for i := 0; i < 900; i++ {
+		u, v := graph.NodeID(r.Int31n(n)), graph.NodeID(r.Int31n(n))
+		if u != v {
+			_ = b.AddEdge(u, v, 1)
+		}
+	}
+	base := b.BuildSimple()
+	path := filepath.Join(t.TempDir(), "g.gimb")
+	if err := graph.WriteBinary(base, path, graph.BinaryWriterOptions{}); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	c, err := graph.OpenBinary(path, graph.OpenBinaryOptions{})
+	if err != nil {
+		t.Fatalf("OpenBinary: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	wc := weights.WeightedCascade{}
+	return wc.Apply(base), wc.Apply(c)
+}
+
+type cellResult struct {
+	seeds  []graph.NodeID
+	spread float64
+	err    error
+}
+
+func runCell(t *testing.T, alg core.Algorithm, g graph.G, workers int, arenaBytes int64, spillDir string) cellResult {
+	t.Helper()
+	ctx := core.NewContext(g, weights.IC, 5, 42)
+	ctx.Workers = workers
+	ctx.ParamValue = 0.6 // coarse ε keeps θ small; identity is what's under test
+	ctx.ArenaBytes = arenaBytes
+	ctx.SpillDir = spillDir
+	seeds, err := alg.Select(ctx)
+	return cellResult{seeds: seeds, spread: ctx.EstimatedSpread, err: err}
+}
+
+// TestStreamingMatchesMaterialized is the tentpole invariant: for every
+// RR-set algorithm, seed sets and extrapolated spreads are byte-identical
+// across (a) materialized vs bounded-arena streaming mode, (b) CSR vs
+// compact graph backend, and (c) worker counts 1 and 8. The arena bound is
+// tiny to force many rotations and spill-replay coverage builds.
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	csr, compact := streamTestGraph(t)
+	for _, alg := range []core.Algorithm{RIS{}, TIMPlus{}, IMM{}, SSA{}} {
+		t.Run(alg.Name(), func(t *testing.T) {
+			ref := runCell(t, alg, csr, 1, 0, "")
+			if ref.err != nil {
+				t.Fatalf("reference run: %v", ref.err)
+			}
+			if len(ref.seeds) != 5 {
+				t.Fatalf("reference run returned %d seeds", len(ref.seeds))
+			}
+			for _, tc := range []struct {
+				name    string
+				g       graph.G
+				workers int
+				arena   int64
+			}{
+				{"materialized-8workers", csr, 8, 0},
+				{"materialized-compact", compact, 1, 0},
+				{"streaming-serial", csr, 1, 1 << 10},
+				{"streaming-8workers", csr, 8, 1 << 10},
+				{"streaming-compact-8workers", compact, 8, 1 << 10},
+			} {
+				got := runCell(t, alg, tc.g, tc.workers, tc.arena, t.TempDir())
+				if got.err != nil {
+					t.Fatalf("%s: %v", tc.name, got.err)
+				}
+				if !reflect.DeepEqual(ref.seeds, got.seeds) {
+					t.Errorf("%s: seeds %v, want %v", tc.name, got.seeds, ref.seeds)
+				}
+				if ref.spread != got.spread {
+					t.Errorf("%s: spread %v, want %v (must be bit-identical)", tc.name, got.spread, ref.spread)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamingIndexMatchesMaterialized extends the invariant to the oracle
+// build: a streamed index answers every query identically to a materialized
+// one, while reporting itself non-persistable.
+func TestStreamingIndexMatchesMaterialized(t *testing.T) {
+	csr, compact := streamTestGraph(t)
+	mkCtx := func(g graph.G, arena int64, dir string) *core.Context {
+		ctx := core.NewContext(g, weights.IC, 5, 7)
+		ctx.Workers = 4
+		ctx.ArenaBytes = arena
+		ctx.SpillDir = dir
+		return ctx
+	}
+	ref, err := BuildIndex(mkCtx(csr, 0, ""), 400)
+	if err != nil {
+		t.Fatalf("materialized build: %v", err)
+	}
+	if !ref.Persistable() {
+		t.Fatal("materialized index must be persistable")
+	}
+	streamed, err := BuildIndex(mkCtx(compact, 1<<10, t.TempDir()), 400)
+	if err != nil {
+		t.Fatalf("streamed build: %v", err)
+	}
+	if streamed.Persistable() || streamed.Store() != nil {
+		t.Fatal("streamed index must not be persistable")
+	}
+	if ref.NumSets() != streamed.NumSets() {
+		t.Fatalf("NumSets %d vs %d", ref.NumSets(), streamed.NumSets())
+	}
+	refSeeds, refSpread, err := ref.SelectSeeds(5, nil)
+	if err != nil {
+		t.Fatalf("SelectSeeds: %v", err)
+	}
+	gotSeeds, gotSpread, err := streamed.SelectSeeds(5, nil)
+	if err != nil {
+		t.Fatalf("streamed SelectSeeds: %v", err)
+	}
+	if !reflect.DeepEqual(refSeeds, gotSeeds) || refSpread != gotSpread {
+		t.Fatalf("streamed oracle diverges: %v/%v vs %v/%v", gotSeeds, gotSpread, refSeeds, refSpread)
+	}
+	if got, want := streamed.SpreadOf(refSeeds), ref.SpreadOf(refSeeds); got != want {
+		t.Fatalf("SpreadOf %v vs %v", got, want)
+	}
+}

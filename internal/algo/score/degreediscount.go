@@ -87,7 +87,7 @@ func (d DegreeDiscount) Select(ctx *core.Context) ([]graph.NodeID, error) {
 	return seeds, nil
 }
 
-func meanArcWeight(g *graph.Graph) float64 {
+func meanArcWeight(g graph.G) float64 {
 	var sum float64
 	var cnt int64
 	n := g.N()

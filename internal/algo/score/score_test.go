@@ -32,11 +32,11 @@ func randomGraph(seed uint64, n int32, m int) *graph.Graph {
 }
 
 func randomWC(seed uint64, n int32, m int) *graph.Graph {
-	return weights.WeightedCascade{}.Apply(randomGraph(seed, n, m))
+	return weights.WeightedCascade{}.Apply(randomGraph(seed, n, m)).(*graph.Graph)
 }
 
 func randomLT(seed uint64, n int32, m int) *graph.Graph {
-	return weights.LTUniform{}.Apply(randomGraph(seed, n, m))
+	return weights.LTUniform{}.Apply(randomGraph(seed, n, m)).(*graph.Graph)
 }
 
 func selectSeeds(t *testing.T, alg core.Algorithm, g *graph.Graph, m weights.Model, k int, param float64) []graph.NodeID {
@@ -93,7 +93,7 @@ func TestICFamilyPicksHub(t *testing.T) {
 }
 
 func TestLTFamilyPicksHub(t *testing.T) {
-	g := weights.LTUniform{}.Apply(star(10, 1))
+	g := weights.LTUniform{}.Apply(star(10, 1)).(*graph.Graph)
 	for _, alg := range []core.Algorithm{LDAG{}, SIMPATH{}, EaSyIM{}} {
 		seeds := selectSeeds(t, alg, g, weights.LT, 1, 0)
 		if seeds[0] != 0 {

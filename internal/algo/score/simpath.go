@@ -47,7 +47,7 @@ func (SIMPATH) Param(weights.Model) core.Param { return core.Param{} }
 // pathEnumerator performs the pruned simple-path enumerations.
 type pathEnumerator struct {
 	ctx     *core.Context
-	g       *graph.Graph
+	g       graph.G
 	eta     float64
 	onPath  []bool
 	blocked []bool // nodes excluded from the walk (selected seeds)
@@ -241,7 +241,7 @@ func (sp SIMPATH) Select(ctx *core.Context) ([]graph.NodeID, error) {
 // vertexCover computes a simple maximal-matching 2-approximate vertex
 // cover of the (symmetrized) graph, as SIMPATH's first-iteration
 // optimization prescribes.
-func vertexCover(g *graph.Graph) []bool {
+func vertexCover(g graph.G) []bool {
 	n := g.N()
 	cover := make([]bool, n)
 	matched := make([]bool, n)

@@ -13,7 +13,7 @@ import (
 
 func testPool(t *testing.T, r int) (*Pool, *graph.Graph) {
 	t.Helper()
-	g := weights.WeightedCascade{}.Apply(datasets.MustGenerate("nethept", 64, 1))
+	g := weights.WeightedCascade{}.Apply(datasets.MustGenerate("nethept", 64, 1)).(*graph.Graph)
 	ctx := core.NewContext(g, weights.IC, 1, 7)
 	p, err := BuildPool(ctx, r)
 	if err != nil {
@@ -106,7 +106,7 @@ func TestPoolAgreesWithMC(t *testing.T) {
 }
 
 func TestPoolBuildHonorsBudget(t *testing.T) {
-	g := weights.WeightedCascade{}.Apply(datasets.MustGenerate("nethept", 64, 1))
+	g := weights.WeightedCascade{}.Apply(datasets.MustGenerate("nethept", 64, 1)).(*graph.Graph)
 	ctx := core.NewContext(g, weights.IC, 1, 7)
 	ctx.Cancel(core.ErrCancelled)
 	if _, err := BuildPool(ctx, 1000); !errors.Is(err, core.ErrCancelled) {

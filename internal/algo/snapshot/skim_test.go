@@ -54,7 +54,7 @@ func TestSKIMQualityMatchesStaticGreedy(t *testing.T) {
 }
 
 func TestSKIMLT(t *testing.T) {
-	g := weights.LTUniform{}.Apply(star(8, 1))
+	g := weights.LTUniform{}.Apply(star(8, 1)).(*graph.Graph)
 	ctx := core.NewContext(g, weights.LT, 2, 5)
 	ctx.ParamValue = 16
 	seeds, err := (SKIM{}).Select(ctx)

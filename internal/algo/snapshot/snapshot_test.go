@@ -29,7 +29,7 @@ func randomWC(seed uint64, n int32, m int) *graph.Graph {
 			_ = b.AddEdge(u, v, 1)
 		}
 	}
-	return weights.WeightedCascade{}.Apply(b.BuildSimple())
+	return weights.WeightedCascade{}.Apply(b.BuildSimple()).(*graph.Graph)
 }
 
 func selectSeeds(t *testing.T, alg core.Algorithm, g *graph.Graph, k int, snaps float64) []graph.NodeID {
@@ -92,7 +92,7 @@ func TestPMCMatchesStaticGreedy(t *testing.T) {
 // TestQualityAgainstGreedyReference on a denser IC graph.
 func TestQualityAgainstGreedyReference(t *testing.T) {
 	base := randomWC(9, 50, 250)
-	g := weights.ICConstant{P: 0.15}.Apply(base)
+	g := weights.ICConstant{P: 0.15}.Apply(base).(*graph.Graph)
 	const k = 4
 	sim := diffusion.NewSimulator(g, weights.IC)
 	var ref []graph.NodeID
@@ -126,7 +126,7 @@ func TestQualityAgainstGreedyReference(t *testing.T) {
 // evaluation on a graph with substantial cyclic structure.
 func TestPMCFasterThanSG(t *testing.T) {
 	base := randomWC(11, 400, 4000)
-	g := weights.ICConstant{P: 0.15}.Apply(base)
+	g := weights.ICConstant{P: 0.15}.Apply(base).(*graph.Graph)
 	run := func(alg core.Algorithm) time.Duration {
 		start := time.Now()
 		selectSeeds(t, alg, g, 10, 100)
@@ -148,7 +148,7 @@ func TestPMCFasterThanSG(t *testing.T) {
 // condensations — PMC must account fewer bytes (paper Fig. 8 ordering).
 func TestSGAccountsMoreMemoryThanPMC(t *testing.T) {
 	base := randomWC(13, 200, 2000)
-	g := weights.ICConstant{P: 0.2}.Apply(base)
+	g := weights.ICConstant{P: 0.2}.Apply(base).(*graph.Graph)
 	mem := func(alg core.Algorithm) int64 {
 		ctx := core.NewContext(g, weights.IC, 3, 5)
 		ctx.ParamValue = 80
@@ -165,7 +165,7 @@ func TestSGAccountsMoreMemoryThanPMC(t *testing.T) {
 
 func TestBudgetDNF(t *testing.T) {
 	base := randomWC(17, 500, 5000)
-	g := weights.ICConstant{P: 0.2}.Apply(base)
+	g := weights.ICConstant{P: 0.2}.Apply(base).(*graph.Graph)
 	res := core.Run(StaticGreedy{}, g, core.RunConfig{
 		K: 50, Model: weights.IC, Seed: 1, ParamValue: 250,
 		TimeBudget: 10 * time.Millisecond,
@@ -194,7 +194,7 @@ func TestDescendantBoundIsUpperBound(t *testing.T) {
 	// Diamond DAG: 0→{1,2}→3. Exact reach of 0 is 4; the sharing-ignorant
 	// bound is 1+ (1+1) + (1+1) = 5 ≥ 4.
 	g := randomWC(21, 30, 120)
-	sn := diffusion.SampleSnapshot(weights.ICConstant{P: 0.5}.Apply(g), weights.IC, rng.New(3))
+	sn := diffusion.SampleSnapshot(weights.ICConstant{P: 0.5}.Apply(g).(*graph.Graph), weights.IC, rng.New(3))
 	comp, ncomp := sccOf(sn)
 	dag := condenseOf(sn, comp, ncomp)
 	bound := descendantBound(dag)

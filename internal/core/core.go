@@ -105,7 +105,7 @@ func (p Param) HasParam() bool { return p.Name != "" }
 // Account for large allocations so the Runner can reproduce DNF/Crashed
 // outcomes and the memory plots.
 type Context struct {
-	G     *graph.Graph
+	G     graph.G
 	Model weights.Model
 	K     int
 	// ParamValue is the external parameter value for this run; meaning is
@@ -119,6 +119,15 @@ type Context struct {
 	// determinism contract); values < 1 mean serial, keeping benchmark
 	// cells single-threaded by default as in the paper's study.
 	Workers int
+	// ArenaBytes > 0 switches the RR-set algorithms to streaming sampling:
+	// sets accumulate in an arena bounded (approximately) by this many
+	// bytes, rotating full batches into an incremental coverage builder
+	// that spills raw sets to disk. Results are byte-identical to the
+	// default materialized mode; only the resident footprint changes.
+	// 0 keeps the materialized mode (the paper's measurement).
+	ArenaBytes int64
+	// SpillDir hosts streaming-mode spill files ("" = system temp dir).
+	SpillDir string
 
 	deadline time.Time
 	memLimit int64
@@ -144,7 +153,7 @@ type Context struct {
 
 // NewContext builds a Context with no budget; primarily for tests and
 // examples. The Runner constructs budgeted contexts internally.
-func NewContext(g *graph.Graph, model weights.Model, k int, seed uint64) *Context {
+func NewContext(g graph.G, model weights.Model, k int, seed uint64) *Context {
 	return &Context{G: g, Model: model, K: k, RNG: rng.New(seed), EstimatedSpread: -1}
 }
 

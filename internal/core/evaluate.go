@@ -30,7 +30,7 @@ import (
 func evalSeed(cfg RunConfig) uint64 { return cfg.Seed ^ 0x5eed }
 
 // evaluator builds the common-world evaluator for a cell configuration.
-func evaluator(g *graph.Graph, cfg RunConfig) *diffusion.WorldEvaluator {
+func evaluator(g graph.G, cfg RunConfig) *diffusion.WorldEvaluator {
 	return diffusion.NewWorldEvaluator(g, cfg.Model, cfg.EvalSims, evalSeed(cfg))
 }
 
@@ -47,7 +47,7 @@ func evaluator(g *graph.Graph, cfg RunConfig) *diffusion.WorldEvaluator {
 // record a half-evaluated cell and resume re-runs exactly the unevaluated
 // ones. The per-cell EvalTime is the simulation time attributed to the
 // cell's own incremental extensions, summed across evaluation workers.
-func EvaluateSweepCtx(stdctx context.Context, g *graph.Graph, cfg RunConfig, results []Result) error {
+func EvaluateSweepCtx(stdctx context.Context, g graph.G, cfg RunConfig, results []Result) error {
 	if cfg.EvalSims <= 0 {
 		return nil
 	}

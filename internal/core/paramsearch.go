@@ -64,14 +64,14 @@ func (c ParamChoice) String() string {
 // Search sweeps the algorithm's parameter spectrum on g and returns the
 // chosen value. Algorithms without an external parameter return a zero
 // choice immediately (LDAG, IRIE, SIMPATH — paper §5.1.1).
-func (ps ParamSearch) Search(alg Algorithm, g *graph.Graph) ParamChoice {
+func (ps ParamSearch) Search(alg Algorithm, g graph.G) ParamChoice {
 	return ps.SearchCtx(context.Background(), alg, g)
 }
 
 // SearchCtx is Search under an external context: cancelling stdctx stops
 // the sweep after the probe in flight, and the choice falls back to the
 // best information gathered so far (or the default when nothing completed).
-func (ps ParamSearch) SearchCtx(stdctx context.Context, alg Algorithm, g *graph.Graph) ParamChoice {
+func (ps ParamSearch) SearchCtx(stdctx context.Context, alg Algorithm, g graph.G) ParamChoice {
 	if stdctx == nil {
 		stdctx = context.Background()
 	}
@@ -184,12 +184,12 @@ func Converged(spreadAlpha1, spreadAlphaI, tol float64) bool {
 // returns the LAST value that still satisfies Converged against α1 — the
 // direct transcription of Alg. 3's outer loop. It is cheaper than Search
 // (no per-k sweep) and is used by the quickstart path.
-func (ps ParamSearch) SearchDescending(alg Algorithm, g *graph.Graph, tol float64) ParamChoice {
+func (ps ParamSearch) SearchDescending(alg Algorithm, g graph.G, tol float64) ParamChoice {
 	return ps.SearchDescendingCtx(context.Background(), alg, g, tol)
 }
 
 // SearchDescendingCtx is SearchDescending under an external context.
-func (ps ParamSearch) SearchDescendingCtx(stdctx context.Context, alg Algorithm, g *graph.Graph, tol float64) ParamChoice {
+func (ps ParamSearch) SearchDescendingCtx(stdctx context.Context, alg Algorithm, g graph.G, tol float64) ParamChoice {
 	if stdctx == nil {
 		stdctx = context.Background()
 	}

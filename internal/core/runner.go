@@ -46,6 +46,13 @@ type RunConfig struct {
 	// stream per sample, not per worker — so this only changes wall-clock
 	// time. 0 or 1 = serial (the paper's single-threaded measurement).
 	Workers int
+
+	// ArenaBytes > 0 bounds the resident RR-set arena of the sampling
+	// phases (streaming mode; see Context.ArenaBytes). Seeds and spread
+	// estimates are byte-identical to the default materialized mode.
+	ArenaBytes int64
+	// SpillDir hosts streaming-mode spill files ("" = system temp dir).
+	SpillDir string
 }
 
 // DefaultRunConfig returns the paper's standard cell configuration at
@@ -101,7 +108,7 @@ func (r Result) String() string {
 // Run executes one benchmark cell: instrumented seed selection followed by
 // the decoupled uniform spread evaluation. It never panics on budget
 // exhaustion; DNF/Crashed outcomes are reported in Result.Status.
-func Run(alg Algorithm, g *graph.Graph, cfg RunConfig) Result {
+func Run(alg Algorithm, g graph.G, cfg RunConfig) Result {
 	return RunCtx(context.Background(), alg, g, cfg)
 }
 
@@ -111,7 +118,7 @@ func Run(alg Algorithm, g *graph.Graph, cfg RunConfig) Result {
 // supervised (see guardedSelect): panics become Panicked, and the hard
 // watchdog turns non-cooperative budget overruns into DNF cells with
 // HardKilled set instead of hanging the campaign.
-func RunCtx(stdctx context.Context, alg Algorithm, g *graph.Graph, cfg RunConfig) Result {
+func RunCtx(stdctx context.Context, alg Algorithm, g graph.G, cfg RunConfig) Result {
 	res := Result{
 		Algorithm:       alg.Name(),
 		Dataset:         g.Name(),
@@ -146,6 +153,8 @@ func RunCtx(stdctx context.Context, alg Algorithm, g *graph.Graph, cfg RunConfig
 		ParamValue:      cfg.ParamValue,
 		RNG:             rng.New(cfg.Seed),
 		Workers:         cfg.Workers,
+		ArenaBytes:      cfg.ArenaBytes,
+		SpillDir:        cfg.SpillDir,
 		memLimit:        cfg.MemBudgetBytes,
 		mem:             mem,
 		EstimatedSpread: -1,
@@ -241,7 +250,7 @@ func validateSeeds(seeds []graph.NodeID, k int, n int32) error {
 
 // RunSweep runs the same algorithm over a range of k values, reusing the
 // configuration. Paper Figs. 6–8 sweep k ∈ {1, 25, 50, …, 200}.
-func RunSweep(alg Algorithm, g *graph.Graph, cfg RunConfig, ks []int) []Result {
+func RunSweep(alg Algorithm, g graph.G, cfg RunConfig, ks []int) []Result {
 	return RunSweepCtx(context.Background(), alg, g, cfg, ks)
 }
 
@@ -257,7 +266,7 @@ func RunSweep(alg Algorithm, g *graph.Graph, cfg RunConfig, ks []int) []Result {
 // of each cell is bit-identical to running that cell alone. On cancellation
 // mid-evaluation, cells still awaiting their spread are marked Cancelled
 // (incomplete, re-run on resume), matching the single-cell contract.
-func RunSweepCtx(stdctx context.Context, alg Algorithm, g *graph.Graph, cfg RunConfig, ks []int) []Result {
+func RunSweepCtx(stdctx context.Context, alg Algorithm, g graph.G, cfg RunConfig, ks []int) []Result {
 	if stdctx == nil {
 		stdctx = context.Background()
 	}

@@ -1,0 +1,84 @@
+package datasets
+
+import (
+	"fmt"
+
+	"github.com/sigdata/goinfmax/internal/graph"
+)
+
+// Streaming synthetic generation
+//
+// The registry generators materialize a Builder — fine for laptop-scale
+// stand-ins, impossible for the ≥100M-edge graphs the compact backend
+// exists for. StreamRMAT generates arcs one at a time with O(1) state per
+// arc: arc i's endpoints are a pure function of (seed, i), so the stream
+// can be produced in bounded memory, regenerated deterministically, and
+// even emitted in parallel ranges if a caller ever needs to.
+
+// rmatMix is a splitmix64 step: the i-th output of a seed's stream, used to
+// give every arc an independent deterministic RNG state.
+func rmatMix(seed uint64, i int64) uint64 {
+	z := seed + (uint64(i)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// StreamRMAT emits m directed arcs of an R-MAT graph over n nodes to the
+// emit callback, using the classic (0.57, 0.19, 0.19, 0.05) quadrant
+// probabilities (Graph500's power-law parameterization). Endpoints are
+// drawn in the enclosing power-of-two ID space and rejected until they land
+// in [0, n); self-loops are emitted (the binary writer and Builder both
+// drop them, keeping the two ingestion paths identical). Arc i depends only
+// on (seed, i), never on earlier arcs.
+func StreamRMAT(n int32, m int64, seed uint64, emit func(u, v graph.NodeID) error) error {
+	if n < 2 {
+		return fmt.Errorf("datasets: rmat needs n >= 2, got %d", n)
+	}
+	if m < 0 {
+		return fmt.Errorf("datasets: rmat needs m >= 0, got %d", m)
+	}
+	levels := 0
+	for int64(1)<<levels < int64(n) {
+		levels++
+	}
+	const (
+		pa = 0.57
+		pb = 0.19
+		pc = 0.19
+	)
+	for i := int64(0); i < m; i++ {
+		state := rmatMix(seed, i)
+		next := func() float64 {
+			// xorshift64* step; top 53 bits to a uniform [0,1).
+			state ^= state >> 12
+			state ^= state << 25
+			state ^= state >> 27
+			return float64((state*0x2545f4914f6cdd1d)>>11) / (1 << 53)
+		}
+		var u, v int64
+		for {
+			u, v = 0, 0
+			for l := 0; l < levels; l++ {
+				r := next()
+				switch {
+				case r < pa: // top-left: neither bit set
+				case r < pa+pb: // top-right
+					v |= 1 << l
+				case r < pa+pb+pc: // bottom-left
+					u |= 1 << l
+				default: // bottom-right
+					u |= 1 << l
+					v |= 1 << l
+				}
+			}
+			if u < int64(n) && v < int64(n) {
+				break
+			}
+		}
+		if err := emit(graph.NodeID(u), graph.NodeID(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

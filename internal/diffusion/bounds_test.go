@@ -51,10 +51,10 @@ func TestSpreadBounds(t *testing.T) {
 		var g *graph.Graph
 		var model weights.Model
 		if useLT {
-			g = weights.LTUniform{}.Apply(raw)
+			g = weights.LTUniform{}.Apply(raw).(*graph.Graph)
 			model = weights.LT
 		} else {
-			g = weights.WeightedCascade{}.Apply(raw)
+			g = weights.WeightedCascade{}.Apply(raw).(*graph.Graph)
 			model = weights.IC
 		}
 		numSeeds := int(rawS%3) + 1

@@ -19,7 +19,7 @@ import (
 // per-run allocation after warm-up. A Simulator is NOT safe for concurrent
 // use; create one per goroutine.
 type Simulator struct {
-	g     *graph.Graph
+	g     graph.G
 	model weights.Model
 
 	// Epoch-stamped visited marks: node v is active in the current run iff
@@ -37,7 +37,8 @@ type Simulator struct {
 // NewSimulator creates a Simulator for g under the given diffusion
 // semantics. The graph's weights must already follow a scheme compatible
 // with the model (see package weights).
-func NewSimulator(g *graph.Graph, model weights.Model) *Simulator {
+func NewSimulator(g graph.G, model weights.Model) *Simulator {
+	g = graph.View(g) // private decode buffers: one Simulator per goroutine
 	n := g.N()
 	s := &Simulator{
 		g:     g,
@@ -54,7 +55,7 @@ func NewSimulator(g *graph.Graph, model weights.Model) *Simulator {
 }
 
 // Graph returns the simulator's graph.
-func (s *Simulator) Graph() *graph.Graph { return s.g }
+func (s *Simulator) Graph() graph.G { return s.g }
 
 // Model returns the simulator's diffusion semantics.
 func (s *Simulator) Model() weights.Model { return s.model }

@@ -234,7 +234,7 @@ func TestRunTwoPhase(t *testing.T) {
 					_ = b.AddEdge(u, v, 1)
 				}
 			}
-			g = weights.LTUniform{}.Apply(b.BuildSimple())
+			g = weights.LTUniform{}.Apply(b.BuildSimple()).(*graph.Graph)
 		}
 		sim := NewSimulator(g, m)
 		s1 := []graph.NodeID{1, 2}
@@ -283,5 +283,5 @@ func randomWCGraph(seed uint64, n int32, m int) *graph.Graph {
 		_ = b.AddEdge(u, v, 1)
 	}
 	g := b.BuildSimple()
-	return weights.WeightedCascade{}.Apply(g)
+	return weights.WeightedCascade{}.Apply(g).(*graph.Graph)
 }

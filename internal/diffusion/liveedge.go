@@ -27,7 +27,7 @@ import (
 // nodes appearing in many RR sets are influential (paper §4.2). The sampler
 // reuses scratch space; it is not safe for concurrent use.
 type RRSampler struct {
-	g     *graph.Graph
+	g     graph.G
 	model weights.Model
 	mark  []uint32
 	epoch uint32
@@ -40,7 +40,8 @@ type RRSampler struct {
 }
 
 // NewRRSampler creates an RR-set sampler over g under the given model.
-func NewRRSampler(g *graph.Graph, model weights.Model) *RRSampler {
+func NewRRSampler(g graph.G, model weights.Model) *RRSampler {
+	g = graph.View(g) // private decode buffers: one sampler per goroutine
 	return &RRSampler{
 		g:     g,
 		model: model,
@@ -144,7 +145,8 @@ func (sn *Snapshot) MemoryBytes() int64 {
 // SampleSnapshot materializes one live-edge instantiation under the model.
 // IC keeps each arc independently with its weight; LT keeps exactly the one
 // in-arc each node selects (if any), expressed in forward orientation.
-func SampleSnapshot(g *graph.Graph, model weights.Model, r *rng.Source) *Snapshot {
+func SampleSnapshot(g graph.G, model weights.Model, r *rng.Source) *Snapshot {
+	g = graph.View(g) // private decode buffers: snapshots sample in parallel
 	n := g.N()
 	switch model {
 	case weights.IC:

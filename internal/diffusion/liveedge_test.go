@@ -76,7 +76,7 @@ func TestRRSetUnbiasedLT(t *testing.T) {
 // Fig. 1a / M6 blow-up.
 func TestRRSetSizesTrackEdgeWeight(t *testing.T) {
 	base := randomWCGraph(51, 60, 600)
-	hi := weights.ICConstant{P: 0.4}.Apply(base)
+	hi := weights.ICConstant{P: 0.4}.Apply(base).(*graph.Graph)
 	r := rng.New(8)
 	avg := func(g *graph.Graph) float64 {
 		s := NewRRSampler(g, weights.IC)
@@ -117,7 +117,7 @@ func TestLTRRSetIsPath(t *testing.T) {
 // match the expected keep probability.
 func TestSnapshotICKeepRate(t *testing.T) {
 	base := randomWCGraph(61, 40, 300)
-	g := weights.ICConstant{P: 0.3}.Apply(base)
+	g := weights.ICConstant{P: 0.3}.Apply(base).(*graph.Graph)
 	r := rng.New(12)
 	var live, total int64
 	for i := 0; i < 300; i++ {
@@ -205,5 +205,5 @@ func randomLTGraph(seed uint64, n int32, m int) *graph.Graph {
 		_ = b.AddEdge(u, v, 1)
 	}
 	g := b.BuildSimple()
-	return weights.LTUniform{}.Apply(g)
+	return weights.LTUniform{}.Apply(g).(*graph.Graph)
 }

@@ -18,7 +18,7 @@ import (
 // The paper decouples seed selection from spread computation and charges the
 // 10K-simulation evaluation to neither algorithm (paper §5.1); this parallel
 // estimator keeps that evaluation fast without perturbing the benchmarks.
-func EstimateSpreadParallel(g *graph.Graph, model weights.Model, seeds []graph.NodeID, r int, seed uint64, workers int) Estimate {
+func EstimateSpreadParallel(g graph.G, model weights.Model, seeds []graph.NodeID, r int, seed uint64, workers int) Estimate {
 	est, _ := EstimateSpreadParallelCtx(context.Background(), g, model, seeds, r, seed, workers)
 	return est
 }
@@ -27,7 +27,7 @@ func EstimateSpreadParallel(g *graph.Graph, model weights.Model, seeds []graph.N
 // context: workers poll ctx between simulations and abort promptly once it
 // is cancelled, returning a zero Estimate and ctx's error. An uncancelled
 // run returns exactly what EstimateSpreadParallel would.
-func EstimateSpreadParallelCtx(ctx context.Context, g *graph.Graph, model weights.Model, seeds []graph.NodeID, r int, seed uint64, workers int) (Estimate, error) {
+func EstimateSpreadParallelCtx(ctx context.Context, g graph.G, model weights.Model, seeds []graph.NodeID, r int, seed uint64, workers int) (Estimate, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -128,7 +128,7 @@ func EstimateSpreadParallelCtx(ctx context.Context, g *graph.Graph, model weight
 // prefix chain, so the second set costs one incremental frontier extension
 // per world instead of a second full pass. Used by tests that verify
 // monotonicity and submodularity statistically.
-func MarginalGain(g *graph.Graph, model weights.Model, s []graph.NodeID, v graph.NodeID, r int, seed uint64) float64 {
+func MarginalGain(g graph.G, model weights.Model, s []graph.NodeID, v graph.NodeID, r int, seed uint64) float64 {
 	gain, err := MarginalGainCtx(context.Background(), g, model, s, v, r, seed)
 	if err != nil { // unreachable: the background context never cancels
 		panic(err)
@@ -140,7 +140,7 @@ func MarginalGain(g *graph.Graph, model weights.Model, s []graph.NodeID, v graph
 // polls ctx between worlds and aborts promptly once it is cancelled,
 // returning ctx's error. An uncancelled call returns exactly what
 // MarginalGain would.
-func MarginalGainCtx(ctx context.Context, g *graph.Graph, model weights.Model, s []graph.NodeID, v graph.NodeID, r int, seed uint64) (float64, error) {
+func MarginalGainCtx(ctx context.Context, g graph.G, model weights.Model, s []graph.NodeID, v graph.NodeID, r int, seed uint64) (float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}

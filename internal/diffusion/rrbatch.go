@@ -54,6 +54,15 @@ func sampleSeed(base uint64, i int64) uint64 {
 // ArcsTraversed counter aggregates the whole batch either way. Returns the
 // number of sets actually appended (== count unless poll aborted).
 func (s *RRSampler) SampleBatch(store *graphalgo.SetStore, count int64, baseSeed uint64, workers int, poll func() error, account func(delta int64)) (int64, error) {
+	return s.sampleBatchAt(store, 0, count, baseSeed, workers, poll, account)
+}
+
+// sampleBatchAt is SampleBatch generalized to a global index window: it
+// draws samples first..first+count-1 of the baseSeed stream. Because sample
+// i's RNG stream depends only on (baseSeed, i), a sequence of window calls
+// covering [0, θ) yields exactly the sets one SampleBatch(θ) call would —
+// the streaming sampler's determinism reduces to the batch sampler's.
+func (s *RRSampler) sampleBatchAt(store *graphalgo.SetStore, first, count int64, baseSeed uint64, workers int, poll func() error, account func(delta int64)) (int64, error) {
 	if count <= 0 {
 		return 0, nil
 	}
@@ -73,7 +82,7 @@ func (s *RRSampler) SampleBatch(store *graphalgo.SetStore, count int64, baseSeed
 	}
 
 	if workers == 1 {
-		added, err := s.sampleRange(store, 0, count, baseSeed, poll, nil, func() {
+		added, err := s.sampleRange(store, first, first+count, baseSeed, poll, nil, func() {
 			charge(store.Bytes() - entryBytes)
 		})
 		charge(store.Bytes() - entryBytes)
@@ -91,10 +100,10 @@ func (s *RRSampler) SampleBatch(store *graphalgo.SetStore, count int64, baseSeed
 	shards := make([]*graphalgo.SetStore, 0, workers)
 	samplers := make([]*RRSampler, 0, workers)
 	for w := 0; w < workers; w++ {
-		lo := int64(w) * chunk
+		lo := first + int64(w)*chunk
 		hi := lo + chunk
-		if hi > count {
-			hi = count
+		if hi > first+count {
+			hi = first + count
 		}
 		if lo >= hi {
 			break

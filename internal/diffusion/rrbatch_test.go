@@ -19,7 +19,7 @@ func batchGraph(seed uint64, n int32, m int) *graph.Graph {
 			_ = b.AddEdge(u, v, 1)
 		}
 	}
-	return weights.WeightedCascade{}.Apply(b.BuildSimple())
+	return weights.WeightedCascade{}.Apply(b.BuildSimple()).(*graph.Graph)
 }
 
 // TestSampleBatchDeterministicAcrossWorkers is the core determinism
@@ -30,7 +30,7 @@ func TestSampleBatchDeterministicAcrossWorkers(t *testing.T) {
 	for _, model := range []weights.Model{weights.IC, weights.LT} {
 		g := batchGraph(3, 200, 1600)
 		if model == weights.LT {
-			g = weights.LTUniform{}.Apply(batchGraph(3, 200, 1600))
+			g = weights.LTUniform{}.Apply(batchGraph(3, 200, 1600)).(*graph.Graph)
 		}
 		const count, baseSeed = 700, 99
 		serial := graphalgo.NewSetStore()

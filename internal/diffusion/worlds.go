@@ -62,7 +62,7 @@ func worldCoin(worldSeed uint64, index int64) float64 {
 // immutable and safe for concurrent use; each EvalBatch call allocates its
 // own scratch (one simulator per worker).
 type WorldEvaluator struct {
-	g      *graph.Graph
+	g      graph.G
 	model  weights.Model
 	worlds int
 	seed   uint64
@@ -72,7 +72,7 @@ type WorldEvaluator struct {
 // model, all derived from seed. Two evaluators with identical (g, model,
 // worlds, seed) observe identical worlds, so spreads computed by separate
 // calls — even separate processes — are directly comparable world by world.
-func NewWorldEvaluator(g *graph.Graph, model weights.Model, worlds int, seed uint64) *WorldEvaluator {
+func NewWorldEvaluator(g graph.G, model weights.Model, worlds int, seed uint64) *WorldEvaluator {
 	if worlds <= 0 {
 		worlds = 1
 	}
@@ -426,7 +426,7 @@ func worldScratchBytes(n int32, model weights.Model) int64 {
 // Simulator it reuses epoch-stamped scratch and is not safe for concurrent
 // use; EvalBatch creates one per worker.
 type worldSim struct {
-	g     *graph.Graph
+	g     graph.G
 	model weights.Model
 	m     int64 // arc count: LT node draws are keyed on m+v
 
@@ -447,7 +447,8 @@ type worldSim struct {
 	worldEpoch uint32
 }
 
-func newWorldSim(g *graph.Graph, model weights.Model) *worldSim {
+func newWorldSim(g graph.G, model weights.Model) *worldSim {
+	g = graph.View(g) // private decode buffers: one worldSim per worker
 	n := g.N()
 	s := &worldSim{
 		g:     g,

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/sigdata/goinfmax/internal/core"
+	"github.com/sigdata/goinfmax/internal/graph"
 )
 
 // tinyConfig is small enough that any single experiment finishes in
@@ -99,7 +100,7 @@ func TestPreparedParallelConsolidates(t *testing.T) {
 	}
 	// LT-parallel output must be a simple graph with in-weight sums ≤ 1.
 	for v := int32(0); v < g.N(); v++ {
-		if s := g.TotalInWeight(v); s > 1+1e-9 {
+		if s := graph.TotalInWeightOf(g, v); s > 1+1e-9 {
 			t.Fatalf("node %d in-weight %v", v, s)
 		}
 	}

@@ -146,7 +146,7 @@ func gridResults(cfg Config) (results []core.Result, err error) {
 // their Spread and are not re-evaluated or re-journaled. On cancellation the
 // fresh cells are downgraded to Cancelled, left out of the journal, and the
 // grid reports the interruption — resume re-runs exactly those cells.
-func gridEvaluate(ctx context.Context, cfg Config, g *graph.Graph, mc modelConfig, results []core.Result, pending []int, journal *core.Journal) error {
+func gridEvaluate(ctx context.Context, cfg Config, g graph.G, mc modelConfig, results []core.Result, pending []int, journal *core.Journal) error {
 	if len(pending) == 0 {
 		return nil
 	}
@@ -176,7 +176,7 @@ func gridEvaluate(ctx context.Context, cfg Config, g *graph.Graph, mc modelConfi
 
 // gridCell resolves one cell: from the resume journal when available,
 // otherwise by running it. fresh reports whether the cell was executed.
-func gridCell(ctx context.Context, cfg Config, alg core.Algorithm, g *graph.Graph, rc core.RunConfig, ds, label string, resume map[string]core.Result) (res core.Result, fresh bool) {
+func gridCell(ctx context.Context, cfg Config, alg core.Algorithm, g graph.G, rc core.RunConfig, ds, label string, resume map[string]core.Result) (res core.Result, fresh bool) {
 	probe := core.Result{Algorithm: alg.Name(), Dataset: ds + "/" + label, Model: rc.Model, K: rc.K, Param: rc.ParamValue}
 	if prior, ok := resume[probe.CellKey()]; ok {
 		cfg.logf("grid %s/%s %s k=%d: %s (journal)", ds, label, alg.Name(), rc.K, prior.Status)

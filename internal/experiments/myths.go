@@ -209,7 +209,7 @@ func Myth5(cfg Config) error {
 		return err
 	}
 
-	runPair := func(ds, weightsLabel string, g *graph.Graph) error {
+	runPair := func(ds, weightsLabel string, g graph.G) error {
 		for _, k := range cfg.Ks {
 			rcL := cfg.cell(lt, k)
 			rcL.EvalSims = 0

@@ -78,7 +78,7 @@ func Params(cfg Config) error {
 
 // paramSearchOver runs core.ParamSearch with an overridden (reduced)
 // parameter spectrum.
-func paramSearchOver(ps core.ParamSearch, alg core.Algorithm, g *graph.Graph, spectrum []float64) core.ParamChoice {
+func paramSearchOver(ps core.ParamSearch, alg core.Algorithm, g graph.G, spectrum []float64) core.ParamChoice {
 	return ps.Search(spectrumOverride{Algorithm: alg, spectrum: spectrum}, g)
 }
 

@@ -41,7 +41,7 @@ func modelByLabel(label string) (modelConfig, error) {
 var graphCache sync.Map
 
 // prepared returns the named dataset at cfg scale with mc's weights applied.
-func prepared(cfg Config, dataset string, mc modelConfig) (*graph.Graph, error) {
+func prepared(cfg Config, dataset string, mc modelConfig) (graph.G, error) {
 	scale := int64(1)
 	if cfg.ExtraScale > 1 {
 		scale = cfg.ExtraScale
@@ -52,7 +52,7 @@ func prepared(cfg Config, dataset string, mc modelConfig) (*graph.Graph, error) 
 	}
 	key := fmt.Sprintf("%s/%d/%s/%d", dataset, scale, mc.Scheme.Name(), cfg.Seed)
 	if g, ok := graphCache.Load(key); ok {
-		return g.(*graph.Graph), nil
+		return g.(graph.G), nil
 	}
 	base, err := datasets.Generate(dataset, spec.DefaultScale*scale, cfg.Seed)
 	if err != nil {
@@ -65,7 +65,7 @@ func prepared(cfg Config, dataset string, mc modelConfig) (*graph.Graph, error) 
 
 // preparedParallel returns a multigraph dataset consolidated under the
 // LT-"parallel edges" weight model (paper §2.1.2 / Table 4).
-func preparedParallel(cfg Config, dataset string) (*graph.Graph, error) {
+func preparedParallel(cfg Config, dataset string) (graph.G, error) {
 	scale := int64(1)
 	if cfg.ExtraScale > 1 {
 		scale = cfg.ExtraScale
@@ -76,13 +76,13 @@ func preparedParallel(cfg Config, dataset string) (*graph.Graph, error) {
 	}
 	key := fmt.Sprintf("%s/%d/LT-parallel/%d", dataset, scale, cfg.Seed)
 	if g, ok := graphCache.Load(key); ok {
-		return g.(*graph.Graph), nil
+		return g.(graph.G), nil
 	}
 	base, err := datasets.Generate(dataset, spec.DefaultScale*scale, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	g := weights.LTParallel{}.Apply(base).WithName(base.Name())
+	g := weights.LTParallel{}.Apply(base).(*graph.Graph).WithName(base.Name())
 	graphCache.Store(key, g)
 	return g, nil
 }

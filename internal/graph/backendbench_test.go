@@ -1,0 +1,109 @@
+package graph_test
+
+// Backend microbenchmarks: traversal and RR-sampling throughput of the CSR
+// and compact backends side by side, with each backend's honest resident
+// footprint reported as bytes/edge. External test package so the sampling
+// bench can use diffusion/weights without an import cycle.
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"github.com/sigdata/goinfmax/internal/diffusion"
+	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/graphalgo"
+	"github.com/sigdata/goinfmax/internal/weights"
+)
+
+// benchBackends builds one random directed graph and returns it under every
+// backend: decoded CSR, heap-resident compact, and mmap'd compact (nil where
+// the platform lacks mmap).
+func benchBackends(b *testing.B, n int32, edges int) map[string]graph.G {
+	b.Helper()
+	r := rand.New(rand.NewSource(7))
+	bl := graph.NewBuilder(n, true)
+	bl.SetName("bench")
+	for i := 0; i < edges; i++ {
+		if err := bl.AddEdge(graph.NodeID(r.Intn(int(n))), graph.NodeID(r.Intn(int(n))), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	csr := bl.BuildSimple()
+	path := filepath.Join(b.TempDir(), "bench.gimb")
+	if err := graph.WriteBinary(csr, path, graph.BinaryWriterOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	backends := map[string]graph.G{"csr": csr}
+	heap, err := graph.OpenBinary(path, graph.OpenBinaryOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = heap.Close() })
+	backends["compact-heap"] = heap
+	if mm, err := graph.OpenBinary(path, graph.OpenBinaryOptions{Mmap: true}); err == nil && mm.Mapped() {
+		b.Cleanup(func() { _ = mm.Close() })
+		backends["compact-mmap"] = mm
+	}
+	return backends
+}
+
+// BenchmarkGraphBackendScan measures a full forward-adjacency sweep — the
+// hot access pattern of every diffusion kernel — per backend, reporting each
+// backend's resident bytes/edge alongside the traversal rate.
+func BenchmarkGraphBackendScan(b *testing.B) {
+	for _, name := range []string{"csr", "compact-heap", "compact-mmap"} {
+		b.Run(name, func(b *testing.B) {
+			backends := benchBackends(b, 20000, 200000)
+			g, ok := backends[name]
+			if !ok {
+				b.Skip("backend unavailable on this platform")
+			}
+			g = graph.View(g)
+			m := float64(g.M())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sum := int64(0)
+				for u := graph.NodeID(0); u < g.N(); u++ {
+					to, _ := g.OutNeighbors(u)
+					for _, v := range to {
+						sum += int64(v)
+					}
+				}
+				if sum == 0 {
+					b.Fatal("empty traversal")
+				}
+			}
+			b.ReportMetric(m*float64(b.N)/b.Elapsed().Seconds(), "edges/sec")
+			b.ReportMetric(float64(g.MemoryBytes())/m, "bytes/edge")
+		})
+	}
+}
+
+// BenchmarkGraphBackendSample measures RR-set sampling throughput — the
+// workload the compact backend must sustain at billion-edge scale — per
+// backend under WC weights. The sampled stores are identical across
+// backends by the determinism contract; this measures only the decode cost.
+func BenchmarkGraphBackendSample(b *testing.B) {
+	const sets = 2000
+	for _, name := range []string{"csr", "compact-heap", "compact-mmap"} {
+		b.Run(name, func(b *testing.B) {
+			backends := benchBackends(b, 20000, 200000)
+			base, ok := backends[name]
+			if !ok {
+				b.Skip("backend unavailable on this platform")
+			}
+			g := weights.WeightedCascade{}.Apply(base)
+			s := diffusion.NewRRSampler(g, weights.IC)
+			store := graphalgo.NewSetStore()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				store.Reset()
+				if _, err := s.SampleBatch(store, sets, uint64(i)+1, 1, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(sets)*float64(b.N)/b.Elapsed().Seconds(), "sets/sec")
+		})
+	}
+}

@@ -1,0 +1,302 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Compact is the billion-edge graph backend: adjacency is kept as
+// zigzag-varint delta-encoded byte blobs (one contiguous run per node, in
+// stored arc order) addressed by fixed-width offset indexes, optionally
+// memory-mapped straight from the binary graph file so the heap never holds
+// the arc arrays at all.
+//
+// Deltas are taken in *stored order*, not sorted order: preserving the arc
+// stream order is what makes a Compact observationally identical to the CSR
+// built from the same stream — the samplers consume RNG draws per arc in
+// enumeration order, so reordering arcs would silently change every seed
+// set. Sorted adjacency would compress better; determinism wins.
+//
+// Accessors decode on demand. The base value allocates fresh result slices
+// on every call and is therefore safe for arbitrary concurrent use; View()
+// returns a handle with private reusable decode buffers for hot loops
+// (valid until the next call of the same accessor on that view).
+type Compact struct {
+	name     string
+	directed bool
+	n        int32
+	m        int64
+	offWidth int // bytes per offset index entry: 4 or 8
+
+	// Section views (into the mmap or a heap copy of the file).
+	outOff  []byte // (n+1)*offWidth arc bases
+	outIdx  []byte // (n+1)*offWidth byte offsets into outBlob
+	outBlob []byte
+	outWRaw []byte // m*8 little-endian float64 bits, nil when weights are implicit 1.0
+	inOff   []byte
+	inIdx   []byte
+	inBlob  []byte
+	inWRaw  []byte
+
+	// wfn, when set, overrides stored weights: weights are computed lazily
+	// at decode time (the Reweighted path — no O(m) weight copy is ever
+	// materialized).
+	wfn func(u, v NodeID) float64
+
+	mapped   *mapping // non-nil when the sections view an mmap
+	resident int64    // heap bytes held by the section slices (0 when mapped)
+
+	sc *compactScratch // nil on the shared base value
+}
+
+type compactScratch struct {
+	outTo []NodeID
+	outW  []float64
+	inFr  []NodeID
+	inW   []float64
+}
+
+// N returns the number of nodes.
+func (c *Compact) N() int32 { return c.n }
+
+// M returns the number of directed arcs.
+func (c *Compact) M() int64 { return c.m }
+
+// Name returns the dataset name stored in the binary file.
+func (c *Compact) Name() string { return c.name }
+
+// Directed reports whether the source edge list was directed.
+func (c *Compact) Directed() bool { return c.directed }
+
+func (c *Compact) off(idx []byte, i int64) int64 {
+	if c.offWidth == 4 {
+		return int64(binary.LittleEndian.Uint32(idx[i*4:]))
+	}
+	return int64(binary.LittleEndian.Uint64(idx[i*8:]))
+}
+
+// OutDegree returns the out-degree of u.
+func (c *Compact) OutDegree(u NodeID) int32 {
+	return int32(c.off(c.outOff, int64(u)+1) - c.off(c.outOff, int64(u)))
+}
+
+// InDegree returns the in-degree of v.
+func (c *Compact) InDegree(v NodeID) int32 {
+	return int32(c.off(c.inOff, int64(v)+1) - c.off(c.inOff, int64(v)))
+}
+
+// OutArcBase returns the global index of u's first outgoing arc.
+func (c *Compact) OutArcBase(u NodeID) int64 { return c.off(c.outOff, int64(u)) }
+
+// decodeIDs decodes the zigzag-varint delta run for node u from blob into
+// ids (which must have the node's degree capacity).
+func decodeIDs(blob []byte, ids []NodeID) {
+	prev := int64(0)
+	p := 0
+	for i := range ids {
+		d, n := binary.Uvarint(blob[p:])
+		p += n
+		// Zigzag decode.
+		prev += int64(d>>1) ^ -int64(d&1)
+		ids[i] = NodeID(prev)
+	}
+}
+
+func (c *Compact) outSlices(deg int32) ([]NodeID, []float64) {
+	if c.sc != nil {
+		if cap(c.sc.outTo) < int(deg) {
+			c.sc.outTo = make([]NodeID, deg, deg+deg/2+8)
+			c.sc.outW = make([]float64, deg, deg+deg/2+8)
+		}
+		return c.sc.outTo[:deg], c.sc.outW[:deg]
+	}
+	return make([]NodeID, deg), make([]float64, deg)
+}
+
+func (c *Compact) inSlices(deg int32) ([]NodeID, []float64) {
+	if c.sc != nil {
+		if cap(c.sc.inFr) < int(deg) {
+			c.sc.inFr = make([]NodeID, deg, deg+deg/2+8)
+			c.sc.inW = make([]float64, deg, deg+deg/2+8)
+		}
+		return c.sc.inFr[:deg], c.sc.inW[:deg]
+	}
+	return make([]NodeID, deg), make([]float64, deg)
+}
+
+// OutNeighbors returns the targets and weights of u's outgoing arcs in
+// stored order. The slices are decode buffers: valid until the next
+// OutNeighbors call on this value (base values always return fresh slices).
+func (c *Compact) OutNeighbors(u NodeID) ([]NodeID, []float64) {
+	base := c.off(c.outOff, int64(u))
+	deg := int32(c.off(c.outOff, int64(u)+1) - base)
+	ids, ws := c.outSlices(deg)
+	if deg == 0 {
+		return ids, ws
+	}
+	decodeIDs(c.outBlob[c.off(c.outIdx, int64(u)):c.off(c.outIdx, int64(u)+1)], ids)
+	c.fillWeights(ws, ids, base, u, false, c.outWRaw)
+	return ids, ws
+}
+
+// InNeighbors returns the sources and weights of v's incoming arcs in
+// stored order, with the same buffer-validity contract as OutNeighbors.
+func (c *Compact) InNeighbors(v NodeID) ([]NodeID, []float64) {
+	base := c.off(c.inOff, int64(v))
+	deg := int32(c.off(c.inOff, int64(v)+1) - base)
+	ids, ws := c.inSlices(deg)
+	if deg == 0 {
+		return ids, ws
+	}
+	decodeIDs(c.inBlob[c.off(c.inIdx, int64(v)):c.off(c.inIdx, int64(v)+1)], ids)
+	c.fillWeights(ws, ids, base, v, true, c.inWRaw)
+	return ids, ws
+}
+
+// fillWeights produces the weight column for one adjacency run: lazily via
+// wfn when a reweighting is installed, from the stored float64 section when
+// present, or the implicit 1.0 otherwise.
+func (c *Compact) fillWeights(ws []float64, ids []NodeID, arcBase int64, node NodeID, in bool, raw []byte) {
+	switch {
+	case c.wfn != nil:
+		if in {
+			for i, src := range ids {
+				ws[i] = c.wfn(src, node)
+			}
+		} else {
+			for i, dst := range ids {
+				ws[i] = c.wfn(node, dst)
+			}
+		}
+	case raw != nil:
+		for i := range ws {
+			ws[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[(arcBase+int64(i))*8:]))
+		}
+	default:
+		for i := range ws {
+			ws[i] = 1.0
+		}
+	}
+}
+
+// Weight returns the weight of arc (u,v) and whether the arc exists; the
+// first of any parallel arcs wins, matching the CSR backend.
+func (c *Compact) Weight(u, v NodeID) (float64, bool) {
+	to, w := c.OutNeighbors(u)
+	for i, t := range to {
+		if t == v {
+			return w[i], true
+		}
+	}
+	return 0, false
+}
+
+// MemoryBytes reports the heap-resident footprint only: section slices that
+// were read into memory plus this value's decode buffers. Memory-mapped
+// segments are deliberately excluded — their pages are kernel page cache,
+// evictable under pressure, and counting the virtual size would make the
+// core memory accountant crash budgeted runs that in fact fit.
+func (c *Compact) MemoryBytes() int64 {
+	b := c.resident
+	if c.sc != nil {
+		b += int64(cap(c.sc.outTo))*4 + int64(cap(c.sc.outW))*8 +
+			int64(cap(c.sc.inFr))*4 + int64(cap(c.sc.inW))*8
+	}
+	return b
+}
+
+// View returns a handle sharing the graph sections but owning private
+// decode buffers; each goroutine of a parallel consumer takes one.
+func (c *Compact) View() G {
+	nc := *c
+	nc.sc = &compactScratch{}
+	return &nc
+}
+
+// Reweighted returns a Compact sharing this graph's structure whose arc
+// weights are fn(u, v), computed lazily at decode time.
+func (c *Compact) Reweighted(fn func(u, v NodeID) float64) G {
+	nc := *c
+	nc.wfn = fn
+	if nc.sc != nil {
+		nc.sc = &compactScratch{}
+	}
+	return &nc
+}
+
+// WithName returns a shallow copy carrying name.
+// Mapped reports whether the adjacency sections view an mmap'd file rather
+// than heap memory.
+func (c *Compact) Mapped() bool { return c.mapped != nil }
+
+func (c *Compact) WithName(name string) *Compact {
+	nc := *c
+	nc.name = name
+	return &nc
+}
+
+// Reverse returns the transpose: in- and out-sections swapped, sharing all
+// storage (weights on the reversed arc (v,u) equal the original (u,v), as
+// on the CSR backend).
+func (c *Compact) Reverse() *Compact {
+	nc := *c
+	nc.outOff, nc.inOff = c.inOff, c.outOff
+	nc.outIdx, nc.inIdx = c.inIdx, c.outIdx
+	nc.outBlob, nc.inBlob = c.inBlob, c.outBlob
+	nc.outWRaw, nc.inWRaw = c.inWRaw, c.outWRaw
+	nc.name = c.name + "-rev"
+	nc.directed = true
+	if c.wfn != nil {
+		orig := c.wfn
+		nc.wfn = func(u, v NodeID) float64 { return orig(v, u) }
+	}
+	if nc.sc != nil {
+		nc.sc = &compactScratch{}
+	}
+	return &nc
+}
+
+// Close releases the memory mapping, if any. Accessors must not be used
+// afterwards. Heap-loaded Compacts need no Close.
+func (c *Compact) Close() error {
+	if c.mapped == nil {
+		return nil
+	}
+	m := c.mapped
+	c.mapped = nil
+	return m.close()
+}
+
+// Validate checks structural invariants of the decoded sections; it is
+// O(m) and intended for tests and post-load verification of untrusted
+// files.
+func (c *Compact) Validate() error {
+	if c.off(c.outOff, int64(c.n)) != c.m || c.off(c.inOff, int64(c.n)) != c.m {
+		return fmt.Errorf("compact: offset tail does not equal m=%d", c.m)
+	}
+	var inArcs int64
+	for u := NodeID(0); u < c.n; u++ {
+		if c.off(c.outOff, int64(u)) > c.off(c.outOff, int64(u)+1) ||
+			c.off(c.inOff, int64(u)) > c.off(c.inOff, int64(u)+1) {
+			return fmt.Errorf("compact: non-monotone offsets at node %d", u)
+		}
+		to, _ := c.OutNeighbors(u)
+		for _, v := range to {
+			if v < 0 || v >= c.n {
+				return fmt.Errorf("compact: node %d has out-neighbor %d out of range", u, v)
+			}
+		}
+		fr, _ := c.InNeighbors(u)
+		inArcs += int64(len(fr))
+		for _, v := range fr {
+			if v < 0 || v >= c.n {
+				return fmt.Errorf("compact: node %d has in-neighbor %d out of range", u, v)
+			}
+		}
+	}
+	if inArcs != c.m {
+		return fmt.Errorf("compact: in-arc total %d != m %d", inArcs, c.m)
+	}
+	return nil
+}

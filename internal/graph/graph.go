@@ -123,13 +123,17 @@ func (g *Graph) AvgDegree() float64 {
 	return float64(g.m) / float64(g.n)
 }
 
-// MemoryBytes returns the approximate resident size of the CSR arrays, used
-// by the memory-footprint instrumentation (paper Fig. 8).
+// MemoryBytes returns the resident size of the CSR arrays — capacity, not
+// length, since allocator slack is real resident memory — used by the
+// memory-footprint instrumentation (paper Fig. 8). Each backend reports its
+// own actual footprint: Compact counts heap sections but not mmap'd ones
+// (those are kernel page cache, reclaimable under pressure).
 func (g *Graph) MemoryBytes() int64 {
 	const idSz, wSz, offSz = 4, 8, 8
-	arcs := int64(len(g.outTo) + len(g.inFrom))
-	offs := int64(len(g.outOff) + len(g.inOff))
-	return arcs*(idSz+wSz) + offs*offSz
+	arcs := int64(cap(g.outTo) + cap(g.inFrom))
+	ws := int64(cap(g.outW) + cap(g.inW))
+	offs := int64(cap(g.outOff) + cap(g.inOff))
+	return arcs*idSz + ws*wSz + offs*offSz
 }
 
 // Validate checks structural invariants; it is used by tests and after

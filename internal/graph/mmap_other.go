@@ -1,0 +1,20 @@
+//go:build !unix
+
+package graph
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+type mapping struct {
+	data []byte
+}
+
+func mapFile(f *os.File, size int64) (*mapping, error) {
+	return nil, errors.New("graph: mmap unsupported on this platform")
+}
+
+func (m *mapping) close() error { return nil }

@@ -1,0 +1,40 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can memory-map graph files;
+// when false, OpenBinary silently falls back to a heap load.
+const mmapSupported = true
+
+// mapping is a read-only memory mapping of a whole file.
+type mapping struct {
+	data []byte
+}
+
+func mapFile(f *os.File, size int64) (*mapping, error) {
+	if size == 0 {
+		return &mapping{}, nil
+	}
+	if int64(int(size)) != size {
+		return nil, syscall.EFBIG
+	}
+	d, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &mapping{data: d}, nil
+}
+
+func (m *mapping) close() error {
+	if m.data == nil {
+		return nil
+	}
+	d := m.data
+	m.data = nil
+	return syscall.Munmap(d)
+}

@@ -215,6 +215,14 @@ func (cp *CoverageProblem) CoverageOf(seeds []int32) int64 {
 // NumSets returns the universe size.
 func (cp *CoverageProblem) NumSets() int { return cp.numSets }
 
+// MemoryBytes returns the problem's resident footprint (capacity-based,
+// like SetStore.Bytes): the inversion arrays plus the cover marks. Streaming
+// collections charge it through Context.Account while a greedy runs.
+func (cp *CoverageProblem) MemoryBytes() int64 {
+	return int64(cap(cp.invOff))*8 + int64(cap(cp.invData))*4 +
+		int64(cap(cp.covered)) + int64(cap(cp.degree))*8
+}
+
 type coverItem struct {
 	node  int32
 	gain  int64

@@ -35,8 +35,8 @@ func BFSReach(fwd Forward, src int32, blocked func(int32) bool, mark []uint32, e
 	return count, queue
 }
 
-// GraphView adapts *graph.Graph to the Forward interface.
-type GraphView struct{ G *graph.Graph }
+// GraphView adapts graph.G to the Forward interface.
+type GraphView struct{ G graph.G }
 
 // N implements Forward.
 func (gv GraphView) N() int32 { return gv.G.N() }
@@ -58,7 +58,7 @@ func (gv GraphView) VisitOut(u int32, fn func(v int32)) {
 // The searcher reuses scratch arrays across Run calls; it is not safe for
 // concurrent use.
 type MaxProbDijkstra struct {
-	g       *graph.Graph
+	g       graph.G
 	prob    []float64
 	seen    []uint32 // epoch when node was first pushed
 	settled []uint32 // epoch when node was settled
@@ -68,7 +68,7 @@ type MaxProbDijkstra struct {
 }
 
 // NewMaxProbDijkstra creates a reusable search over g.
-func NewMaxProbDijkstra(g *graph.Graph) *MaxProbDijkstra {
+func NewMaxProbDijkstra(g graph.G) *MaxProbDijkstra {
 	n := g.N()
 	return &MaxProbDijkstra{
 		g:       g,

@@ -49,7 +49,7 @@ func (c Cascade) Validate() error {
 // GenerateLog simulates numCascades IC diffusions on g (whose weights are
 // the ground truth) from random singleton seeds and records each as a
 // step-annotated cascade — the synthetic stand-in for a real action log.
-func GenerateLog(g *graph.Graph, numCascades int, seed uint64) []Cascade {
+func GenerateLog(g graph.G, numCascades int, seed uint64) []Cascade {
 	r := rng.New(seed)
 	n := g.N()
 	logs := make([]Cascade, 0, numCascades)
@@ -94,7 +94,7 @@ func GenerateLog(g *graph.Graph, numCascades int, seed uint64) []Cascade {
 // credit-distribution idea of Goyal, Bonchi and Lakshmanan (WSDM 2010),
 // which removes the upward bias of crediting every simultaneous parent
 // fully. Arcs never exercised keep the prior. Returns a reweighted graph.
-func Estimate(g *graph.Graph, logs []Cascade, prior float64) (*graph.Graph, *Stats) {
+func Estimate(g graph.G, logs []Cascade, prior float64) (graph.G, *Stats) {
 	type counter struct {
 		trials    int32
 		successes float64
@@ -155,7 +155,7 @@ func Estimate(g *graph.Graph, logs []Cascade, prior float64) (*graph.Graph, *Sta
 		}
 	}
 
-	learned := g.Reweighted(func(u, v graph.NodeID) float64 {
+	learned := graph.Reweight(g, func(u, v graph.NodeID) float64 {
 		if c, ok := counts[[2]graph.NodeID{u, v}]; ok && c.trials > 0 {
 			w := c.successes / float64(c.trials)
 			if w > 1 {
@@ -184,7 +184,7 @@ type Stats struct {
 // restricted to arcs with at least one trial recorded in stats' counts is
 // not retained, so the comparison covers all arcs; unexercised arcs
 // contribute |prior − truth|.
-func MeanAbsError(truth, learned *graph.Graph) (float64, error) {
+func MeanAbsError(truth, learned graph.G) (float64, error) {
 	if truth.N() != learned.N() || truth.M() != learned.M() {
 		return 0, fmt.Errorf("learn: graph shape mismatch")
 	}

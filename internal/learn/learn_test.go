@@ -17,7 +17,7 @@ func icGraph(seed uint64, n int32, m int, p float64) *graph.Graph {
 			_ = b.AddEdge(u, v, 1)
 		}
 	}
-	return weights.ICConstant{P: p}.Apply(b.BuildSimple())
+	return weights.ICConstant{P: p}.Apply(b.BuildSimple()).(*graph.Graph)
 }
 
 func TestGenerateLogShape(t *testing.T) {
@@ -106,7 +106,7 @@ func TestEstimateUnobservedFallsBackToPrior(t *testing.T) {
 	if st.Trials != 0 {
 		t.Fatalf("trials %d from empty log", st.Trials)
 	}
-	for _, e := range learned.Edges() {
+	for _, e := range learned.(*graph.Graph).Edges() {
 		if e.Weight != 0.05 {
 			t.Fatalf("arc (%d,%d) weight %v want prior", e.From, e.To, e.Weight)
 		}

@@ -40,6 +40,14 @@ var (
 	setStoreViewers  = map[string]bool{"Set": true, "Raw": true}
 )
 
+// rotatingSinks names call targets whose func(*SetStore) argument is a
+// rotating-arena sink (the streaming sampler's protocol): the batch store is
+// borrowed for exactly one invocation and is reset by the caller the moment
+// the sink returns, so a view that escapes the sink's scope is stale by
+// construction. Recognition is by call name, matching the type-name-based
+// recognition above.
+var rotatingSinks = map[string]bool{"SampleStream": true}
+
 // ArenaSummary is the inter-procedural aliasing contract of a function.
 type ArenaSummary struct {
 	// ResultViews[r] marks the parameters whose arena result r views.
@@ -463,5 +471,177 @@ func runArenaAlias(pass *Pass) {
 					"Append/AppendStore/Grow/Reset — re-take the view after mutating, or copy the data out first",
 				f.what, f.mutDesc, mutLine)
 		}
+		reportSinkEscapes(pass, fi)
 	}
+}
+
+// reportSinkEscapes flags views of a rotating-sink batch that outlive the
+// sink invocation: inside a func literal passed directly to a rotatingSinks
+// call, any view of the literal's SetStore parameter assigned to storage
+// declared outside the literal (a captured variable, or any field/element)
+// escapes — and the caller resets the batch arena as soon as the sink
+// returns.
+func reportSinkEscapes(pass *Pass, fi *FuncInfo) {
+	info := fi.Pkg.Info
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !rotatingSinks[callName(call)] {
+			return true
+		}
+		for _, arg := range call.Args {
+			lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			batches := batchParams(info, lit)
+			if len(batches) == 0 {
+				continue
+			}
+			for _, f := range sinkEscapes(info, lit, batches) {
+				pass.Reportf(f.pos,
+					"view of rotating arena batch %q escapes the sink passed to %s; the batch is reset when the "+
+						"sink returns — copy the data out (e.g. AppendStore or an explicit append) instead",
+					f.what, callName(call))
+			}
+		}
+		return true
+	})
+}
+
+// callName resolves the bare name of a call target: the method name for a
+// selector call, the identifier for a plain call.
+func callName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	case *ast.Ident:
+		return fn.Name
+	}
+	return ""
+}
+
+// batchParams returns the objects of lit's parameters whose type is a
+// SetStore — the borrowed batches of a rotating sink.
+func batchParams(info *types.Info, lit *ast.FuncLit) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil && isSetStoreType(obj.Type()) {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// sinkEscapes scans a sink literal's body for assignments that bind a view
+// of a batch parameter to storage outliving the invocation: an identifier
+// declared outside the literal, or any field/index expression (whose
+// container's lifetime the analysis cannot bound).
+func sinkEscapes(info *types.Info, lit *ast.FuncLit, batches map[types.Object]bool) []arenaFinding {
+	// viewLocals are sink-scoped bindings that hold a batch view (data, _ :=
+	// batch.Raw(); v := batch.Set(0)); re-exporting one escapes just the same.
+	viewLocals := map[types.Object]bool{}
+	var isBatchView func(e ast.Expr) bool
+	isBatchView = func(e ast.Expr) bool {
+		for {
+			switch ee := ast.Unparen(e).(type) {
+			case *ast.SliceExpr:
+				e = ee.X
+				continue
+			case *ast.IndexExpr:
+				// v[0] of a []int32 is a scalar copy; only element types
+				// that still alias memory (slices, pointers) propagate.
+				switch info.TypeOf(ee).Underlying().(type) {
+				case *types.Slice, *types.Pointer:
+					e = ee.X
+					continue
+				}
+				return false
+			case *ast.Ident:
+				obj := info.Uses[ee]
+				return obj != nil && viewLocals[obj]
+			case *ast.CallExpr:
+				if !setStoreViewers[callName(ee)] {
+					return false
+				}
+				sel, ok := ast.Unparen(ee.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return false
+				}
+				id, ok := ast.Unparen(sel.X).(*ast.Ident)
+				return ok && batches[info.Uses[id]]
+			}
+			return false
+		}
+	}
+	// Fixed point: a local bound to a view of a view is itself a view.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if !isBatchView(rhs) {
+					continue
+				}
+				lo, hi := i, i+1
+				if len(as.Rhs) == 1 {
+					lo, hi = 0, len(as.Lhs)
+				}
+				for _, l := range as.Lhs[lo:hi] {
+					id, ok := ast.Unparen(l).(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					if obj := info.Defs[id]; obj != nil && !viewLocals[obj] {
+						viewLocals[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	var out []arenaFinding
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isBatchView(rhs) {
+				continue
+			}
+			lo, hi := i, i+1
+			if len(as.Rhs) == 1 {
+				lo, hi = 0, len(as.Lhs)
+			}
+			for _, l := range as.Lhs[lo:hi] {
+				switch lhs := ast.Unparen(l).(type) {
+				case *ast.Ident:
+					if lhs.Name == "_" {
+						continue
+					}
+					obj := info.Defs[lhs]
+					if obj == nil {
+						obj = info.Uses[lhs]
+					}
+					// A fresh := binding inside the literal is a local borrow;
+					// writing to an object declared before the literal escapes.
+					if obj != nil && (obj.Pos() < lit.Pos() || obj.Pos() > lit.End()) {
+						out = append(out, arenaFinding{pos: l.Pos(), what: obj.Name()})
+					}
+				default:
+					// Fields, map entries and slice elements outlive the
+					// invocation as far as this analysis can tell.
+					out = append(out, arenaFinding{pos: l.Pos(), what: types.ExprString(l)})
+				}
+			}
+		}
+		return true
+	})
+	return out
 }

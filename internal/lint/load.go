@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -186,7 +188,14 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	var files []*ast.File
 	pkgName := ""
 	for _, n := range names {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		src, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if !buildTagSatisfied(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), src, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
 		}
@@ -198,6 +207,49 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		files = append(files, f)
 	}
 	return files, nil
+}
+
+// buildTagSatisfied reports whether a file's //go:build constraint (if
+// any) selects it for the host platform. imlint type-checks exactly one
+// platform — the one it runs on — matching what `go build` would compile,
+// so mutually exclusive per-OS implementation files don't collide.
+func buildTagSatisfied(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(trimmed) {
+			continue
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			// Malformed constraint: include the file and let the
+			// compiler's diagnostics own the problem.
+			return true
+		}
+		return expr.Eval(buildTagActive)
+	}
+	return true
+}
+
+// unixGOOS mirrors the GOOS values matched by the "unix" build tag.
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+func buildTagActive(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH:
+		return true
+	case "unix":
+		return unixGOOS[runtime.GOOS]
+	}
+	// Assume a current toolchain for version gates; unknown custom tags
+	// are off, matching a default `go build`.
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // Import implements types.Importer.

@@ -1,0 +1,81 @@
+package fixture
+
+// Sampler is a miniature stand-in for the streaming sampler: the analyzer
+// recognizes the rotating-sink protocol by call name (SampleStream), so the
+// fixture does not need the real diffusion package. The borrowed batch is
+// reset as soon as the sink returns.
+type Sampler struct {
+	arena SetStore
+}
+
+// SampleStream delivers bounded batches to sink, resetting the arena after
+// every invocation — exactly the real protocol.
+func (s *Sampler) SampleStream(count int, sink func(batch *SetStore) error) error {
+	for i := 0; i < count; i++ {
+		s.arena.Append([]int32{int32(i)})
+		if err := sink(&s.arena); err != nil {
+			return err
+		}
+		s.arena.Reset()
+	}
+	return nil
+}
+
+// holder gives the fixture an escape target with indirection.
+type holder struct {
+	view []int32
+}
+
+// RetainAcrossRotation captures a batch view in an outer variable: by the
+// time the stream returns, the arena behind it has been reset many times.
+func RetainAcrossRotation(s *Sampler) int32 {
+	var stale []int32
+	_ = s.SampleStream(10, func(batch *SetStore) error {
+		stale = batch.Set(0) // want arenaalias "escapes the sink"
+		return nil
+	})
+	return stale[0]
+}
+
+// RetainRawAcrossRotation escapes the whole arena, sliced, into a field —
+// fields outlive the invocation as far as the analysis can tell.
+func RetainRawAcrossRotation(s *Sampler, h *holder) {
+	_ = s.SampleStream(4, func(batch *SetStore) error {
+		data, _ := batch.Raw()
+		h.view = data[1:] // want arenaalias "escapes the sink"
+		return nil
+	})
+}
+
+// DrainByCopy is the endorsed pattern: fold the batch into owned storage
+// before returning — AppendStore copies, so nothing aliases the arena.
+func DrainByCopy(s *Sampler, out *SetStore) {
+	_ = s.SampleStream(10, func(batch *SetStore) error {
+		out.AppendStore(batch)
+		return nil
+	})
+}
+
+// LocalBorrow takes views inside the sink and lets them die there: a fresh
+// binding scoped to the invocation is exactly what the protocol permits.
+func LocalBorrow(s *Sampler) {
+	total := int32(0)
+	_ = s.SampleStream(10, func(batch *SetStore) error {
+		v := batch.Set(0)
+		total += v[0]
+		return nil
+	})
+	_ = total
+}
+
+// SuppressedRetention documents a deliberate waiver: this caller passes a
+// sink to a single-batch stream, so the arena is never rotated behind it.
+func SuppressedRetention(s *Sampler) []int32 {
+	var last []int32
+	_ = s.SampleStream(1, func(batch *SetStore) error {
+		//imlint:ignore arenaalias single-batch stream, the arena outlives the call
+		last = batch.Set(0)
+		return nil
+	})
+	return last
+}

@@ -17,7 +17,7 @@ import (
 //
 // The walk is O(m) over CSR views and allocation-free; on the scaled
 // stand-ins it is microseconds, so boot pays it unconditionally.
-func GraphFingerprint(g *graph.Graph, model string) uint64 {
+func GraphFingerprint(g graph.G, model string) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211

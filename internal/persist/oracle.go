@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"fmt"
 	"io"
 
 	"github.com/sigdata/goinfmax/internal/algo/rrset"
@@ -32,6 +33,12 @@ func Save(path string, s *Snapshot) error {
 		e.i32(s.Header.Nodes)
 		switch {
 		case s.RRIndex != nil:
+			if s.RRIndex.Store() == nil {
+				// Streaming builds keep only the inversion; there are no
+				// raw sets to serialize. The serve layer logs and keeps
+				// serving without a snapshot.
+				return fmt.Errorf("persist: streamed RR index is not persistable")
+			}
 			data, off := s.RRIndex.Store().Raw()
 			e.int32s(data)
 			e.int64s(off)

@@ -20,7 +20,7 @@ import (
 )
 
 func testGraph() *graph.Graph {
-	return weights.WeightedCascade{}.Apply(datasets.MustGenerate("nethept", 64, 1))
+	return weights.WeightedCascade{}.Apply(datasets.MustGenerate("nethept", 64, 1)).(*graph.Graph)
 }
 
 func noPoll() error { return nil }
@@ -391,11 +391,11 @@ func TestFingerprintSensitivity(t *testing.T) {
 	if persist.GraphFingerprint(g, weights.LT.String()) == base {
 		t.Fatal("fingerprint ignores the diffusion model")
 	}
-	other := weights.WeightedCascade{}.Apply(datasets.MustGenerate("nethept", 64, 2))
+	other := weights.WeightedCascade{}.Apply(datasets.MustGenerate("nethept", 64, 2)).(*graph.Graph)
 	if persist.GraphFingerprint(other, weights.IC.String()) == base {
 		t.Fatal("fingerprint ignores the graph contents")
 	}
-	reweighted := weights.ICConstant{P: 0.01}.Apply(datasets.MustGenerate("nethept", 64, 1))
+	reweighted := weights.ICConstant{P: 0.01}.Apply(datasets.MustGenerate("nethept", 64, 1)).(*graph.Graph)
 	if persist.GraphFingerprint(reweighted, weights.IC.String()) == base {
 		t.Fatal("fingerprint ignores arc weights")
 	}

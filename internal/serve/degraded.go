@@ -28,7 +28,7 @@ type degreeOracle struct {
 }
 
 // NewDegreeOracle builds the degraded-mode fallback oracle over g.
-func NewDegreeOracle(g *graph.Graph) Oracle {
+func NewDegreeOracle(g graph.G) Oracle {
 	n := g.N()
 	o := &degreeOracle{n: n, outdeg: make([]int32, n), order: make([]graph.NodeID, n)}
 	for v := graph.NodeID(0); v < n; v++ {

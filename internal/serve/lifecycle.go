@@ -193,7 +193,7 @@ type BootSpec struct {
 	// BuildOracle. IndexSize is the raw flag value (0 = auto): it is part
 	// of the snapshot compatibility key, so pass it pre-defaulting.
 	Backend   string
-	Graph     *graph.Graph
+	Graph     graph.G
 	Model     weights.Model
 	IndexSize int64
 	Seed      uint64

@@ -44,7 +44,7 @@ func Backends() []string { return []string{"rrset", "snapshot"} }
 // and therefore every body the server will ever emit — is byte-identical
 // for any worker count, preserving the replica-determinism contract. The
 // build cost is paid once; queries then run from memory.
-func BuildOracle(ctx context.Context, backend string, g *graph.Graph, model weights.Model, size int64, seed uint64, workers int) (Oracle, error) {
+func BuildOracle(ctx context.Context, backend string, g graph.G, model weights.Model, size int64, seed uint64, workers int) (Oracle, error) {
 	cctx := core.NewContext(g, model, 1, seed)
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)

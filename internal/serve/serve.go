@@ -49,7 +49,7 @@ type Config struct {
 	// generation so answers never leak across swaps.
 	Lifecycle *Lifecycle
 	// Graph is the served graph (already weighted by Scheme).
-	Graph *graph.Graph
+	Graph graph.G
 	// Model is the diffusion semantics the oracle was built under.
 	Model weights.Model
 	// SchemeName names the weight scheme for /v1/graph/stats.

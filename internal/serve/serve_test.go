@@ -21,7 +21,7 @@ import (
 // serve test runs against.
 func testGraph(t testing.TB) *graph.Graph {
 	t.Helper()
-	return weights.WeightedCascade{}.Apply(datasets.MustGenerate("nethept", 64, 1))
+	return weights.WeightedCascade{}.Apply(datasets.MustGenerate("nethept", 64, 1)).(*graph.Graph)
 }
 
 // newTestServer builds a Server over a real oracle with test-friendly

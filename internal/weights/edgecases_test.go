@@ -9,14 +9,14 @@ import (
 func TestTrivalencyCustomValues(t *testing.T) {
 	g := randomGraph(101, 15, 60)
 	s := Trivalency{Values: []float64{0.5}, Seed: 3}
-	wg := s.Apply(g)
+	wg := s.Apply(g).(*graph.Graph)
 	for _, e := range wg.Edges() {
 		if e.Weight != 0.5 {
 			t.Fatalf("weight %v want 0.5", e.Weight)
 		}
 	}
 	// Empty Values falls back to the classic set.
-	wg2 := Trivalency{Seed: 3}.Apply(g)
+	wg2 := Trivalency{Seed: 3}.Apply(g).(*graph.Graph)
 	valid := map[float64]bool{0.001: true, 0.01: true, 0.1: true}
 	for _, e := range wg2.Edges() {
 		if !valid[e.Weight] {
@@ -29,7 +29,7 @@ func TestWCZeroInDegree(t *testing.T) {
 	b := graph.NewBuilder(3, true)
 	_ = b.AddEdge(0, 1, 1)
 	g := b.Build()
-	wg := WeightedCascade{}.Apply(g)
+	wg := WeightedCascade{}.Apply(g).(*graph.Graph)
 	// Node 0 has no in-arcs; the only arc (0,1) gets 1/indeg(1) = 1.
 	if w, _ := wg.Weight(0, 1); w != 1 {
 		t.Fatalf("weight %v", w)
@@ -41,7 +41,7 @@ func TestWCZeroInDegree(t *testing.T) {
 
 func TestLTParallelEmptyGraph(t *testing.T) {
 	g := graph.NewBuilder(4, true).Build()
-	wg := LTParallel{}.Apply(g)
+	wg := LTParallel{}.Apply(g).(*graph.Graph)
 	if wg.M() != 0 {
 		t.Fatalf("m=%d", wg.M())
 	}
@@ -65,7 +65,7 @@ func TestSchemesPreserveStructure(t *testing.T) {
 		ICConstant{P: 0.2}, WeightedCascade{}, DefaultTrivalency(1),
 		LTUniform{}, LTRandom{Seed: 2},
 	} {
-		wg := s.Apply(g)
+		wg := s.Apply(g).(*graph.Graph)
 		if wg.N() != g.N() || wg.M() != g.M() {
 			t.Fatalf("%s changed structure: n=%d m=%d", s.Name(), wg.N(), wg.M())
 		}

@@ -13,7 +13,7 @@ func ExampleWeightedCascade() {
 	b := graph.NewBuilder(3, true)
 	_ = b.AddEdge(0, 2, 1)
 	_ = b.AddEdge(1, 2, 1)
-	g := weights.WeightedCascade{}.Apply(b.Build())
+	g := weights.WeightedCascade{}.Apply(b.Build()).(*graph.Graph)
 
 	w, _ := g.Weight(0, 2)
 	fmt.Println(w)
@@ -28,7 +28,7 @@ func ExampleLTParallel() {
 	_ = b.AddEdge(0, 2, 1)
 	_ = b.AddEdge(0, 2, 1)
 	_ = b.AddEdge(1, 2, 1) // u' calls once
-	g := weights.LTParallel{}.Apply(b.Build())
+	g := weights.LTParallel{}.Apply(b.Build()).(*graph.Graph)
 
 	w02, _ := g.Weight(0, 2)
 	w12, _ := g.Weight(1, 2)

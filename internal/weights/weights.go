@@ -52,7 +52,7 @@ type Scheme interface {
 	// Model is the diffusion semantics the weights are intended for.
 	Model() Model
 	// Apply returns a graph with the same structure and fresh weights.
-	Apply(g *graph.Graph) *graph.Graph
+	Apply(g graph.G) graph.G
 }
 
 // ICConstant is the constant-probability IC model: W(u,v) = p for all arcs.
@@ -66,9 +66,9 @@ func (s ICConstant) Name() string { return fmt.Sprintf("IC(%g)", s.P) }
 func (s ICConstant) Model() Model { return IC }
 
 // Apply implements Scheme.
-func (s ICConstant) Apply(g *graph.Graph) *graph.Graph {
+func (s ICConstant) Apply(g graph.G) graph.G {
 	p := s.P
-	return g.Reweighted(func(u, v graph.NodeID) float64 { return p })
+	return graph.Reweight(g, func(u, v graph.NodeID) float64 { return p })
 }
 
 // WeightedCascade is the WC model: W(u,v) = 1/|In(v)|; all in-neighbors of v
@@ -83,8 +83,8 @@ func (WeightedCascade) Name() string { return "WC" }
 func (WeightedCascade) Model() Model { return IC }
 
 // Apply implements Scheme.
-func (WeightedCascade) Apply(g *graph.Graph) *graph.Graph {
-	return g.Reweighted(func(u, v graph.NodeID) float64 {
+func (WeightedCascade) Apply(g graph.G) graph.G {
+	return graph.Reweight(g, func(u, v graph.NodeID) float64 {
 		d := g.InDegree(v)
 		if d == 0 {
 			return 0
@@ -113,7 +113,7 @@ func (s Trivalency) Name() string { return "IC-TV" }
 func (s Trivalency) Model() Model { return IC }
 
 // Apply implements Scheme.
-func (s Trivalency) Apply(g *graph.Graph) *graph.Graph {
+func (s Trivalency) Apply(g graph.G) graph.G {
 	vals := s.Values
 	if len(vals) == 0 {
 		vals = []float64{0.001, 0.01, 0.1}
@@ -121,7 +121,7 @@ func (s Trivalency) Apply(g *graph.Graph) *graph.Graph {
 	// A per-arc hash keeps the choice deterministic and identical for the
 	// out- and in-CSR copies of the same arc.
 	seed := s.Seed
-	return g.Reweighted(func(u, v graph.NodeID) float64 {
+	return graph.Reweight(g, func(u, v graph.NodeID) float64 {
 		h := arcHash(seed, u, v)
 		return vals[h%uint64(len(vals))]
 	})
@@ -138,8 +138,8 @@ func (LTUniform) Name() string { return "LT-uniform" }
 func (LTUniform) Model() Model { return LT }
 
 // Apply implements Scheme.
-func (LTUniform) Apply(g *graph.Graph) *graph.Graph {
-	return g.Reweighted(func(u, v graph.NodeID) float64 {
+func (LTUniform) Apply(g graph.G) graph.G {
+	return graph.Reweight(g, func(u, v graph.NodeID) float64 {
 		d := g.InDegree(v)
 		if d == 0 {
 			return 0
@@ -159,7 +159,7 @@ func (LTRandom) Name() string { return "LT-random" }
 func (LTRandom) Model() Model { return LT }
 
 // Apply implements Scheme.
-func (s LTRandom) Apply(g *graph.Graph) *graph.Graph {
+func (s LTRandom) Apply(g graph.G) graph.G {
 	// First pass: compute per-node incoming raw-sum using the same arc hash
 	// for determinism across the two CSR copies.
 	n := g.N()
@@ -170,7 +170,7 @@ func (s LTRandom) Apply(g *graph.Graph) *graph.Graph {
 			sums[v] += rawLTValue(s.Seed, u, v)
 		}
 	}
-	return g.Reweighted(func(u, v graph.NodeID) float64 {
+	return graph.Reweight(g, func(u, v graph.NodeID) float64 {
 		if sums[v] == 0 {
 			return 0
 		}
@@ -198,7 +198,7 @@ func (LTParallel) Model() Model { return LT }
 
 // Apply implements Scheme. Unlike the other schemes it returns a simple
 // (consolidated) graph, because LT is defined on simple graphs.
-func (LTParallel) Apply(g *graph.Graph) *graph.Graph {
+func (LTParallel) Apply(g graph.G) graph.G {
 	n := g.N()
 	b := graph.NewBuilder(n, true)
 	b.SetName(g.Name())
@@ -209,9 +209,9 @@ func (LTParallel) Apply(g *graph.Graph) *graph.Graph {
 	}
 	type key struct{ u, v graph.NodeID }
 	counts := make(map[key]int)
-	for _, e := range g.Edges() {
-		counts[key{e.From, e.To}]++
-	}
+	graph.ForEachArc(g, func(u, v graph.NodeID, _ float64) {
+		counts[key{u, v}]++
+	})
 	for k, c := range counts {
 		w := 0.0
 		if inCount[k.v] > 0 {
@@ -235,7 +235,7 @@ func arcHash(seed uint64, u, v graph.NodeID) uint64 {
 // Validate checks scheme-specific invariants on an applied graph; tests use
 // it and loaders may call it on untrusted input. For LT schemes it verifies
 // Σ_in W ≤ 1 (+tolerance); for IC it verifies weights lie in [0,1].
-func Validate(g *graph.Graph, m Model) error {
+func Validate(g graph.G, m Model) error {
 	const tol = 1e-9
 	n := g.N()
 	for v := graph.NodeID(0); v < n; v++ {

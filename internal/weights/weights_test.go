@@ -31,7 +31,7 @@ func randomGraph(seed uint64, n int32, m int) *graph.Graph {
 
 func TestICConstant(t *testing.T) {
 	g := randomGraph(1, 20, 60)
-	wg := ICConstant{P: 0.1}.Apply(g)
+	wg := ICConstant{P: 0.1}.Apply(g).(*graph.Graph)
 	for _, e := range wg.Edges() {
 		if e.Weight != 0.1 {
 			t.Fatalf("arc weight %v want 0.1", e.Weight)
@@ -50,7 +50,7 @@ func TestICConstant(t *testing.T) {
 
 func TestWeightedCascade(t *testing.T) {
 	g := randomGraph(2, 20, 80)
-	wg := WeightedCascade{}.Apply(g)
+	wg := WeightedCascade{}.Apply(g).(*graph.Graph)
 	for v := graph.NodeID(0); v < wg.N(); v++ {
 		from, ws := wg.InNeighbors(v)
 		d := float64(len(from))
@@ -68,7 +68,7 @@ func TestWeightedCascade(t *testing.T) {
 func TestWCRowSumsAtMostOne(t *testing.T) {
 	check := func(seed uint64, rawN uint8, rawM uint8) bool {
 		g := randomGraph(seed, int32(rawN%40)+2, int(rawM))
-		wg := WeightedCascade{}.Apply(g)
+		wg := WeightedCascade{}.Apply(g).(*graph.Graph)
 		for v := graph.NodeID(0); v < wg.N(); v++ {
 			if wg.TotalInWeight(v) > 1+1e-9 {
 				return false
@@ -84,8 +84,8 @@ func TestWCRowSumsAtMostOne(t *testing.T) {
 func TestTrivalencyValuesAndDeterminism(t *testing.T) {
 	g := randomGraph(3, 30, 150)
 	s := DefaultTrivalency(7)
-	wg1 := s.Apply(g)
-	wg2 := s.Apply(g)
+	wg1 := s.Apply(g).(*graph.Graph)
+	wg2 := s.Apply(g).(*graph.Graph)
 	valid := map[float64]bool{0.001: true, 0.01: true, 0.1: true}
 	distinct := map[float64]bool{}
 	for _, e := range wg1.Edges() {
@@ -115,7 +115,7 @@ func TestTrivalencyValuesAndDeterminism(t *testing.T) {
 
 func TestLTUniformSumsToOne(t *testing.T) {
 	g := randomGraph(4, 25, 120)
-	wg := LTUniform{}.Apply(g)
+	wg := LTUniform{}.Apply(g).(*graph.Graph)
 	for v := graph.NodeID(0); v < wg.N(); v++ {
 		if wg.InDegree(v) == 0 {
 			continue
@@ -131,7 +131,7 @@ func TestLTUniformSumsToOne(t *testing.T) {
 
 func TestLTRandomNormalized(t *testing.T) {
 	g := randomGraph(5, 25, 120)
-	wg := LTRandom{Seed: 9}.Apply(g)
+	wg := LTRandom{Seed: 9}.Apply(g).(*graph.Graph)
 	for v := graph.NodeID(0); v < wg.N(); v++ {
 		if wg.InDegree(v) == 0 {
 			continue
@@ -141,7 +141,7 @@ func TestLTRandomNormalized(t *testing.T) {
 		}
 	}
 	// Deterministic under the same seed.
-	wg2 := LTRandom{Seed: 9}.Apply(g)
+	wg2 := LTRandom{Seed: 9}.Apply(g).(*graph.Graph)
 	for _, e := range wg.Edges() {
 		w2, _ := wg2.Weight(e.From, e.To)
 		if w2 != e.Weight {
@@ -162,7 +162,7 @@ func TestLTParallelConsolidates(t *testing.T) {
 		}
 	}
 	g := b.Build()
-	wg := LTParallel{}.Apply(g)
+	wg := LTParallel{}.Apply(g).(*graph.Graph)
 	if wg.M() != 2 {
 		t.Fatalf("consolidated m=%d want 2", wg.M())
 	}
@@ -180,8 +180,8 @@ func TestLTParallelEqualsUniformOnSimpleGraphs(t *testing.T) {
 	// On a simple graph, LT-parallel degenerates to LT-uniform (paper
 	// §2.1.2: "a generalization of the Uniform model for multi-graphs").
 	g := randomGraph(6, 15, 60)
-	pu := LTParallel{}.Apply(g)
-	un := LTUniform{}.Apply(g)
+	pu := LTParallel{}.Apply(g).(*graph.Graph)
+	un := LTUniform{}.Apply(g).(*graph.Graph)
 	for _, e := range un.Edges() {
 		w, ok := pu.Weight(e.From, e.To)
 		if !ok || math.Abs(w-e.Weight) > 1e-12 {

@@ -32,12 +32,20 @@ go test -race ./...
 echo "==> serving smoke test"
 sh scripts/smoke_serve.sh
 
-# One iteration of the RR-sampling, spread-evaluation and snapshot
-# round-trip benchmarks: catches bit-rot in the parallel batch engines'
-# and the persistence codec's bench harnesses without paying real bench
-# time. Discovery spans every package (./...) so a future per-package
-# benchmark matching the pattern cannot silently rot outside the gate.
-echo "==> bench smoke (RR sampling + spread evaluation + persistence)"
-go test -benchtime=1x -run=NONE -bench='BenchmarkRR|BenchmarkSpreadEvalBatch|BenchmarkPersist' ./...
+# RAM-capped graph substrate leg: stream an R-MAT graph to the binary
+# format, run the same IMM cell on CSR (uncapped) and on the compact
+# backend with bounded-arena sampling under GOMEMLIMIT, require
+# byte-identical seeds and spreads.
+echo "==> graph memory smoke test (GOMEMLIMIT)"
+sh scripts/smoke_graphmem.sh
+
+# One iteration of the RR-sampling, spread-evaluation, snapshot
+# round-trip and graph-backend benchmarks: catches bit-rot in the
+# parallel batch engines', the persistence codec's and the backend
+# split's bench harnesses without paying real bench time. Discovery
+# spans every package (./...) so a future per-package benchmark
+# matching the pattern cannot silently rot outside the gate.
+echo "==> bench smoke (RR sampling + spread evaluation + persistence + graph backends)"
+go test -benchtime=1x -run=NONE -bench='BenchmarkRR|BenchmarkSpreadEvalBatch|BenchmarkPersist|BenchmarkGraphBackend' ./...
 
 echo "==> all checks passed"
