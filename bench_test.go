@@ -8,6 +8,8 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -19,6 +21,7 @@ import (
 	"github.com/sigdata/goinfmax/internal/graph"
 	"github.com/sigdata/goinfmax/internal/graphalgo"
 	"github.com/sigdata/goinfmax/internal/persist"
+	"github.com/sigdata/goinfmax/internal/rng"
 	"github.com/sigdata/goinfmax/internal/serve"
 	"github.com/sigdata/goinfmax/internal/weights"
 )
@@ -378,7 +381,7 @@ func benchOracle(b *testing.B, backend string) (serve.Oracle, *graph.Graph) {
 	o, ok := benchOracles[backend]
 	if !ok {
 		var err error
-		o, err = serve.BuildOracle(context.Background(), backend, g, weights.IC, 0, 1, 0)
+		o, err = serve.BuildOracle(context.Background(), backend, g, weights.IC, 0, 1, serve.BuildOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -612,6 +615,182 @@ func BenchmarkSpreadEvalBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// Work-stealing executor benchmarks
+//
+// The skew fixture below is the regime the sched executor exists for: a
+// directed chain at IC p=1 makes RR-set cost a steep function of the
+// root, so a batch is a few giant samples among many tiny ones and
+// static contiguous chunks park every worker behind whichever one drew
+// the giants. Worker counts follow GOMAXPROCS so scripts/bench.sh's
+// `-cpu 1,4,8` sweep drives the fleet size; on a single-core container
+// the multi-cpu rows can only measure orchestration overhead (the
+// modeled multicore rows live in BENCH_multicore.json).
+
+// benchSkewGraph memoizes the steal-forcing fixture: a chain at arc
+// probability 1 over the first n/8 nodes, everything else isolated.
+func benchSkewGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	if g, ok := benchGraphs["skew"]; ok {
+		return g
+	}
+	const n, chain = 32768, 4096
+	bld := graph.NewBuilder(n, true)
+	for v := int32(1); v < chain; v++ {
+		if err := bld.AddEdge(graph.NodeID(v-1), graph.NodeID(v), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	g := goinfmax.ICConstant{P: 1}.Apply(bld.BuildSimple()).(*graph.Graph)
+	benchGraphs["skew"] = g
+	return g
+}
+
+// splitmixAt mirrors the batch sampler's per-index seed derivation (the
+// i-th splitmix64 output of base) so the static baseline below draws
+// the identical sample population.
+func splitmixAt(base uint64, i int64) uint64 {
+	z := base + (uint64(i)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// staticChunkBaseline replicates the fan-out the stealing executor
+// replaced: one contiguous ceil(count/workers) chunk per worker,
+// private shards, worker-order merge — no rebalancing once a worker
+// exhausts its chunk.
+func staticChunkBaseline(g *graph.Graph, count int64, baseSeed uint64, workers int) *graphalgo.SetStore {
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (count + int64(workers) - 1) / int64(workers)
+	shards := make([]*graphalgo.SetStore, workers)
+	panics := make(chan interface{}, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := int64(w)*chunk, int64(w)*chunk+chunk
+		if hi > count {
+			hi = count
+		}
+		if lo >= hi {
+			break
+		}
+		shard := graphalgo.NewSetStore()
+		shards[w] = shard
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+			}()
+			s := diffusion.NewRRSampler(g, weights.IC)
+			buf := make([]goinfmax.NodeID, 0, 256)
+			for i := lo; i < hi; i++ {
+				r := rng.New(splitmixAt(baseSeed, i))
+				root := goinfmax.NodeID(r.Int31n(g.N()))
+				buf = s.Sample(root, r, buf[:0])
+				shard.Append(buf)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+	out := graphalgo.NewSetStore()
+	for _, sh := range shards {
+		if sh != nil {
+			out.AppendStore(sh)
+		}
+	}
+	return out
+}
+
+// BenchmarkRRSampleSkew contrasts the stealing executor with the static
+// contiguous-chunk fan-out it replaced, on the skew fixture, at
+// GOMAXPROCS workers. Both variants draw the identical sample
+// population (same per-index splitmix64 streams, asserted below), so
+// ns/op compares scheduling alone.
+func BenchmarkRRSampleSkew(b *testing.B) {
+	g := benchSkewGraph(b)
+	const count = 2048
+	workers := runtime.GOMAXPROCS(0)
+	{
+		s := diffusion.NewRRSampler(g, weights.IC)
+		want := graphalgo.NewSetStore()
+		if _, err := s.SampleBatch(want, count, 1, workers, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+		if !staticChunkBaseline(g, count, 1, workers).Equal(want) {
+			b.Fatal("static baseline draws a different sample population")
+		}
+	}
+	b.Run("steal", func(b *testing.B) {
+		s := diffusion.NewRRSampler(g, weights.IC)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			store := graphalgo.NewSetStore()
+			added, err := s.SampleBatch(store, count, uint64(i)+1, workers, nil, nil)
+			if err != nil || added != count {
+				b.Fatalf("added %d err %v", added, err)
+			}
+		}
+	})
+	b.Run("static", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if store := staticChunkBaseline(g, count, uint64(i)+1, workers); store.Len() != count {
+				b.Fatalf("sampled %d sets", store.Len())
+			}
+		}
+	})
+}
+
+// BenchmarkSpreadEvalSkew measures batched common-world evaluation with
+// the stealing fan-out at GOMAXPROCS workers on a near-percolation
+// random graph, where per-world cascade costs vary by orders of
+// magnitude — the world-index analogue of the RR-set skew above.
+func BenchmarkSpreadEvalSkew(b *testing.B) {
+	key := "evalskew"
+	g, ok := benchGraphs[key]
+	if !ok {
+		src := rng.New(7)
+		const n = 4096
+		bld := graph.NewBuilder(n, true)
+		for i := 0; i < 6*n; i++ {
+			u, v := graph.NodeID(src.Int31n(n)), graph.NodeID(src.Int31n(n))
+			if u != v {
+				_ = bld.AddEdge(u, v, 1)
+			}
+		}
+		g = goinfmax.ICConstant{P: 0.12}.Apply(bld.BuildSimple()).(*graph.Graph)
+		benchGraphs[key] = g
+	}
+	sets := make([][]goinfmax.NodeID, 6)
+	for i := range sets {
+		for v := 0; v <= i*3; v++ {
+			sets[i] = append(sets[i], goinfmax.NodeID(v*17))
+		}
+	}
+	const r = 512
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := diffusion.NewWorldEvaluator(g, weights.IC, r, uint64(i)+1)
+		res, err := ev.EvalBatch(sets, diffusion.BatchOptions{Workers: workers})
+		if err != nil || len(res) != len(sets) {
+			b.Fatalf("res %v err %v", res, err)
+		}
+	}
 }
 
 // BenchmarkDiffusion_RRSet measures RR-set sampling, the unit of the

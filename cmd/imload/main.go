@@ -176,7 +176,7 @@ func run(ctx context.Context, args []string) error {
 		fmt.Printf("imload: target %s\n", rep.Target)
 
 		start := time.Now()
-		oracle, err := serve.BuildOracle(ctx, *backend, g, m, *indexSize, *serverSeed, 0)
+		oracle, err := serve.BuildOracle(ctx, *backend, g, m, *indexSize, *serverSeed, serve.BuildOptions{})
 		if err != nil {
 			return err
 		}

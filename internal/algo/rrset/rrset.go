@@ -62,6 +62,7 @@ func newCollection(ctx *core.Context) *collection {
 		ctx:     ctx,
 		sampler: diffusion.NewRRSampler(ctx.G, ctx.Model),
 	}
+	c.sampler.StealChunk = ctx.StealChunk
 	if ctx.ArenaBytes > 0 {
 		c.builder = graphalgo.NewCoverageBuilder(ctx.G.N(), ctx.SpillDir)
 		ctx.Account(c.builder.MemoryBytes())

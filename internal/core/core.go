@@ -128,6 +128,10 @@ type Context struct {
 	ArenaBytes int64
 	// SpillDir hosts streaming-mode spill files ("" = system temp dir).
 	SpillDir string
+	// StealChunk overrides the work-stealing claim granularity of the
+	// sampling phases in samples (0 = automatic, sized from each batch;
+	// see sched.Options.Chunk). Results are byte-identical for any value.
+	StealChunk int64
 
 	deadline time.Time
 	memLimit int64

@@ -1,14 +1,13 @@
 package diffusion
 
 import (
-	"runtime"
-	"sync"
+	"sort"
 	"sync/atomic"
-	"time"
 
 	"github.com/sigdata/goinfmax/internal/graph"
 	"github.com/sigdata/goinfmax/internal/graphalgo"
 	"github.com/sigdata/goinfmax/internal/rng"
+	"github.com/sigdata/goinfmax/internal/sched"
 )
 
 // Deterministic parallel RR-set sampling
@@ -20,11 +19,16 @@ import (
 //
 // SampleBatch keeps both: sample i of a batch always consumes the random
 // stream rng.New(sampleSeed(baseSeed, i)) — the i-th splitmix64 output of
-// baseSeed, computable in O(1) — regardless of which worker draws it.
-// Workers take contiguous index ranges, write into private SetStore shards,
-// and the shards merge in worker-index order, so the resulting store is
-// byte-identical for any worker count. This is the same determinism
-// contract the serving layer already guarantees per replica.
+// baseSeed, computable in O(1) — regardless of which worker draws it. The
+// batch fans out through the sched work-stealing executor: RR-set sizes are
+// heavily skewed (a giant-component root costs orders of magnitude more
+// than a leaf root), so static contiguous chunks leave every worker idle
+// behind whichever one drew the giants. Workers append stolen-or-owned
+// index ranges into private SetStore shards, recording one segment per
+// range; the segments are sorted by global index after the join and
+// bulk-copied, so the resulting store is byte-identical for any worker
+// count, stolen or not. This is the same determinism contract the serving
+// layer already guarantees per replica.
 
 // sampleSeed returns the i-th output of a splitmix64 stream seeded with
 // base: splitmix64 advances its state by the golden-ratio increment per
@@ -66,12 +70,7 @@ func (s *RRSampler) sampleBatchAt(store *graphalgo.SetStore, first, count int64,
 	if count <= 0 {
 		return 0, nil
 	}
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if int64(workers) > count {
-		workers = int(count)
-	}
+	workers = sched.Workers(count, workers)
 	entryBytes := store.Bytes()
 	charged := int64(0)
 	charge := func(target int64) {
@@ -89,97 +88,100 @@ func (s *RRSampler) sampleBatchAt(store *graphalgo.SetStore, first, count int64,
 		return added, err
 	}
 
-	// Parallel path: contiguous chunks, private shards, ordered merge.
+	// Parallel path: work stealing over global sample indexes, private
+	// shards, index-ordered segment merge. A segment records which global
+	// range [lo, lo+n) a worker processed and where in its shard the
+	// corresponding sets start; stealing can hand a worker discontiguous
+	// ranges in any order, and the sort below erases that history.
+	type segment struct {
+		lo, n  int64
+		worker int32
+		setOff int
+	}
+	// Per-worker state is padded to the cache-line stride: shard appends
+	// mutate the slice headers at a very high rate, and false sharing
+	// between neighbouring workers' headers is exactly the contention the
+	// stealing executor is meant to remove.
+	type wstate struct {
+		sampler *RRSampler
+		shard   *graphalgo.SetStore
+		segs    []segment
+		_       [64 - 40]byte
+	}
+	states := make([]wstate, workers)
 	var (
 		produced atomic.Int64 // elements sampled so far, across workers
 		stop     atomic.Bool  // cooperative abort flag set by the supervisor
-		panicked atomic.Pointer[any]
-		wg       sync.WaitGroup
 	)
-	chunk := (count + int64(workers) - 1) / int64(workers)
-	shards := make([]*graphalgo.SetStore, 0, workers)
-	samplers := make([]*RRSampler, 0, workers)
-	for w := 0; w < workers; w++ {
-		lo := first + int64(w)*chunk
-		hi := lo + chunk
-		if hi > first+count {
-			hi = first + count
+	body := func(w int, lo, hi int64) {
+		st := &states[w]
+		if st.sampler == nil {
+			// Lazily created on the worker's own goroutine (sched's
+			// affinity guarantee): a retired worker never pays for scratch.
+			st.sampler = NewRRSampler(s.g, s.model)
+			st.shard = graphalgo.NewSetStore()
 		}
-		if lo >= hi {
-			break
-		}
-		shard := graphalgo.NewSetStore()
-		worker := NewRRSampler(s.g, s.model)
-		shards = append(shards, shard)
-		samplers = append(samplers, worker)
-		wg.Add(1)
-		go func(worker *RRSampler, shard *graphalgo.SetStore, lo, hi int64) {
-			defer wg.Done()
-			// A panic in the sampling kernel must surface on the calling
-			// goroutine, where the resilience layer's supervisor can turn
-			// it into a Panicked cell instead of crashing the process.
-			defer func() {
-				if p := recover(); p != nil {
-					panicked.CompareAndSwap(nil, &p)
-					stop.Store(true)
-				}
-			}()
-			_, _ = worker.sampleRange(shard, lo, hi, baseSeed, nil, &stop, func() {
-				produced.Add(int64(len(shard.Set(shard.Len() - 1))))
-			})
-		}(worker, shard, lo, hi)
+		st.segs = append(st.segs, segment{lo: lo, n: hi - lo, worker: int32(w), setOff: st.shard.Len()})
+		_, _ = st.sampler.sampleRange(st.shard, first+lo, first+hi, baseSeed, nil, &stop, func() {
+			produced.Add(int64(len(st.shard.Set(st.shard.Len() - 1))))
+		})
 	}
-
-	// Supervise from the calling goroutine: charge interim memory and poll
-	// the budget while the workers run, so a budgeted build crashes (or
-	// DNFs) mid-sampling exactly like the serial path does.
-	done := make(chan struct{})
-	//imlint:ignore gosupervise closing a channel after Wait cannot panic; recover would hide nothing
-	go func() {
-		wg.Wait()
-		close(done)
-	}()
-	var pollErr error
-	ticker := time.NewTicker(200 * time.Microsecond)
-	defer ticker.Stop()
-supervise:
-	for {
-		select {
-		case <-done:
-			break supervise
-		case <-ticker.C:
+	// The supervisor polls from the calling goroutine: charge interim
+	// memory and consult the budget while workers run, so a budgeted build
+	// crashes (or DNFs) mid-sampling exactly like the serial path does.
+	var pollFn func() error
+	if poll != nil || account != nil {
+		pollFn = func() error {
 			charge(produced.Load() * 4) // interim estimate: 4 bytes per sampled element
-			if poll != nil && pollErr == nil {
-				if pollErr = poll(); pollErr != nil {
+			if poll != nil {
+				if err := poll(); err != nil {
 					stop.Store(true)
+					return err
 				}
 			}
+			return nil
 		}
 	}
-	if p := panicked.Load(); p != nil {
-		charge(0)
-		panic(*p)
+	runErr := func() (err error) {
+		// A panic in the sampling kernel is re-raised by sched.Run on this
+		// goroutine; zero the interim charges first so the accounted figure
+		// tracks resident memory when the resilience layer records the
+		// Panicked cell.
+		defer func() {
+			if p := recover(); p != nil {
+				charge(0)
+				panic(p)
+			}
+		}()
+		return sched.Run(count, sched.Options{Workers: workers, Chunk: s.StealChunk, Poll: pollFn}, body)
+	}()
+	for i := range states {
+		if states[i].sampler != nil {
+			s.ArcsTraversed += states[i].sampler.ArcsTraversed
+		}
 	}
-	for _, worker := range samplers {
-		s.ArcsTraversed += worker.ArcsTraversed
-	}
-	if pollErr != nil {
+	if runErr != nil {
 		// Shards are discarded; reconcile the interim charges away so the
 		// accounted figure tracks resident memory (the peak was already
 		// captured by the runner's memory sampler for the memory plots).
 		charge(0)
-		return 0, pollErr
+		return 0, runErr
 	}
 
+	var all []segment
 	var sets int
 	var elems int64
-	for _, shard := range shards {
-		sets += shard.Len()
-		elems += shard.NumElems()
+	for w := range states {
+		all = append(all, states[w].segs...)
+		if states[w].shard != nil {
+			sets += states[w].shard.Len()
+			elems += states[w].shard.NumElems()
+		}
 	}
+	sort.Slice(all, func(i, j int) bool { return all[i].lo < all[j].lo })
 	store.Grow(sets, elems)
-	for _, shard := range shards {
-		store.AppendStore(shard)
+	for _, seg := range all {
+		store.AppendRange(states[seg.worker].shard, seg.setOff, seg.setOff+int(seg.n))
 	}
 	charge(store.Bytes() - entryBytes)
 	return int64(sets), nil

@@ -71,7 +71,11 @@ func (s *RRSampler) SampleStream(count int64, baseSeed uint64, cfg StreamConfig,
 	done := int64(0)
 	// The first round is a deliberately small probe: it establishes the
 	// observed bytes-per-set before the adaptive sizing below commits to
-	// full-bound rounds, so a tiny arena bound rotates from the start.
+	// full-bound rounds, so a tiny arena bound rotates from the start. The
+	// executor under sampleBatchAt sizes its claim chunks from each round's
+	// actual count (sched.Options.Chunk), so even this 256-sample probe
+	// splits across every worker instead of starving the trailing ones
+	// behind constant-sized chunks.
 	round := int64(256)
 	for done < count {
 		if round > count-done {

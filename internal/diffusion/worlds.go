@@ -2,13 +2,13 @@ package diffusion
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/sigdata/goinfmax/internal/graph"
+	"github.com/sigdata/goinfmax/internal/graphalgo"
+	"github.com/sigdata/goinfmax/internal/sched"
 	"github.com/sigdata/goinfmax/internal/weights"
 )
 
@@ -89,10 +89,15 @@ func (e *WorldEvaluator) Seed() uint64 { return e.seed }
 // available cores, no polling, no accounting, estimates only.
 type BatchOptions struct {
 	// Workers parallelizes over worlds (< 1 means GOMAXPROCS). The results
-	// are bit-identical for any value: workers own contiguous world ranges
-	// and write into disjoint rows of one spread matrix that is reduced in
-	// world order afterwards.
+	// are bit-identical for any value: the sched executor steals world
+	// index ranges, workers write into disjoint world-keyed slots of one
+	// spread matrix, and the reduction walks worlds sequentially
+	// afterwards — which worker simulated a world never matters.
 	Workers int
+	// Chunk overrides the work-stealing claim granularity in worlds (0 =
+	// automatic; see sched.Options.Chunk). Results are bit-identical for
+	// any value.
+	Chunk int64
 	// Poll, when non-nil, is consulted between worlds (serially, or from
 	// the supervising goroutine while workers run); its error aborts the
 	// batch. Only ever invoked from the calling goroutine.
@@ -137,13 +142,7 @@ func (e *WorldEvaluator) EvalBatch(sets [][]graph.NodeID, opt BatchOptions) ([]B
 		return nil, nil
 	}
 	r := e.worlds
-	workers := opt.Workers
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > r {
-		workers = r
-	}
+	workers := sched.Workers(int64(r), opt.Workers)
 
 	chains := detectChains(sets)
 	results := make([]BatchResult, m)
@@ -174,7 +173,7 @@ func (e *WorldEvaluator) EvalBatch(sets [][]graph.NodeID, opt BatchOptions) ([]B
 	if workers == 1 {
 		err = e.evalWorlds(newWorldSim(e.g, e.model), sets, chains, 0, r, spreads, nanos, opt.Poll, nil, nil)
 	} else {
-		err = e.evalParallel(sets, chains, spreads, nanos, workers, opt.Poll)
+		err = e.evalParallel(sets, chains, spreads, nanos, workers, opt.Chunk, opt.Poll)
 	}
 	if err != nil {
 		// The batch is discarded; reconcile the scratch charges away so the
@@ -321,110 +320,74 @@ func (e *WorldEvaluator) evalWorlds(sim *worldSim, sets [][]graph.NodeID, chains
 	return nil
 }
 
-// evalParallel fans the world range out over workers goroutines with
-// contiguous chunks. Workers write disjoint matrix columns and private nano
-// counters (merged in worker order afterwards); the calling goroutine
-// supervises: it runs Poll, raises worker panics, and flips the cooperative
-// stop flag on abort — mirroring the SampleBatch supervision contract.
-// Poll cadence is driven by worker progress signals (one non-blocking send
-// per world) rather than wall-clock alone: a pure ticker delivers almost no
-// ticks on a loaded or race-instrumented runtime, which would let a failing
-// Poll slip past a short batch entirely.
-func (e *WorldEvaluator) evalParallel(sets [][]graph.NodeID, chains [][]int, spreads []int32, nanos []int64, workers int, poll func() error) error {
-	r := e.worlds
-	var (
-		stop     atomic.Bool
-		panicked atomic.Pointer[any]
-		wg       sync.WaitGroup
-	)
-	var progress chan struct{}
+// evalParallel fans the world range out through the sched work-stealing
+// executor: cascade cost varies wildly across worlds (a world whose coins
+// percolate the giant component costs orders of magnitude more than one
+// that quenches every frontier), so static contiguous chunks leave workers
+// idle behind the unlucky one. Workers write disjoint world-keyed matrix
+// slots and private nano counters (summed afterwards — integer addition,
+// order-independent); sched supervises from the calling goroutine: it runs
+// Poll there, re-raises worker panics after the join, and the shared stop
+// flag aborts mid-chunk at world granularity. Poll cadence is driven by
+// per-world progress signals rather than wall-clock alone: a pure ticker
+// delivers almost no ticks on a loaded or race-instrumented runtime, which
+// would let a failing Poll slip past a short batch entirely.
+func (e *WorldEvaluator) evalParallel(sets [][]graph.NodeID, chains [][]int, spreads []int32, nanos []int64, workers int, chunk int64, poll func() error) error {
+	var stop atomic.Bool
+	// Per-worker scratch, padded to the cache-line stride and created
+	// lazily on the worker's own goroutine (sched's affinity guarantee).
+	type wscratch struct {
+		sim   *worldSim
+		local []int64
+		_     [64 - 32]byte
+	}
+	scratch := make([]wscratch, workers)
+	progress := make(chan struct{}, 1)
+	body := func(w int, lo, hi int64) {
+		sc := &scratch[w]
+		if sc.sim == nil {
+			sc.sim = newWorldSim(e.g, e.model)
+			sc.local = make([]int64, len(sets))
+		}
+		_ = e.evalWorlds(sc.sim, sets, chains, int(lo), int(hi), spreads, sc.local, nil, &stop, progress)
+	}
+	var pollFn func() error
 	if poll != nil {
-		progress = make(chan struct{}, 1)
-	}
-	chunk := (r + workers - 1) / workers
-	locals := make([][]int64, 0, workers)
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > r {
-			hi = r
-		}
-		if lo >= hi {
-			break
-		}
-		local := make([]int64, len(sets))
-		locals = append(locals, local)
-		wg.Add(1)
-		go func(lo, hi int, local []int64) {
-			defer wg.Done()
-			// A panic in the simulation kernel must surface on the calling
-			// goroutine, where the resilience layer's supervisor can record
-			// it instead of crashing the process.
-			defer func() {
-				if p := recover(); p != nil {
-					panicked.CompareAndSwap(nil, &p)
-					stop.Store(true)
-				}
-			}()
-			_ = e.evalWorlds(newWorldSim(e.g, e.model), sets, chains, lo, hi, spreads, local, nil, &stop, progress)
-		}(lo, hi, local)
-	}
-
-	done := make(chan struct{})
-	//imlint:ignore gosupervise closing a channel after Wait cannot panic; recover would hide nothing
-	go func() {
-		wg.Wait()
-		close(done)
-	}()
-	var pollErr error
-	ticker := time.NewTicker(200 * time.Microsecond)
-	defer ticker.Stop()
-	runPoll := func() {
-		if poll != nil && pollErr == nil {
-			if pollErr = poll(); pollErr != nil {
+		pollFn = func() error {
+			if err := poll(); err != nil {
 				stop.Store(true)
+				return err
 			}
+			return nil
 		}
 	}
-supervise:
-	for {
-		select {
-		case <-done:
-			break supervise
-		case <-progress:
-			runPoll()
-		case <-ticker.C:
-			runPoll()
-		}
-	}
-	if p := panicked.Load(); p != nil {
-		panic(*p)
-	}
-	if pollErr != nil {
-		return pollErr
+	if err := sched.Run(int64(e.worlds), sched.Options{Workers: workers, Chunk: chunk, Poll: pollFn, Progress: progress}, body); err != nil {
+		return err
 	}
 	for i := range nanos {
-		for _, local := range locals {
-			nanos[i] += local[i]
+		for w := range scratch {
+			if scratch[w].local != nil {
+				nanos[i] += scratch[w].local[i]
+			}
 		}
 	}
 	return nil
 }
 
 // worldScratchBytes upper-bounds one worldSim's resident scratch: the mark
-// array plus the (at most n-long) frontier queue, and for LT the per-world
+// bitset plus the (at most n-long) frontier queue, and for LT the per-world
 // arc-choice cache. Charged per worker by EvalBatch.
 func worldScratchBytes(n int32, model weights.Model) int64 {
-	b := int64(n) * 8 // mark (4n) + queue capacity bound (4n)
+	b := int64(n)/8 + int64(n)*4 // mark bitset (n/8) + queue capacity bound (4n)
 	if model == weights.LT {
 		b += int64(n) * 8 // ltStamp (4n) + ltChosen (4n)
 	}
 	return b
 }
 
-// worldSim simulates cascades inside fixed coin-indexed worlds. Like
-// Simulator it reuses epoch-stamped scratch and is not safe for concurrent
-// use; EvalBatch creates one per worker.
+// worldSim simulates cascades inside fixed coin-indexed worlds. It reuses
+// per-sim scratch and is not safe for concurrent use; EvalBatch creates one
+// per worker.
 type worldSim struct {
 	g     graph.G
 	model weights.Model
@@ -432,16 +395,23 @@ type worldSim struct {
 
 	worldSeed uint64
 
-	// Active-set marks, stamped per (world, chain) so chain state persists
-	// across incremental extensions; queue holds every active node of the
-	// current chain, so its length IS the cumulative spread.
-	mark  []uint32
-	epoch uint32
+	// Active-set membership is a word-packed bitset (the frontier test is
+	// the hottest load of the cascade loop; one bit per node touches 32×
+	// fewer cache lines than the uint32 epoch stamps it replaced). queue
+	// holds every active node of the current chain — it is both the
+	// processed/unprocessed frontier split (the head index in extend*) and
+	// the cumulative active list, so its length IS the cumulative spread —
+	// and doubles as the incremental clear list: begin unmarks the previous
+	// chain's members in O(spread) instead of O(n).
+	mark  graphalgo.Bitset
 	queue []graph.NodeID
 
 	// LT arc choices, stamped per world: chosen[v] is v's selected
 	// in-neighbor in the current world (-1 = none), computed lazily on
-	// first probe and valid for every chain evaluated in the world.
+	// first probe and valid for every chain evaluated in the world. These
+	// stay epoch-stamped (not a bitset): the probes are sparse and random-
+	// order, so there is no member list to replay for an incremental clear,
+	// and an O(n) clear per world would swamp small-cascade worlds.
 	ltStamp    []uint32
 	ltChosen   []graph.NodeID
 	worldEpoch uint32
@@ -454,7 +424,7 @@ func newWorldSim(g graph.G, model weights.Model) *worldSim {
 		g:     g,
 		model: model,
 		m:     g.M(),
-		mark:  make([]uint32, n),
+		mark:  graphalgo.NewBitset(int(n)),
 		queue: make([]graph.NodeID, 0, 1024),
 	}
 	if model == weights.LT {
@@ -479,14 +449,12 @@ func (s *worldSim) setWorld(seed uint64) {
 	}
 }
 
-// begin starts a fresh chain in the current world: empty active set.
+// begin starts a fresh chain in the current world: empty active set. The
+// previous chain's marks are cleared by replaying its queue — O(spread),
+// not O(n).
 func (s *worldSim) begin() {
-	s.epoch++
-	if s.epoch == 0 { // wrapped: reset marks once every 2^32 chains
-		for i := range s.mark {
-			s.mark[i] = 0
-		}
-		s.epoch = 1
+	for _, v := range s.queue {
+		s.mark.Clear(int(v))
 	}
 	s.queue = s.queue[:0]
 }
@@ -499,10 +467,10 @@ func (s *worldSim) begin() {
 func (s *worldSim) extend(seeds []graph.NodeID) int32 {
 	head := len(s.queue)
 	for _, v := range seeds {
-		if s.mark[v] == s.epoch {
+		if s.mark.Test(int(v)) {
 			continue // duplicate or already activated by an earlier phase
 		}
-		s.mark[v] = s.epoch
+		s.mark.Set(int(v))
 		s.queue = append(s.queue, v)
 	}
 	switch s.model {
@@ -525,11 +493,11 @@ func (s *worldSim) extendIC(head int) {
 		to, w := g.OutNeighbors(u)
 		base := g.OutArcBase(u)
 		for i, v := range to {
-			if s.mark[v] == s.epoch {
+			if s.mark.Test(int(v)) {
 				continue
 			}
 			if worldCoin(s.worldSeed, base+int64(i)) < w[i] {
-				s.mark[v] = s.epoch
+				s.mark.Set(int(v))
 				s.queue = append(s.queue, v)
 			}
 		}
@@ -544,11 +512,11 @@ func (s *worldSim) extendLT(head int) {
 		u := s.queue[head]
 		to, _ := g.OutNeighbors(u)
 		for _, v := range to {
-			if s.mark[v] == s.epoch {
+			if s.mark.Test(int(v)) {
 				continue
 			}
 			if s.chosenIn(v) == u {
-				s.mark[v] = s.epoch
+				s.mark.Set(int(v))
 				s.queue = append(s.queue, v)
 			}
 		}

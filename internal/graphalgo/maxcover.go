@@ -6,35 +6,60 @@ import "container/heap"
 //
 // The RR-set methods select seeds by greedy max-cover over the sampled sets
 // (paper §4.2): iteratively pick the node contained in the most not-yet-
-// covered RR sets. Lazy (CELF-style) evaluation keeps this near-linear.
+// covered RR sets. Two implementations share one selection rule (highest
+// gain, lowest node id on ties — a total order, so the argmax is unique):
+//
+//   - Materialized path (the store is attached): a coverage-degradation
+//     scan. Gains live in one compact uint32 array; picking node u walks
+//     u's newly covered sets through the flat SetStore arena in offset
+//     order and decrements the members' gains in place. Selection is a
+//     branch-light linear argmax over the gain array. Sequential scans
+//     over two flat arrays replace the heap's pointer-chasing re-evaluation
+//     of per-node membership lists — the cache-conscious layout.
+//
+//   - Streaming path (no store: the sets live in a CoverageBuilder spill
+//     file): the classic lazy (CELF) heap over cached gains, which only
+//     needs the inversion. Cached gains upper-bound true gains, so when a
+//     freshly recomputed entry reaches the top it is the true argmax under
+//     the same total order — the two paths pick identical seeds, which the
+//     streaming-equivalence tests rely on.
+//
+// Both guarantee the (1−1/e) approximation of monotone submodular
+// maximization.
 
 // CoverageProblem is a universe of sets over node elements, consumed from a
 // flat SetStore and inverted into a flat per-node membership index (CSR:
 // invData[invOff[v]:invOff[v+1]] lists the sets containing node v) at
 // construction. The flat inversion costs O(1) allocations instead of one
-// growing slice per node, and the hot lazy-greedy re-evaluation scan walks
-// contiguous memory instead of chasing per-node slice headers.
+// growing slice per node.
 type CoverageProblem struct {
 	numSets int
 	invOff  []int64 // node -> start of its membership run in invData
 	invData []int32 // concatenated set indices, grouped by node
-	covered []bool  // set -> already covered
-	degree  []int64 // node -> number of uncovered sets containing it (lazy)
+	covered Bitset  // set -> already covered
+	degree  []int64 // node -> number of sets containing it
+	// sets is the forward arena the problem was inverted from, retained
+	// (immutably — the caller must not mutate it while the problem lives)
+	// to drive the degradation-scan greedy. nil in streaming mode, where
+	// the lazy heap runs off the inversion alone.
+	sets *SetStore
 }
 
 // NewCoverageProblem inverts the store's sets (each a list of node ids over
 // a universe of n nodes) into the per-node index used by greedy max-cover,
 // with two counting-sort passes over the arena. Duplicate node entries
 // within one set are ignored: a membership counted twice would inflate the
-// lazy heap's initial gains and break the greedy invariant (cached gains
-// must upper-bound true gains).
+// initial gains and break the greedy invariant (cached gains must
+// upper-bound true gains). The problem retains store as its forward arena;
+// the caller must not append to it while the problem is in use.
 func NewCoverageProblem(n int32, sets *SetStore) *CoverageProblem {
 	numSets := sets.Len()
 	cp := &CoverageProblem{
 		numSets: numSets,
 		invOff:  make([]int64, n+1),
-		covered: make([]bool, numSets),
+		covered: NewBitset(numSets),
 		degree:  make([]int64, n),
+		sets:    sets,
 	}
 	// mark[v] records the last set that counted v, so a duplicate entry of
 	// v within one set is skipped; the +numSets offset distinguishes the
@@ -86,33 +111,126 @@ type MaxCoverResult struct {
 }
 
 // GreedyMaxCover picks k nodes maximizing coverage with lazy evaluation.
-// Guarantees the (1−1/e) approximation of monotone submodular maximization.
 func (cp *CoverageProblem) GreedyMaxCover(k int) MaxCoverResult {
 	res, _ := cp.GreedyMaxCoverPoll(k, nil)
 	return res
 }
 
 // Clone returns a coverage problem sharing the (immutable) set inversion
-// with cp but carrying fresh covered marks, so several greedy covers can
-// run concurrently over one index. The greedy never mutates the inversion
-// or degree, only covered; cloning is therefore O(#sets).
+// and forward arena with cp but carrying fresh covered marks, so several
+// greedy covers can run concurrently over one index. The greedy never
+// mutates the inversion, arena or degree, only covered; cloning is
+// therefore O(#sets / 64).
 func (cp *CoverageProblem) Clone() *CoverageProblem {
 	return &CoverageProblem{
 		numSets: cp.numSets,
 		invOff:  cp.invOff,
 		invData: cp.invData,
-		covered: make([]bool, cp.numSets),
+		covered: NewBitset(cp.numSets),
 		degree:  cp.degree,
+		sets:    cp.sets,
 	}
 }
 
 // GreedyMaxCoverPoll is GreedyMaxCover with a cooperative cancellation
 // hook: poll (when non-nil) is invoked once per selection round plus every
-// pollStride lazy re-evaluations, and a non-nil return aborts the greedy
+// pollStride covered-set degradations (materialized path) or lazy
+// re-evaluations (streaming path), and a non-nil return aborts the greedy
 // with that error. Online serving uses it to honor per-request deadlines.
 // res.Seeds is freshly allocated on every call and shares no memory with
 // the problem's internal state.
 func (cp *CoverageProblem) GreedyMaxCoverPoll(k int, poll func() error) (MaxCoverResult, error) {
+	if cp.sets != nil {
+		return cp.greedyScan(k, poll)
+	}
+	return cp.greedyLazy(k, poll)
+}
+
+// greedyScan is the materialized-path greedy: flat uint32 gains degraded in
+// arena offset order. See the package comment for the layout argument; the
+// selection rule (max gain, min node id) matches greedyLazy exactly.
+func (cp *CoverageProblem) greedyScan(k int, poll func() error) (MaxCoverResult, error) {
+	res := MaxCoverResult{}
+	n := len(cp.degree)
+	gain := make([]uint32, n) // degree ≤ numSets < 2^31: always fits
+	live := 0                 // unpicked nodes with degree > 0
+	for v, d := range cp.degree {
+		gain[v] = uint32(d)
+		if d > 0 {
+			live++
+		}
+	}
+	picked := NewBitset(n)
+	// mark[v] = set currently degrading v: duplicate elements within one
+	// stored set decrement v's gain once, mirroring the inversion's dedup.
+	// Each set is degraded at most once (covered flips once), so markers
+	// never need clearing.
+	mark := make([]int32, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	covered := int64(0)
+	degrades := 0
+	for round := 0; round < k && live > 0; round++ {
+		if poll != nil {
+			if err := poll(); err != nil {
+				return res, err
+			}
+		}
+		// Branch-light linear argmax: strict > keeps the lowest node id on
+		// gain ties, the shared selection rule.
+		best, bestGain := -1, uint32(0)
+		for v := 0; v < n; v++ {
+			if gain[v] > bestGain && !picked.Test(v) && cp.degree[v] > 0 {
+				best, bestGain = v, gain[v]
+			}
+		}
+		if best < 0 {
+			// All remaining gains are zero: fill with the lowest-id live
+			// node, as the lazy path's stale-heap drain does.
+			for v := 0; v < n; v++ {
+				if !picked.Test(v) && cp.degree[v] > 0 {
+					best = v
+					break
+				}
+			}
+		}
+		picked.Set(best)
+		live--
+		res.Seeds = append(res.Seeds, int32(best))
+		res.PerSeedCovered = append(res.PerSeedCovered, int64(bestGain))
+		if bestGain == 0 {
+			continue
+		}
+		for _, si := range cp.memberships(int32(best)) {
+			if cp.covered.Test(int(si)) {
+				continue
+			}
+			cp.covered.Set(int(si))
+			covered++
+			degrades++
+			if poll != nil && degrades%pollStride == 0 {
+				if err := poll(); err != nil {
+					return res, err
+				}
+			}
+			for _, v := range cp.sets.Set(int(si)) {
+				if mark[v] == si {
+					continue
+				}
+				mark[v] = si
+				gain[v]--
+			}
+		}
+	}
+	return cp.finishCover(res, covered, k)
+}
+
+// greedyLazy is the streaming-path greedy: a lazy (CELF) heap over cached
+// gains, needing only the inversion. The comparator's node tie-break makes
+// a fresh heap top the unique argmax under the shared selection rule, so
+// seeds match greedyScan element for element.
+func (cp *CoverageProblem) greedyLazy(k int, poll func() error) (MaxCoverResult, error) {
 	res := MaxCoverResult{}
 	h := make(coverHeap, 0, len(cp.degree))
 	for v, d := range cp.degree {
@@ -146,7 +264,7 @@ func (cp *CoverageProblem) GreedyMaxCoverPoll(k int, poll func() error) (MaxCove
 			}
 			gain := int64(0)
 			for _, si := range cp.memberships(top.node) {
-				if !cp.covered[si] {
+				if !cp.covered.Test(int(si)) {
 					gain++
 				}
 			}
@@ -162,16 +280,21 @@ func (cp *CoverageProblem) GreedyMaxCoverPoll(k int, poll func() error) (MaxCove
 			continue
 		}
 		for _, si := range cp.memberships(pick.node) {
-			if !cp.covered[si] {
-				cp.covered[si] = true
+			if !cp.covered.Test(int(si)) {
+				cp.covered.Set(int(si))
 				covered++
 			}
 		}
 		res.Seeds = append(res.Seeds, pick.node)
 		res.PerSeedCovered = append(res.PerSeedCovered, pick.gain)
 	}
-	// Pad with unused nodes when fewer than k nodes appear in any set, so
-	// callers always receive k distinct seeds.
+	return cp.finishCover(res, covered, k)
+}
+
+// finishCover pads the seed list to k with unused nodes (ascending, so both
+// greedy paths pad identically when fewer than k nodes appear in any set)
+// and fills the summary fields.
+func (cp *CoverageProblem) finishCover(res MaxCoverResult, covered int64, k int) (MaxCoverResult, error) {
 	if len(res.Seeds) < k {
 		chosen := make(map[int32]struct{}, len(res.Seeds))
 		for _, s := range res.Seeds {
@@ -192,9 +315,10 @@ func (cp *CoverageProblem) GreedyMaxCoverPoll(k int, poll func() error) (MaxCove
 	return res, nil
 }
 
-// pollStride bounds how many lazy re-evaluations may run between two poll
-// calls; each re-evaluation touches one node's full set list, so this keeps
-// the deadline-check latency in the tens of microseconds on real indexes.
+// pollStride bounds how many degradations or lazy re-evaluations may run
+// between two poll calls; each touches one set's element list, so this
+// keeps the deadline-check latency in the tens of microseconds on real
+// indexes.
 const pollStride = 256
 
 // CoverageOf returns the number of sets covered by the given seed set,
@@ -216,11 +340,13 @@ func (cp *CoverageProblem) CoverageOf(seeds []int32) int64 {
 func (cp *CoverageProblem) NumSets() int { return cp.numSets }
 
 // MemoryBytes returns the problem's resident footprint (capacity-based,
-// like SetStore.Bytes): the inversion arrays plus the cover marks. Streaming
-// collections charge it through Context.Account while a greedy runs.
+// like SetStore.Bytes): the inversion arrays plus the cover marks. The
+// forward arena is not counted — its owner (the collection or index that
+// built the problem) already accounts it. Streaming collections charge
+// this through Context.Account while a greedy runs.
 func (cp *CoverageProblem) MemoryBytes() int64 {
 	return int64(cap(cp.invOff))*8 + int64(cap(cp.invData))*4 +
-		int64(cap(cp.covered)) + int64(cap(cp.degree))*8
+		cp.covered.Bytes() + int64(cap(cp.degree))*8
 }
 
 type coverItem struct {
@@ -231,8 +357,12 @@ type coverItem struct {
 
 type coverHeap []coverItem
 
-func (h coverHeap) Len() int            { return len(h) }
-func (h coverHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h coverHeap) Len() int { return len(h) }
+func (h coverHeap) Less(i, j int) bool {
+	// Total order: gain descending, node id ascending on ties. The unique
+	// argmax is what keeps the lazy and scan paths seed-identical.
+	return h[i].gain > h[j].gain || (h[i].gain == h[j].gain && h[i].node < h[j].node)
+}
 func (h coverHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *coverHeap) Push(x interface{}) { *h = append(*h, x.(coverItem)) }
 func (h *coverHeap) Pop() interface{} {

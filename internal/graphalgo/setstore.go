@@ -60,6 +60,18 @@ func (s *SetStore) AppendStore(t *SetStore) {
 	}
 }
 
+// AppendRange bulk-copies sets [from, to) of t onto the end of s, preserving
+// order. The work-stealing sampler merges its per-worker shards with one
+// AppendRange per segment record, walked in global index order.
+func (s *SetStore) AppendRange(t *SetStore, from, to int) {
+	lo, hi := t.off[from], t.off[to]
+	base := int64(len(s.data)) - lo
+	s.data = append(s.data, t.data[lo:hi]...)
+	for _, o := range t.off[from+1 : to+1] {
+		s.off = append(s.off, base+o)
+	}
+}
+
 // Grow ensures capacity for sets more sets and elems more elements without
 // further reallocation, so a bulk merge costs one arena move at most.
 func (s *SetStore) Grow(sets int, elems int64) {

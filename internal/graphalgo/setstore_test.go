@@ -44,6 +44,19 @@ func TestSetStoreAppendStoreOrder(t *testing.T) {
 	}
 }
 
+func TestSetStoreAppendRange(t *testing.T) {
+	// Reassembling interleaved segment records in global order must equal
+	// the sequential store — the work-stealing merge invariant.
+	src := StoreOf([]int32{1}, []int32{2, 3}, []int32{}, []int32{4, 5, 6}, []int32{7})
+	m := NewSetStore()
+	for _, seg := range [][2]int{{0, 2}, {2, 2}, {2, 4}, {4, 5}} {
+		m.AppendRange(src, seg[0], seg[1])
+	}
+	if !m.Equal(src) {
+		t.Fatalf("AppendRange reassembly differs from source store")
+	}
+}
+
 func TestSetStoreResetReleases(t *testing.T) {
 	s := StoreOf([]int32{1, 2, 3}, []int32{4})
 	if s.Bytes() == 0 {

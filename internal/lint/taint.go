@@ -12,12 +12,14 @@ import (
 // A value is "tainted" when its content or ordering depends on
 // something outside the campaign seed: the wall clock (time.Now /
 // time.Since), map iteration order (a slice accumulated by appending
-// inside a `for range m`), or select arrival order (a value bound in a
-// select with two or more communication cases). Taint propagates
-// through assignments, expressions, and — via the Program summaries —
-// function calls, and must never reach a determinism sink: the
-// internal/rng seed surface, journal/CSV/HTTP emission, or a
-// SetStore merge (Append/AppendStore), whose content must be
+// inside a `for range m`), select arrival order (a value bound in a
+// select with two or more communication cases), or work-stealing claim
+// order (an index range handed out by a Deque's Claim/Steal — which
+// range arrives next is scheduler-chosen). Taint propagates through
+// assignments, expressions, and — via the Program summaries — function
+// calls, and must never reach a determinism sink: the internal/rng
+// seed surface, journal/CSV/HTTP emission, or a SetStore merge
+// (Append/AppendStore/AppendRange), whose content must be
 // byte-identical at any worker count.
 //
 // The per-function analysis is deliberately flow-insensitive over
@@ -43,8 +45,9 @@ const (
 	taintTime   uint64 = 1 << 59 // wall clock: time.Now / time.Since
 	taintMap    uint64 = 1 << 60 // map iteration order
 	taintSelect uint64 = 1 << 61 // select arrival order
+	taintSteal  uint64 = 1 << 62 // deque claim/steal arrival order
 
-	taintSrcMask = taintTime | taintMap | taintSelect
+	taintSrcMask = taintTime | taintMap | taintSelect | taintSteal
 )
 
 // taintKinds renders the intrinsic-source bits of m for diagnostics.
@@ -58,6 +61,9 @@ func taintKinds(m uint64) string {
 	}
 	if m&taintSelect != 0 {
 		kinds = append(kinds, "select arrival order")
+	}
+	if m&taintSteal != 0 {
+		kinds = append(kinds, "work-stealing claim order (Deque.Claim/Steal)")
 	}
 	return strings.Join(kinds, ", ")
 }
@@ -450,6 +456,17 @@ func (s *taintScan) callMasks(call *ast.CallExpr) []uint64 {
 	if s.pkgCall(call, "time", "Now", "Since") {
 		return fill(taintTime)
 	}
+	// Intrinsic steal-order source: which index range a work-stealing
+	// Deque hands out next depends on scheduler arrival order. Results
+	// computed FROM those indexes are fine (the executor's index-purity
+	// contract) — writing them through results[i] drops the taint, by the
+	// same field/element rule as everywhere else. What must never happen
+	// is the claim *sequence* itself reaching an emission or merge sink,
+	// and unlike map order, sorting does not cleanse it: the endorsed fix
+	// is keying by global index, not reordering the claim log.
+	if isDequeRangeCall(info, call) {
+		return fill(taintSteal)
+	}
 	switch calleePkgPath(info, call) {
 	case "sort":
 		return res // sort.* results (e.g. sort.SearchInts) are order-deterministic
@@ -535,6 +552,35 @@ func (s *taintScan) tupleMasks(rhs ast.Expr, n int) []uint64 {
 	return masks
 }
 
+// isDequeRangeCall reports whether call claims or steals an index range
+// from a work-stealing deque. Recognition is by type name, like the
+// SetStore rules: any method named Claim or Steal on a named type called
+// "Deque" participates, so fixture corpora can declare a miniature
+// stand-in without importing internal/sched.
+func isDequeRangeCall(info *types.Info, call *ast.CallExpr) bool {
+	name := methodCallName(call)
+	if name != "Claim" && name != "Steal" {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || info == nil {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Deque"
+}
+
 // pkgCall reports whether call invokes pkgPath.<one of names>, using
 // type information with a syntactic fallback (mirrors Pass.pkgFuncCall
 // for use outside a Pass).
@@ -606,7 +652,7 @@ func (s *taintScan) sinkOf(info *types.Info, call *ast.CallExpr) (sinkHit, bool)
 		return sinkHit{}, false
 	}
 	name := methodCallName(call)
-	if isSetStoreCall(info, call) && (name == "Append" || name == "AppendStore") {
+	if isSetStoreCall(info, call) && (name == "Append" || name == "AppendStore" || name == "AppendRange") {
 		if m := union(call.Args); m != 0 {
 			return sinkHit{pos: call.Pos(), mask: m, desc: "a SetStore merge (byte-identical-at-any-worker-count contract)"}, true
 		}
@@ -708,8 +754,9 @@ func (s *taintScan) summary() *TaintSummary {
 // DetFlow is the inter-procedural determinism-taint analyzer.
 var DetFlow = &Analyzer{
 	Name: "detflow",
-	Doc: "nondeterministic values (wall clock, map iteration order, select arrival order) must not " +
-		"reach RNG seeds, journal/CSV/HTTP emission, or SetStore merges — even through call chains",
+	Doc: "nondeterministic values (wall clock, map iteration order, select arrival order, work-stealing " +
+		"claim order) must not reach RNG seeds, journal/CSV/HTTP emission, or SetStore merges — even " +
+		"through call chains",
 	NeedsProgram: true,
 	Run:          runDetFlow,
 }
@@ -720,7 +767,7 @@ func runDetFlow(pass *Pass) {
 	}
 	for _, fi := range pass.Prog.funcsIn(pass.PkgPath) {
 		for _, h := range taintFindings(pass.Prog, fi) {
-			pass.Reportf(h.pos, "value derived from %s reaches %s; a run is only reproducible if everything emitted or seeded derives from the campaign seed — sort map-collected keys, merge worker results in worker order, and thread seeds through internal/rng",
+			pass.Reportf(h.pos, "value derived from %s reaches %s; a run is only reproducible if everything emitted or seeded derives from the campaign seed — sort map-collected keys, key stolen work by global index rather than claim order, and thread seeds through internal/rng",
 				taintKinds(h.mask), h.desc)
 		}
 	}

@@ -1,0 +1,73 @@
+package fixture
+
+import (
+	"fmt"
+	"os"
+)
+
+// Deque is a miniature stand-in for the work-stealing deque
+// (internal/sched): recognition is by type name, so the fixture does
+// not import the real package. Which range Claim or Steal hands out
+// next depends on scheduler arrival order — the claim sequence is
+// nondeterministic even though the union of all ranges is not.
+type Deque struct{ lo, hi int64 }
+
+func (d *Deque) Claim(chunk int64) (lo, hi int64, ok bool) {
+	if d.lo >= d.hi {
+		return 0, 0, false
+	}
+	lo = d.lo
+	hi = lo + chunk
+	if hi > d.hi {
+		hi = d.hi
+	}
+	d.lo = hi
+	return lo, hi, true
+}
+
+func (d *Deque) Steal(chunk int64) (lo, hi int64, ok bool) {
+	return d.Claim(chunk)
+}
+
+// SetStore is a miniature stand-in for the graphalgo arena (recognized
+// by type name): its merge methods are determinism sinks.
+type SetStore struct{ data []int32 }
+
+func (s *SetStore) Append(set []int32) { s.data = append(s.data, set...) }
+
+// ClaimLogEmitted: emitting the claim sequence leaks which worker got
+// which range in which order — pure scheduling noise.
+func ClaimLogEmitted(d *Deque, f *os.File) {
+	for {
+		lo, hi, ok := d.Claim(64)
+		if !ok {
+			break
+		}
+		_, _ = fmt.Fprintf(f, "claimed [%d,%d)\n", lo, hi) // want detflow "work-stealing claim order"
+	}
+}
+
+// StolenRangeMerged: appending sets to a shared store in steal order
+// breaks the byte-identical-at-any-worker-count contract; the merge
+// must be keyed by global index instead.
+func StolenRangeMerged(d *Deque, st *SetStore) {
+	lo, hi, ok := d.Steal(64)
+	if ok {
+		st.Append([]int32{int32(lo), int32(hi)}) // want detflow "work-stealing claim order"
+	}
+}
+
+// IndexKeyedResults is the endorsed pattern: each claimed index fills
+// its own pre-assigned slot, so results depend only on the index, never
+// on who claimed it or when. Element writes drop the taint by design.
+func IndexKeyedResults(d *Deque, results []int64) {
+	for {
+		lo, hi, ok := d.Claim(64)
+		if !ok {
+			break
+		}
+		for i := lo; i < hi; i++ {
+			results[i] = i * i
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package fixture
+
+import "sync"
+
+// Work-stealing worker pools: each worker goroutine loops over claimed
+// index ranges. The executor pattern (internal/sched) records the first
+// panic, stops the fleet, and re-raises on the caller after the join —
+// but the recover must still be installed on each worker goroutine, or
+// a panicking body kills the process before the supervisor can classify
+// it.
+
+// SpawnStealingSupervised is the executor's shape: every worker defers
+// a recover that parks the panic value for the caller to re-raise.
+func SpawnStealingSupervised(workers int, claim func() (int64, int64, bool), body func(lo, hi int64)) interface{} {
+	var mu sync.Mutex
+	var panicked interface{}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					mu.Unlock()
+				}
+			}()
+			for {
+				lo, hi, ok := claim()
+				if !ok {
+					return
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	return panicked
+}
+
+// SpawnStealingBare launches the same loop unsupervised: one panicking
+// body call kills every worker's in-flight results with the process.
+func SpawnStealingBare(workers int, claim func() (int64, int64, bool), body func(lo, hi int64)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() { // want gosupervise "without a deferred recover"
+			defer wg.Done()
+			for {
+				lo, hi, ok := claim()
+				if !ok {
+					break
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

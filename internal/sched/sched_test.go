@@ -1,0 +1,288 @@
+package sched
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+// TestDequePadding pins the false-sharing treatment: adjacent deques in the
+// executor's slice must occupy distinct 64-byte cache lines.
+func TestDequePadding(t *testing.T) {
+	if got := unsafe.Sizeof(Deque{}); got != 64 {
+		t.Fatalf("Deque size = %d, want 64 (cache-line stride)", got)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3, 16); got != 3 {
+		t.Fatalf("Workers(3,16) = %d, want 3 (clamped to count)", got)
+	}
+	if got := Workers(100, 7); got != 7 {
+		t.Fatalf("Workers(100,7) = %d, want 7", got)
+	}
+	if got := Workers(100, 0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(100,0) = %d, want GOMAXPROCS", got)
+	}
+}
+
+// TestAutoChunkSizedFromCount is the SampleStream probe-round regression
+// guard: the claim granularity must derive from the actual count, never a
+// constant, so workers·chunk ≤ count whenever count ≥ workers and every
+// worker's initial range is non-empty.
+func TestAutoChunkSizedFromCount(t *testing.T) {
+	for _, count := range []int64{1, 7, 64, 256, 1000, 1 << 20} {
+		for _, req := range []int{1, 2, 7, 8, 16} {
+			w := Workers(count, req)
+			chunk := autoChunk(count, w)
+			if chunk < 1 {
+				t.Fatalf("autoChunk(%d,%d) = %d < 1", count, w, chunk)
+			}
+			if int64(w)*chunk > count && count >= int64(w) {
+				t.Fatalf("autoChunk(%d,%d) = %d: workers·chunk = %d exceeds count (static starvation)",
+					count, w, chunk, int64(w)*chunk)
+			}
+		}
+	}
+}
+
+// TestRunCoversRangeExactlyOnce checks the partition invariant at awkward
+// counts and worker counts: every index processed exactly once.
+func TestRunCoversRangeExactlyOnce(t *testing.T) {
+	for _, count := range []int64{1, 2, 63, 256, 10007} {
+		for _, workers := range []int{1, 2, 7, 16} {
+			hits := make([]int32, count)
+			err := Run(count, Options{Workers: workers}, func(w int, lo, hi int64) {
+				for i := lo; i < hi; i++ {
+					hits[i]++
+				}
+			})
+			if err != nil {
+				t.Fatalf("count=%d workers=%d: %v", count, workers, err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("count=%d workers=%d: index %d processed %d times", count, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestRunDeterministicOutput checks the byte-identical contract: a body that
+// writes a pure function of the global index into index-keyed slots yields
+// identical output at every worker count, stealing or not.
+func TestRunDeterministicOutput(t *testing.T) {
+	const count = 4096
+	f := func(i int64) uint64 {
+		z := uint64(i) * 0x9e3779b97f4a7c15
+		z ^= z >> 29
+		return z * 0xbf58476d1ce4e5b9
+	}
+	var want []uint64
+	for _, workers := range []int{1, 2, 7, 16} {
+		out := make([]uint64, count)
+		if err := Run(count, Options{Workers: workers}, func(w int, lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				out[i] = f(i)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = out
+			continue
+		}
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunStealsUnderSkew forces the steal path: worker 0's initial range is
+// made expensive, so the other workers drain their ranges and must steal
+// from worker 0's back. Some index statically owned by worker 0 must end up
+// processed by a different worker.
+func TestRunStealsUnderSkew(t *testing.T) {
+	const count, workers = 64, 8
+	firstRange := int64(count / workers) // worker 0's initial [0, 8)
+	owner := make([]int32, count)
+	err := Run(count, Options{Workers: workers, Chunk: 1}, func(w int, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			owner[i] = int32(w)
+			if i < firstRange {
+				time.Sleep(2 * time.Millisecond) // the giant samples
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stolen := false
+	for i := int64(0); i < firstRange; i++ {
+		if owner[i] != 0 {
+			stolen = true
+		}
+	}
+	if !stolen {
+		t.Fatalf("no index of worker 0's skewed range was stolen (owners: %v)", owner[:firstRange])
+	}
+}
+
+// TestRunWorkerAffinity checks the per-worker serialization guarantee that
+// lets bodies keep lazily-created scratch in a slice indexed by worker: two
+// body invocations for the same worker id never overlap.
+func TestRunWorkerAffinity(t *testing.T) {
+	const count, workers = 2048, 7
+	var active [workers]atomic.Int32
+	err := Run(count, Options{Workers: workers}, func(w int, lo, hi int64) {
+		if active[w].Add(1) != 1 {
+			t.Errorf("worker %d body re-entered concurrently", w)
+		}
+		runtime.Gosched()
+		active[w].Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPanicSurfacesOnCaller(t *testing.T) {
+	const count = 1024
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("worker panic did not propagate to the caller")
+		}
+		if s, ok := p.(string); !ok || s != "kernel exploded" {
+			t.Fatalf("unexpected panic value: %v", p)
+		}
+	}()
+	_ = Run(count, Options{Workers: 8}, func(w int, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			if i == count/2 {
+				panic("kernel exploded")
+			}
+		}
+	})
+}
+
+func TestRunPollAborts(t *testing.T) {
+	wantErr := errors.New("budget exceeded")
+	var polls atomic.Int64
+	var processed atomic.Int64
+	const count = 1 << 20
+	err := Run(count, Options{
+		Workers: 8,
+		Poll: func() error {
+			if polls.Add(1) >= 3 {
+				return wantErr
+			}
+			return nil
+		},
+	}, func(w int, lo, hi int64) {
+		processed.Add(hi - lo)
+		time.Sleep(50 * time.Microsecond)
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Run returned %v, want poll error", err)
+	}
+	if processed.Load() >= count {
+		t.Fatal("poll abort did not skip any work")
+	}
+
+	// Serial path honors Poll too.
+	polls.Store(0)
+	err = Run(count, Options{Workers: 1, Poll: func() error {
+		if polls.Add(1) >= 2 {
+			return wantErr
+		}
+		return nil
+	}}, func(w int, lo, hi int64) {})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("serial Run returned %v, want poll error", err)
+	}
+}
+
+// TestDequeConcurrentClaimSteal hammers one deque from an owner and several
+// thieves under the race detector and checks the handed-out ranges are
+// disjoint and exactly cover the initial span.
+func TestDequeConcurrentClaimSteal(t *testing.T) {
+	const span = int64(1 << 16)
+	d := &Deque{lo: 0, hi: span}
+	var mu sync.Mutex
+	got := make([]int32, span)
+	record := func(lo, hi int64) {
+		mu.Lock()
+		for i := lo; i < hi; i++ {
+			got[i]++
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			lo, hi, ok := d.Claim(64)
+			if !ok {
+				return
+			}
+			record(lo, hi)
+		}
+	}()
+	for th := 0; th < 4; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo, hi, ok := d.Steal(64)
+				if !ok {
+					return
+				}
+				record(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, h := range got {
+		if h != 1 {
+			t.Fatalf("index %d handed out %d times", i, h)
+		}
+	}
+	if d.remaining() != 0 {
+		t.Fatalf("deque not drained: %d remaining", d.remaining())
+	}
+}
+
+// TestRunProgressDrivesPoll checks the Progress channel is an extra poll
+// cadence source: with a body that signals per item, Poll runs at least once
+// even though the run is far shorter than any plausible tick alignment.
+func TestRunProgressDrivesPoll(t *testing.T) {
+	progress := make(chan struct{}, 1)
+	var polls atomic.Int64
+	err := Run(512, Options{
+		Workers:  4,
+		Progress: progress,
+		Poll:     func() error { polls.Add(1); return nil },
+	}, func(w int, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			select {
+			case progress <- struct{}{}:
+			default:
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polls.Load() == 0 {
+		t.Fatal("Poll never ran despite progress signals")
+	}
+}

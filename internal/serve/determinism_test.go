@@ -19,7 +19,7 @@ func newReplica(t *testing.T, backend string, seed uint64) *httptest.Server {
 func newReplicaWorkers(t *testing.T, backend string, seed uint64, workers int) *httptest.Server {
 	t.Helper()
 	g := testGraph(t)
-	oracle, err := BuildOracle(context.Background(), backend, g, weights.IC, 2000, seed, workers)
+	oracle, err := BuildOracle(context.Background(), backend, g, weights.IC, 2000, seed, BuildOptions{Workers: workers, StealChunk: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestSeedChangesAnswers(t *testing.T) {
 // same either way, since responses are pure functions of the request.
 func TestCacheDoesNotChangeBodies(t *testing.T) {
 	g := testGraph(t)
-	oracle, err := BuildOracle(context.Background(), "rrset", g, weights.IC, 2000, 42, 1)
+	oracle, err := BuildOracle(context.Background(), "rrset", g, weights.IC, 2000, 42, BuildOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

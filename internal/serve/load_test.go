@@ -116,7 +116,7 @@ func TestGateBoundedUnderLoadgenOverload(t *testing.T) {
 // contain both stamped and clean responses with no error in between.
 func TestPromoteReadyMidLoad(t *testing.T) {
 	g := testGraph(t)
-	real, err := BuildOracle(context.Background(), "rrset", g, weights.IC, 3000, 42, 1)
+	real, err := BuildOracle(context.Background(), "rrset", g, weights.IC, 3000, 42, BuildOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -36,20 +36,32 @@ type Oracle interface {
 // Backends lists the supported -backend values.
 func Backends() []string { return []string{"rrset", "snapshot"} }
 
+// BuildOptions tunes the parallel phases of an oracle build. The built
+// index — and therefore every body the server will ever emit — is
+// byte-identical for any combination of values, preserving the
+// replica-determinism contract.
+type BuildOptions struct {
+	// Workers parallelizes the rrset backend's sampling phase (values < 1
+	// mean GOMAXPROCS).
+	Workers int
+	// StealChunk overrides the work-stealing claim granularity in samples
+	// (0 = automatic, sized from each batch).
+	StealChunk int64
+}
+
 // BuildOracle constructs the named backend over g. size is the index size
 // (θ RR sets or R snapshots; 0 picks a backend-specific default scaled to
 // the graph), seed is the deterministic build seed, and ctx cancels a
-// build in flight (startup SIGINT). workers parallelizes the rrset
-// backend's sampling phase (values < 1 mean GOMAXPROCS); the built index —
-// and therefore every body the server will ever emit — is byte-identical
-// for any worker count, preserving the replica-determinism contract. The
-// build cost is paid once; queries then run from memory.
-func BuildOracle(ctx context.Context, backend string, g graph.G, model weights.Model, size int64, seed uint64, workers int) (Oracle, error) {
+// build in flight (startup SIGINT). The build cost is paid once; queries
+// then run from memory.
+func BuildOracle(ctx context.Context, backend string, g graph.G, model weights.Model, size int64, seed uint64, opt BuildOptions) (Oracle, error) {
 	cctx := core.NewContext(g, model, 1, seed)
+	workers := opt.Workers
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	cctx.Workers = workers
+	cctx.StealChunk = opt.StealChunk
 	// Bridge context.Context cancellation into the core.Context the build
 	// loops poll; AfterFunc's goroutine only sets the atomic cancel flag.
 	stop := context.AfterFunc(ctx, func() { cctx.Cancel(core.ErrCancelled) })

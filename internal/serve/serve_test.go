@@ -29,7 +29,7 @@ func testGraph(t testing.TB) *graph.Graph {
 func newTestServer(t testing.TB, backend string, mutate func(*Config)) (*Server, *httptest.Server) {
 	t.Helper()
 	g := testGraph(t)
-	oracle, err := BuildOracle(context.Background(), backend, g, weights.IC, 3000, 42, 1)
+	oracle, err := BuildOracle(context.Background(), backend, g, weights.IC, 3000, 42, BuildOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -482,7 +482,7 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{Oracle: &stubOracle{}}); err == nil {
 		t.Fatal("New accepted a config without a graph")
 	}
-	if _, err := BuildOracle(context.Background(), "nope", testGraph(t), weights.IC, 10, 1, 1); err == nil {
+	if _, err := BuildOracle(context.Background(), "nope", testGraph(t), weights.IC, 10, 1, BuildOptions{Workers: 1}); err == nil {
 		t.Fatal("BuildOracle accepted an unknown backend")
 	}
 }

@@ -39,13 +39,12 @@ sh scripts/smoke_serve.sh
 echo "==> graph memory smoke test (GOMEMLIMIT)"
 sh scripts/smoke_graphmem.sh
 
-# One iteration of the RR-sampling, spread-evaluation, snapshot
-# round-trip and graph-backend benchmarks: catches bit-rot in the
-# parallel batch engines', the persistence codec's and the backend
-# split's bench harnesses without paying real bench time. Discovery
-# spans every package (./...) so a future per-package benchmark
-# matching the pattern cannot silently rot outside the gate.
-echo "==> bench smoke (RR sampling + spread evaluation + persistence + graph backends)"
-go test -benchtime=1x -run=NONE -bench='BenchmarkRR|BenchmarkSpreadEvalBatch|BenchmarkPersist|BenchmarkGraphBackend' ./...
+# One iteration of every bench harness (sampling, evaluation, greedy
+# cover, persistence, graph backends): catches bit-rot in the bench
+# harnesses without paying real bench time, plus a deterministic proof
+# that the perf-regression ratchet trips on a slowed benchmark. The
+# full timed sweep and baseline compare is `sh scripts/bench.sh`.
+sh scripts/bench.sh smoke
+sh scripts/bench.sh selftest
 
 echo "==> all checks passed"
